@@ -1,0 +1,33 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiment functions are full simulations; default benchmark
+    calibration would re-run them dozens of times.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_result(result) -> None:
+    """Print the regenerated table/figure series below the benchmark row."""
+    print()
+    print(result.describe())
+
+
+def group_means(result, series, colluder_ids, pretrusted_ids):
+    """(colluder, normal, pretrusted) mean reputations for one system series."""
+    reps = result.series[series].mean
+    colluders = list(colluder_ids)
+    pretrusted = list(pretrusted_ids)
+    normal = [
+        i for i in range(reps.size) if i not in colluders and i not in pretrusted
+    ]
+    return (
+        float(reps[colluders].mean()),
+        float(reps[normal].mean()),
+        float(reps[pretrusted].mean()),
+    )

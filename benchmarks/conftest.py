@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper at the
+**bench profile** — full 200-node network, reduced run count and cycle
+count so the whole suite finishes in minutes.  The paper profile
+(5 runs x 50 cycles) is what EXPERIMENTS.md records; pass
+``--paper-profile`` to run it here.
+
+Each benchmark prints the reproduced series (via
+``ExperimentResult.describe``) so the harness output *is* the
+regenerated table/figure data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-profile",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's full profile (5 runs x 50 cycles)",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile(request):
+    """n_runs / simulation_cycles kwargs for the experiment benchmarks."""
+    if request.config.getoption("--paper-profile"):
+        return {"n_runs": 5, "simulation_cycles": 50}
+    return {"n_runs": 1, "simulation_cycles": 15}

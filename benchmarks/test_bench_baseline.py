@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 7: EigenTrust vs eBay without colluders."""
+
+from bench_util import group_means, print_result, run_once
+from repro.experiments import figures
+
+
+class TestFig7:
+    def test_fig7_no_colluders(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig7, **profile)
+        print_result(result)
+        colluders = result.meta["colluder_ids"]  # the malicious (non-colluding) peers
+        pretrusted = result.meta["pretrusted_ids"]
+
+        # Fig. 7(a): EigenTrust gives malicious peers low reputations.
+        mal_et, normal_et, pre_et = group_means(
+            result, "EigenTrust", colluders, pretrusted
+        )
+        assert mal_et < normal_et
+        assert pre_et > normal_et
+
+        # Fig. 7(b): eBay also ranks them below normal peers.
+        mal_ebay, normal_ebay, _ = group_means(result, "eBay", colluders, pretrusted)
+        assert mal_ebay < normal_ebay
+
+        # Fig. 7(c): EigenTrust routes fewer requests to malicious peers
+        # than eBay does.
+        pct = result.meta["percent_services_by_malicious"]
+        assert pct["EigenTrust"] < pct["eBay"]

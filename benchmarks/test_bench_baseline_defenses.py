@@ -1,0 +1,107 @@
+"""Benchmark supporting the paper's motivating claim (Section 1):
+
+"Although the mechanisms can reduce the influence of collusion on
+reputations to a certain extent, they are not sufficiently effective in
+countering collusion."
+
+The main prior mechanism the paper cites is TrustGuard's
+similarity-weighted feedback.  This bench runs the PCM B=0.6 attack across
+the defence spectrum — undefended EigenTrust, the TrustGuard-like
+credibility weighting, and EigenTrust+SocialTrust — and checks the claimed
+ordering: the similarity-weighted defence helps, SocialTrust helps more.
+"""
+
+from bench_util import run_once
+from repro.collusion import PairwiseCollusion
+from repro.core import SocialTrust
+from repro.p2p import InterestOverlay, Population, Simulation, SimulationConfig
+from repro.p2p.selection import SelectionPolicy
+from repro.reputation import EigenTrust, SimilarityWeightedModel
+from repro.social import InteractionLedger, InterestProfiles
+from repro.social.generators import paper_social_network
+from repro.utils.rng import spawn_rng
+
+N = 200
+PRETRUSTED = tuple(range(9))
+COLLUDERS = tuple(range(9, 39))
+
+
+def run_system(system_factory, cycles, seed=0):
+    rng = spawn_rng(seed, 0)
+    pop = Population.build(
+        N,
+        rng,
+        pretrusted_ids=PRETRUSTED,
+        malicious_ids=COLLUDERS,
+        n_interests=20,
+        interests_per_node=(1, 10),
+        malicious_authentic_prob=0.6,
+    )
+    overlay = InterestOverlay([s.interests for s in pop], 20)
+    network = paper_social_network(N, COLLUDERS, rng)
+    interactions = InteractionLedger(N)
+    profiles = InterestProfiles(N, 20)
+    for spec in pop:
+        profiles.set_declared(spec.node_id, spec.interests)
+    system = system_factory(network, interactions, profiles)
+    attack = PairwiseCollusion(
+        COLLUDERS, [s.interests for s in pop], ratings_per_cycle=20
+    )
+    sim = Simulation(
+        pop,
+        overlay,
+        system,
+        rng,
+        config=SimulationConfig(
+            simulation_cycles=cycles,
+            selection_policy=SelectionPolicy.THRESHOLD_RANDOM,
+            selection_exploration=0.2,
+        ),
+        collusion=attack,
+        interactions=interactions,
+        profiles=profiles,
+    )
+    sim.run()
+    reps = sim.metrics.final_reputations()
+    return float(reps[list(COLLUDERS)].sum()), sim.metrics.fraction_served_by(
+        COLLUDERS
+    )
+
+
+class TestDefenseSpectrum:
+    def test_socialtrust_beats_similarity_weighting(self, benchmark, profile):
+        cycles = profile["simulation_cycles"]
+
+        def sweep():
+            return {
+                "EigenTrust (undefended)": run_system(
+                    lambda *_: EigenTrust(N, PRETRUSTED, pretrust_weight=0.05),
+                    cycles,
+                ),
+                "TrustGuard-like": run_system(
+                    lambda *_: SimilarityWeightedModel(N),
+                    cycles,
+                ),
+                "EigenTrust+SocialTrust": run_system(
+                    lambda net, inter, prof: SocialTrust(
+                        EigenTrust(N, PRETRUSTED, pretrust_weight=0.05),
+                        net,
+                        inter,
+                        prof,
+                    ),
+                    cycles,
+                ),
+            }
+
+        results = run_once(benchmark, sweep)
+        print()
+        for name, (mass, share) in results.items():
+            print(f"[defenses] {name:28s} colluder mass={mass:.4f} "
+                  f"requests={share:.1%}")
+        undefended, _ = results["EigenTrust (undefended)"]
+        trustguard, _ = results["TrustGuard-like"]
+        socialtrust, _ = results["EigenTrust+SocialTrust"]
+        # The paper's ordering: prior similarity-based defences reduce the
+        # collusion gain "to a certain extent"; SocialTrust goes further.
+        assert trustguard < undefended
+        assert socialtrust < trustguard

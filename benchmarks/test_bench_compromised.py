@@ -1,0 +1,51 @@
+"""Benchmarks regenerating Figs. 10 and 15: compromised pre-trusted nodes."""
+
+from bench_util import group_means, print_result, run_once
+from repro.experiments import figures
+
+
+class TestFig10:
+    """PCM B=0.2 with 7 compromised pre-trusted nodes."""
+
+    def test_fig10_compromised_pretrusted(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig10, **profile)
+        print_result(result)
+        colluders = result.meta["colluder_ids"]
+        pretrusted = result.meta["pretrusted_ids"]
+
+        # Fig. 10(a): the compromised pre-trusted endorsements lift the
+        # colluders EigenTrust had suppressed at B=0.2 (compare Fig. 9(a));
+        # they now draw a large request share.
+        frac = result.meta["request_fraction_to_colluders"]
+        assert frac["EigenTrust"] > 0.1
+
+        # Fig. 10(b): SocialTrust still suppresses both the colluders and
+        # their pre-trusted accomplices.
+        col_st, normal_st, _ = group_means(
+            result, "EigenTrust+SocialTrust", colluders, pretrusted
+        )
+        assert col_st < normal_st
+        assert frac["EigenTrust+SocialTrust"] < 0.3 * frac["EigenTrust"]
+
+
+class TestFig15:
+    """MCM and MMM B=0.2 with compromised pre-trusted nodes."""
+
+    def test_fig15_mcm_mmm_compromised(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig15, **profile)
+        print_result(result)
+        colluders = result.meta["colluder_ids"]
+        pretrusted = result.meta["pretrusted_ids"]
+        frac = result.meta["request_fraction_to_colluders"]
+
+        for model in ("MCM", "MMM"):
+            # SocialTrust keeps the colluder group below normal nodes and
+            # cuts their request share versus plain EigenTrust.
+            col_st, normal_st, _ = group_means(
+                result, f"{model}/EigenTrust+SocialTrust", colluders, pretrusted
+            )
+            assert col_st < normal_st, model
+            assert (
+                frac[f"{model}/EigenTrust+SocialTrust"]
+                <= frac[f"{model}/EigenTrust"]
+            ), model

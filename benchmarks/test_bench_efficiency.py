@@ -1,0 +1,35 @@
+"""Benchmark regenerating Fig. 19: convergence speed of collusion deterrence.
+
+The paper measures the simulation cycles until every colluder's reputation
+stays below 1e-3 under MMM.  Its finding: EigenTrust-family systems
+converge in ~6-8 cycles while eBay needs ~25 at B=0.2 (and never converges
+at B=0.6, which is why the paper omits it there).
+"""
+
+from bench_util import print_result, run_once
+from repro.experiments import figures
+
+
+class TestFig19:
+    def test_fig19_convergence_cycles(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig19, **profile)
+        print_result(result)
+        never = result.meta["never_converged_value"]
+
+        st_02 = result.series["B=0.2/EigenTrust+SocialTrust"].mean[0]
+        et_02 = result.series["B=0.2/EigenTrust"].mean[0]
+
+        # SocialTrust converges quickly at B=0.2 and no later than plain
+        # EigenTrust (the paper puts both at 6-8 cycles; our EigenTrust is
+        # somewhat slower because exploration keeps feeding the boosted
+        # nodes a trickle of traffic).
+        assert st_02 < never
+        assert st_02 <= et_02
+
+        # At B=0.6 plain EigenTrust cannot suppress MMM colluders at all,
+        # while SocialTrust still converges — the paper's reason for
+        # omitting the non-SocialTrust systems in Fig. 19(b).
+        st_06 = result.series["B=0.6/EigenTrust+SocialTrust"].mean[0]
+        et_06 = result.series["B=0.6/EigenTrust"].mean[0]
+        assert st_06 < never
+        assert et_06 == never

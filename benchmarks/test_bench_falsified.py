@@ -1,0 +1,34 @@
+"""Benchmarks regenerating Figs. 16-18: falsified static social information.
+
+Colluders declare a single relationship and identical interest profiles to
+dodge the B1-B4 patterns; the hardened coefficients (Eqs. (10)/(11)) keep
+reading their *behaviour*, so SocialTrust still holds them below normal
+nodes (slightly higher than with truthful profiles, as the paper reports).
+"""
+
+import pytest
+
+from bench_util import group_means, print_result, run_once
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize(
+    "fig, func",
+    [
+        ("fig16", figures.fig16),
+        ("fig17", figures.fig17),
+        ("fig18", figures.fig18),
+    ],
+)
+class TestFalsifiedInfo:
+    def test_socialtrust_resists_falsification(self, benchmark, profile, fig, func):
+        result = run_once(benchmark, func, **profile)
+        print_result(result)
+        colluders = result.meta["colluder_ids"]
+        pretrusted = result.meta["pretrusted_ids"]
+        col_st, normal_st, _ = group_means(
+            result, "EigenTrust+SocialTrust", colluders, pretrusted
+        )
+        assert col_st < normal_st, fig
+        frac = result.meta["request_fraction_to_colluders"]
+        assert frac["EigenTrust+SocialTrust"] < 0.1, fig

@@ -1,0 +1,49 @@
+"""Benchmarks regenerating Figs. 13-14: mutual multi-node collusion (MMM)."""
+
+from bench_util import group_means, print_result, run_once
+from repro.experiments import figures
+
+
+class TestFig13:
+    """MMM, B=0.6: the strongest attack on the base systems."""
+
+    def test_fig13_mmm_high_b(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig13, **profile)
+        print_result(result)
+        colluders = result.meta["colluder_ids"]
+        pretrusted = result.meta["pretrusted_ids"]
+
+        # Fig. 13(a): mutual rating loops inflate colluders dramatically.
+        col, normal, _ = group_means(result, "EigenTrust", colluders, pretrusted)
+        assert col > 5 * normal
+
+        # Fig. 13(c): SocialTrust collapses them.
+        col_st, normal_st, _ = group_means(
+            result, "EigenTrust+SocialTrust", colluders, pretrusted
+        )
+        assert col_st < normal_st
+
+        frac = result.meta["request_fraction_to_colluders"]
+        assert frac["EigenTrust+SocialTrust"] < 0.2 * frac["EigenTrust"]
+
+
+class TestFig14:
+    """MMM, B=0.2: even low-QoS colluders gain under plain EigenTrust."""
+
+    def test_fig14_mmm_low_b(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig14, **profile)
+        print_result(result)
+        colluders = list(result.meta["colluder_ids"])
+        pretrusted = result.meta["pretrusted_ids"]
+
+        # Fig. 14(a) vs Fig. 12(a): the mutual loop lets boosted nodes
+        # climb despite B=0.2 — colluder peak above the normal mean.
+        reps = result.series["EigenTrust"].mean
+        _, normal, _ = group_means(result, "EigenTrust", colluders, pretrusted)
+        assert reps[colluders].max() > normal
+
+        # Figs. 14(c)/(d): SocialTrust eliminates the gain entirely.
+        col_st, normal_st, _ = group_means(
+            result, "EigenTrust+SocialTrust", colluders, pretrusted
+        )
+        assert col_st < 0.5 * normal_st

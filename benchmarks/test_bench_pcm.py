@@ -1,0 +1,57 @@
+"""Benchmarks regenerating Figs. 8-9: pair-wise collusion (PCM)."""
+
+from bench_util import group_means, print_result, run_once
+from repro.experiments import figures
+
+
+class TestFig8:
+    """PCM, B=0.6: the regime where the base systems fail."""
+
+    def test_fig8_pcm_high_b(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig8, **profile)
+        print_result(result)
+        colluders = result.meta["colluder_ids"]
+        pretrusted = result.meta["pretrusted_ids"]
+
+        # Fig. 8(a): colluders dominate plain EigenTrust.
+        col, normal, _ = group_means(result, "EigenTrust", colluders, pretrusted)
+        assert col > 3 * normal
+
+        # Figs. 8(c)/(d): SocialTrust collapses colluder reputations.
+        col_st, normal_st, _ = group_means(
+            result, "EigenTrust+SocialTrust", colluders, pretrusted
+        )
+        assert col_st < normal_st
+        col_eb, normal_eb, _ = group_means(
+            result, "eBay+SocialTrust", colluders, pretrusted
+        )
+        assert col_eb < normal_eb
+
+        # Request routing collapses alongside (Table-1 PCM column).
+        frac = result.meta["request_fraction_to_colluders"]
+        assert frac["EigenTrust+SocialTrust"] < 0.2 * frac["EigenTrust"]
+
+
+class TestFig9:
+    """PCM, B=0.2: EigenTrust already resists; SocialTrust drives to ~0."""
+
+    def test_fig9_pcm_low_b(self, benchmark, profile):
+        result = run_once(benchmark, figures.fig9, **profile)
+        print_result(result)
+        colluders = result.meta["colluder_ids"]
+        pretrusted = result.meta["pretrusted_ids"]
+
+        # Fig. 9(a): low-QoS colluders cannot rise under EigenTrust.
+        col, normal, pre = group_means(result, "EigenTrust", colluders, pretrusted)
+        assert col < normal
+        assert pre > normal
+
+        # Fig. 9(b): eBay also keeps them down at B=0.2.
+        col_eb, normal_eb, _ = group_means(result, "eBay", colluders, pretrusted)
+        assert col_eb < normal_eb
+
+        # Figs. 9(c)/(d): with SocialTrust they are nearly zero.
+        col_st, normal_st, _ = group_means(
+            result, "EigenTrust+SocialTrust", colluders, pretrusted
+        )
+        assert col_st < 0.5 * normal_st

@@ -1,0 +1,54 @@
+"""Benchmark regenerating Table 1: percentage of requests sent to colluders.
+
+Prints the full measured grid next to the paper's reported percentages and
+asserts the table's two structural claims: SocialTrust rows sit in the
+low single digits everywhere, and each SocialTrust row undercuts its base
+system row.
+"""
+
+from bench_util import run_once
+from repro.experiments.table1 import table1
+
+
+def _print_table(result):
+    paper = result.meta["paper"]
+    print()
+    print(f"{'cell':44s} {'measured':>9s} {'paper':>7s}")
+    for key, stats in result.series.items():
+        measured = stats.mean[0]
+        ref = paper.get(key)
+        ref_text = f"{ref:6.0%}" if ref is not None else "   -"
+        print(f"{key:44s} {measured:8.1%} {ref_text:>7s}")
+
+
+class TestTable1:
+    def test_table1_request_routing(self, benchmark, profile):
+        result = run_once(
+            benchmark,
+            table1,
+            n_runs=profile["n_runs"],
+            simulation_cycles=profile["simulation_cycles"],
+        )
+        _print_table(result)
+
+        def frac(model, b, row):
+            return result.series[f"{model}/B={b}/{row}"].mean[0]
+
+        for model in ("pcm", "mcm", "mmm"):
+            for b in (0.2, 0.6):
+                # SocialTrust holds colluder request share to a few percent
+                # (paper: 2-4%) in every model/B cell...
+                for row in (
+                    "EigenTrust+SocialTrust",
+                    "EigenTrust+SocialTrust (Pre)",
+                ):
+                    assert frac(model, b, row) < 0.10, (model, b, row)
+                # ... and never exceeds its base system.
+                assert frac(model, b, "EigenTrust+SocialTrust") <= frac(
+                    model, b, "EigenTrust"
+                ) + 0.02, (model, b)
+
+        # The headline contrast: at B=0.6 the base systems leak a large
+        # request share to colluders under PCM/MMM; SocialTrust does not.
+        assert frac("pcm", 0.6, "EigenTrust") > 0.15
+        assert frac("mmm", 0.6, "EigenTrust") > 0.15

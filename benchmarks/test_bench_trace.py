@@ -1,0 +1,62 @@
+"""Benchmarks regenerating the trace-study figures (Figs. 1-4).
+
+Each test prints the reproduced statistic next to the paper's value and
+asserts the qualitative shape.
+"""
+
+import numpy as np
+
+from bench_util import print_result, run_once
+from repro.experiments import figures
+
+
+class TestFig1:
+    def test_fig1_reputation_vs_business_network(self, benchmark):
+        result = run_once(benchmark, figures.fig1, seed=0)
+        print_result(result)
+        c = result.series["business_size_correlation"].mean[0]
+        # Paper: C = 0.996 — a strong linear relationship.
+        assert c > 0.85
+
+    def test_fig1_transactions_track_reputation(self, benchmark):
+        result = run_once(benchmark, figures.fig1, seed=1)
+        print_result(result)
+        assert result.series["transactions_correlation"].mean[0] > 0.5
+
+
+class TestFig2:
+    def test_fig2_personal_network_weakly_related(self, benchmark):
+        result = run_once(benchmark, figures.fig2, seed=0)
+        print_result(result)
+        # Paper: C = 0.092 — a weak relationship, far below Fig. 1's.
+        assert result.series["personal_size_correlation"].mean[0] < 0.3
+
+
+class TestFig3:
+    def test_fig3_rating_value_and_frequency_decay(self, benchmark):
+        result = run_once(benchmark, figures.fig3, seed=0)
+        print_result(result)
+        means = result.series["mean_rating_by_hop"].mean
+        freqs = result.series["mean_ratings_per_pair_by_hop"].mean
+        # Paper Fig. 3: both decay monotonically over hops 1-4.
+        assert np.all(np.diff(means) < 0)
+        assert freqs[0] > freqs[-1]
+
+
+class TestFig4:
+    def test_fig4_top3_categories_near_88_percent(self, benchmark):
+        result = run_once(benchmark, figures.fig4, seed=0)
+        print_result(result)
+        cdf = result.series["category_rank_cdf"].mean
+        assert 0.8 <= cdf[2] <= 0.95
+
+    def test_fig4_similar_peers_trade(self, benchmark):
+        result = run_once(benchmark, figures.fig4, seed=1)
+        print_result(result)
+        edges = np.asarray(result.meta["similarity_bins"])
+        cdf = result.series["interest_similarity_cdf"].mean
+        below_02 = cdf[np.searchsorted(edges, 0.2)]
+        above_03 = 1.0 - cdf[np.searchsorted(edges, 0.3)]
+        # Paper: ~10% of transactions at <=0.2 similarity, ~60% above 0.3.
+        assert below_02 <= 0.3
+        assert above_03 >= 0.45

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Trace-study walkthrough: crawl a marketplace and mine collusion signals.
+
+Reproduces the paper's Section-3 methodology end to end on the synthetic
+Overstock substrate:
+
+1. run the calibrated marketplace for two years;
+2. BFS-crawl it from a seed user (the authors' data-collection method);
+3. compute every observation the paper reports (O1-O6) on the crawled
+   subset: the reputation/business-network correlation, the weak
+   personal-network correlation, per-hop rating statistics, category-rank
+   CDF and interest-similarity CDF;
+4. print the suspicious-behaviour patterns (B1-B4) those observations
+   justify.
+
+Run:  python examples/marketplace_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace import (
+    MarketplaceConfig,
+    bfs_crawl,
+    business_network_vs_reputation,
+    category_rank_distribution,
+    generate_trace,
+    interest_similarity_cdf,
+    personal_network_vs_reputation,
+    rating_stats_by_distance,
+    transactions_vs_reputation,
+)
+
+
+def main() -> None:
+    print("Simulating the marketplace (2500 users, 24 months)...")
+    trace = generate_trace(MarketplaceConfig(), seed=7)
+    print(f"  {trace.n_users} users, {trace.n_transactions} transactions")
+
+    print("\nBFS-crawling from seed user 0 (cap: 2000 users)...")
+    crawled = bfs_crawl(trace, seed_user=0, max_users=2000)
+    print(f"  crawled {crawled.n_users} users, {crawled.n_transactions} transactions")
+
+    print("\n--- Observation O1: reputation attracts business (Fig. 1) ---")
+    biz = business_network_vs_reputation(crawled)
+    tx = transactions_vs_reputation(crawled)
+    print(f"  business-network size vs reputation: C = {biz.correlation:.3f} "
+          "(paper: 0.996)")
+    print(f"  transaction count vs reputation:     C = {tx.correlation:.3f}")
+
+    print("\n--- Observation O2: friends are not reputation (Fig. 2) ---")
+    personal = personal_network_vs_reputation(crawled)
+    print(f"  personal-network size vs reputation: C = {personal.correlation:.3f} "
+          "(paper: 0.092)")
+    print("  => a low-reputed user may still have many friends to collude with (I2)")
+
+    print("\n--- Observations O3/O4: social distance shapes ratings (Fig. 3) ---")
+    stats = rating_stats_by_distance(crawled)
+    for hop, mean, freq in zip(
+        stats.hops, stats.mean_rating, stats.mean_ratings_per_pair
+    ):
+        label = f"{hop}" if hop < stats.hops[-1] else f">={hop}"
+        print(f"  hop {label}: mean rating {mean:+.2f}, ratings/pair {freq:.2f}")
+    print("  => B1: high-frequency high ratings at LONG distance are suspicious")
+    print("  => B2: frequent high ratings to a low-reputed CLOSE user are suspicious")
+
+    print("\n--- Observations O5/O6: interests shape purchases (Fig. 4) ---")
+    rank_cdf = category_rank_distribution(crawled)
+    print(f"  top-3 category ranks cover {rank_cdf[2]:.0%} of purchases (paper: 88%)")
+    edges, sim_cdf = interest_similarity_cdf(crawled)
+    below = sim_cdf[np.searchsorted(edges, 0.2)]
+    above = 1.0 - sim_cdf[np.searchsorted(edges, 0.3)]
+    print(f"  transactions at <=0.2 similarity: {below:.0%} (paper: ~10%)")
+    print(f"  transactions at > 0.3 similarity: {above:.0%} (paper: ~60%)")
+    print("  => B3: frequent high ratings between LOW-similarity users are suspicious")
+    print("  => B4: frequent LOW ratings between HIGH-similarity users look like")
+    print("         a competitor suppressing a rival")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate any table/figure of the paper from the command line.
+
+Usage:
+    python examples/reproduce_paper.py --list
+    python examples/reproduce_paper.py fig8
+    python examples/reproduce_paper.py fig8 fig13 table1 --runs 2 --cycles 25
+    python examples/reproduce_paper.py all --runs 5 --cycles 50   # paper profile
+
+Simulation experiments accept --runs/--cycles; the trace figures
+(fig1-fig4) ignore them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import get_experiment, list_experiments
+
+TRACE_FIGURES = {"fig1", "fig2", "fig3", "fig4"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids, or 'all'")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--runs", type=int, default=2, help="runs per cell")
+    parser.add_argument("--cycles", type=int, default=25, help="simulation cycles")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("known experiments:")
+        for name in list_experiments():
+            print(f"  {name}")
+        return 0
+
+    wanted = (
+        list_experiments() if args.experiments == ["all"] else args.experiments
+    )
+    for experiment_id in wanted:
+        func = get_experiment(experiment_id)
+        start = time.time()
+        if experiment_id in TRACE_FIGURES:
+            result = func(seed=args.seed)
+        else:
+            result = func(
+                n_runs=args.runs,
+                simulation_cycles=args.cycles,
+                seed=args.seed,
+            )
+        elapsed = time.time() - start
+        print(result.describe())
+        print(f"  [{elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

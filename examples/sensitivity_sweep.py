@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Threshold-sensitivity study: how robust is SocialTrust to its knobs?
+
+The paper fixes its detection thresholds "from empirical experience"; this
+example sweeps the ones that matter under the PCM B=0.6 attack and prints
+how colluder containment and false-positive pressure respond.
+
+Run:  python examples/sensitivity_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.render import bar_chart
+from repro.experiments.sensitivity import sweep_socialtrust_parameter
+
+SWEEPS = {
+    "theta": (1.5, 2.0, 3.0, 5.0),
+    "recidivism_decay": (0.25, 0.5, 0.75, 0.999),
+    "selection_exploration": (0.0, 0.1, 0.2, 0.4),
+}
+
+
+def main() -> None:
+    for parameter, values in SWEEPS.items():
+        print(f"\n=== sweep: {parameter} (PCM, B=0.6, 12 cycles) ===")
+        points = sweep_socialtrust_parameter(
+            parameter, values, simulation_cycles=12
+        )
+        print(
+            bar_chart(
+                {f"{parameter}={p.value:g}": p.colluder_mass for p in points},
+                fmt="{:.4f}",
+            )
+        )
+        for p in points:
+            print(
+                f"  {parameter}={p.value:g}: colluder mass {p.colluder_mass:.4f}, "
+                f"requests {p.request_share:.1%}, "
+                f"false-positive share {p.false_positive_share:.1%}"
+            )
+    print(
+        "\nReading: colluder mass is the reputation share the 30 colluders "
+        "hold (total network mass = 1; the undefended system gives them "
+        "~0.7).  The defence is flat across a wide theta/decay range — the "
+        "paper's 'empirical experience' settings are not load-bearing — "
+        "while zero exploration starves the market and any exploration "
+        "level keeps the attack contained.  The false-positive share "
+        "counts honest raters among *flagged* pairs: an honest pair that "
+        "trips the frequency bar has its rating mass trimmed back toward "
+        "a normal-frequency pair's worth, but its coefficients sit inside "
+        "the rater's own band so the Gaussian barely moves — a mild "
+        "haircut on one pair, invisible in the normal-node means above. "
+        "That is the paper's Section-4 argument that a marginal amount of "
+        "false positives is an acceptable price."
+    )
+
+
+if __name__ == "__main__":
+    main()

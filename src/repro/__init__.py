@@ -1,0 +1,17 @@
+"""SocialTrust: social networks against collusion in P2P reputation systems.
+
+A complete reproduction of Li, Shen & Sapra, "Leveraging Social Networks to
+Combat Collusion in Reputation Systems for Peer-to-Peer Networks"
+(IPPS 2011 / IEEE TC 2012), including every substrate the paper's
+evaluation needs: the P2P simulator, EigenTrust/eBay (plus PowerTrust,
+GossipTrust and a TrustGuard-like baseline), the PCM/MCM/MMM collusion
+models, and a calibrated synthetic Overstock marketplace.
+
+Start at :mod:`repro.core` for the SocialTrust mechanism itself,
+:mod:`repro.experiments` for the table/figure reproductions, and the
+repository README for a guided tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""Statistics helpers shared by the trace analysis and experiment harness."""
+
+from repro.analysis.render import bar_chart, distribution_panel, sparkline
+from repro.analysis.stats import (
+    ecdf,
+    hill_tail_exponent,
+    paper_correlation,
+    pearson_correlation,
+    percentile_summary,
+)
+
+__all__ = [
+    "bar_chart",
+    "distribution_panel",
+    "sparkline",
+    "ecdf",
+    "hill_tail_exponent",
+    "paper_correlation",
+    "pearson_correlation",
+    "percentile_summary",
+]

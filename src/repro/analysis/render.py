@@ -1,0 +1,92 @@
+"""Terminal rendering of experiment data.
+
+The paper's figures are per-node reputation scatter plots and bar charts;
+the benchmark harness regenerates the underlying series and these helpers
+render them as compact ASCII so the harness output *looks like* the figure
+it reproduces — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "distribution_panel"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: int | None = None) -> str:
+    """One-line sparkline of ``values`` (down-sampled to ``width`` buckets).
+
+    All-equal input renders as a flat low line; empty input is an error.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot render an empty sparkline")
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if data.size > width:
+            buckets = np.array_split(data, width)
+            data = np.array([b.mean() for b in buckets])
+    lo = data.min()
+    hi = data.max()
+    if hi == lo:
+        return _SPARK_LEVELS[0] * data.size
+    scaled = (data - lo) / (hi - lo)
+    indices = np.minimum(
+        (scaled * len(_SPARK_LEVELS)).astype(int), len(_SPARK_LEVELS) - 1
+    )
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def bar_chart(
+    entries: Mapping[str, float],
+    *,
+    width: int = 40,
+    fmt: str = "{:.4f}",
+) -> str:
+    """Horizontal ASCII bar chart, one row per entry, scaled to the max."""
+    if not entries:
+        raise ValueError("cannot render an empty bar chart")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    peak = max(abs(v) for v in entries.values())
+    label_width = max(len(k) for k in entries)
+    lines = []
+    for key, value in entries.items():
+        filled = 0 if peak == 0 else round(abs(value) / peak * width)
+        bar = "#" * filled
+        lines.append(f"{key:<{label_width}} | {bar:<{width}} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def distribution_panel(
+    reputations: np.ndarray,
+    groups: Mapping[str, Sequence[int]],
+    *,
+    width: int = 60,
+) -> str:
+    """Render a per-node reputation distribution as grouped sparklines.
+
+    Mirrors the paper's Fig. 8-18 panels: one sparkline per node group
+    (pre-trusted / colluders / normal), each annotated with its mean —
+    enough to read "who wins" straight off the harness output.
+    """
+    reps = np.asarray(reputations, dtype=np.float64)
+    if not groups:
+        raise ValueError("need at least one group")
+    lines = []
+    label_width = max(len(k) for k in groups)
+    for label, ids in groups.items():
+        ids = list(ids)
+        if not ids:
+            continue
+        values = reps[ids]
+        lines.append(
+            f"{label:<{label_width}} {sparkline(values, width=width)} "
+            f"mean={values.mean():.5f} max={values.max():.5f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Statistics helpers.
+
+Includes the paper's own correlation statistic: Section 3.1 defines
+
+    C = s_xy^2 / (s_xx * s_yy)
+
+with ``s_xy = sum (x_i - x̄)(y_i - ȳ)`` etc., i.e. the *square* of the
+Pearson coefficient (the coefficient of determination).  The paper reports
+C = 0.996 for reputation vs business-network size and C = 0.092 for
+reputation vs personal-network size; we expose both this statistic and the
+plain Pearson ``r`` so tests can check either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "hill_tail_exponent",
+    "paper_correlation",
+    "pearson_correlation",
+    "ecdf",
+    "percentile_summary",
+    "PercentileSummary",
+]
+
+
+def _validate_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1:
+        raise ValueError("inputs must be one-dimensional")
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    return x, y
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Plain Pearson ``r``; 0 when either variable is constant."""
+    x, y = _validate_xy(x, y)
+    dx = x - x.mean()
+    dy = y - y.mean()
+    # Normalise scales first so the cross products cannot underflow to zero
+    # (sxx * syy of subnormal deviations would otherwise divide by 0).
+    dx_scale = np.abs(dx).max()
+    dy_scale = np.abs(dy).max()
+    if dx_scale == 0.0 or dy_scale == 0.0:
+        return 0.0
+    dx = dx / dx_scale
+    dy = dy / dy_scale
+    sxx = float(dx @ dx)
+    syy = float(dy @ dy)
+    if sxx == 0.0 or syy == 0.0:
+        return 0.0
+    r = float((dx @ dy) / np.sqrt(sxx * syy))
+    return float(np.clip(r, -1.0, 1.0))
+
+
+def paper_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """The paper's ``C = s_xy^2 / (s_xx s_yy)`` — squared Pearson, in [0, 1]."""
+    r = pearson_correlation(x, y)
+    return r * r
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative probabilities]."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0:
+        raise ValueError("cannot build an ECDF from zero observations")
+    p = np.arange(1, v.size + 1, dtype=np.float64) / v.size
+    return v, p
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """1st / 50th / 99th percentile triple, as Fig. 19 reports."""
+
+    p01: float
+    median: float
+    p99: float
+
+
+def hill_tail_exponent(values: np.ndarray, *, tail_fraction: float = 0.1) -> float:
+    """Hill estimator of a distribution's power-law tail exponent.
+
+    Fits ``P(X > x) ~ x^-alpha`` to the top ``tail_fraction`` of the
+    positive observations.  The paper's Fig. 1/4 log-log plots rest on
+    heavy-tailed purchase and reputation distributions; this quantifies
+    the tail so the synthetic marketplace can be checked against it
+    (heavy tail <=> small alpha, typically 1-3 for social/commerce data).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    v = np.sort(v[v > 0])
+    if v.size < 10:
+        raise ValueError("need at least 10 positive observations")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+    k = max(2, int(np.ceil(v.size * tail_fraction)))
+    tail = v[-k:]
+    threshold = tail[0]
+    logs = np.log(tail / threshold)
+    mean_log = logs.mean()
+    if mean_log <= 0:
+        return float("inf")
+    return float(1.0 / mean_log)
+
+
+def percentile_summary(values: np.ndarray) -> PercentileSummary:
+    """1st/50th/99th percentiles of ``values`` (the Fig. 19 summary)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("cannot summarise zero observations")
+    lo, mid, hi = np.percentile(v, [1.0, 50.0, 99.0])
+    return PercentileSummary(p01=float(lo), median=float(mid), p99=float(hi))

@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` (or the ``repro`` console script):
+
+* ``list``        — show the experiment registry;
+* ``run <ids>``   — regenerate tables/figures, printing the series;
+* ``trace``       — generate a synthetic Overstock trace to a JSON file;
+* ``analyze``     — run the Section-3 analyses over a saved trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments that run on the trace substrate and take no run/cycle knobs.
+TRACE_EXPERIMENTS = frozenset({"fig1", "fig2", "fig3", "fig4"})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SocialTrust reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment registry")
+
+    run = sub.add_parser("run", help="regenerate tables/figures")
+    run.add_argument("experiments", nargs="+", help="experiment ids, or 'all'")
+    run.add_argument("--runs", type=int, default=2)
+    run.add_argument("--cycles", type=int, default=25)
+    run.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace file")
+    trace.add_argument("output", type=Path, help="output JSON path")
+    trace.add_argument("--users", type=int, default=2500)
+    trace.add_argument("--months", type=int, default=24)
+    trace.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser("analyze", help="run Section-3 analyses on a trace file")
+    analyze.add_argument("input", type=Path, help="trace JSON path")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import list_experiments
+
+    for name in list_experiments():
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import get_experiment, list_experiments
+
+    wanted = (
+        list_experiments() if args.experiments == ["all"] else args.experiments
+    )
+    for experiment_id in wanted:
+        func = get_experiment(experiment_id)
+        start = time.time()
+        if experiment_id in TRACE_EXPERIMENTS:
+            result = func(seed=args.seed)
+        else:
+            result = func(
+                n_runs=args.runs, simulation_cycles=args.cycles, seed=args.seed
+            )
+        print(result.describe())
+        print(f"  [{time.time() - start:.1f}s]\n")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import MarketplaceConfig, generate_trace
+    from repro.trace.io import save_trace
+
+    config = MarketplaceConfig(n_users=args.users, n_months=args.months)
+    trace = generate_trace(config, seed=args.seed)
+    save_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {trace.n_users} users, "
+        f"{trace.n_transactions} transactions"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        business_network_vs_reputation,
+        category_rank_distribution,
+        interest_similarity_cdf,
+        personal_network_vs_reputation,
+        rating_stats_by_distance,
+        transactions_vs_reputation,
+    )
+    from repro.trace.io import load_trace
+
+    trace = load_trace(args.input)
+    print(f"{trace.n_users} users, {trace.n_transactions} transactions")
+    print(
+        "C(reputation, business size)  ="
+        f" {business_network_vs_reputation(trace).correlation:.3f}"
+    )
+    print(
+        "C(reputation, transactions)   ="
+        f" {transactions_vs_reputation(trace).correlation:.3f}"
+    )
+    print(
+        "C(reputation, personal size)  ="
+        f" {personal_network_vs_reputation(trace).correlation:.3f}"
+    )
+    stats = rating_stats_by_distance(trace)
+    print("mean rating by hop:  ", np.round(stats.mean_rating, 2).tolist())
+    print("ratings/pair by hop: ", np.round(stats.mean_ratings_per_pair, 2).tolist())
+    cdf = category_rank_distribution(trace)
+    print(f"top-3 category share: {cdf[2]:.2f}")
+    edges, sim = interest_similarity_cdf(trace)
+    print("similarity CDF:", {round(float(e), 1): round(float(s), 2) for e, s in zip(edges, sim)})
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Collusion attack models.
+
+Implements the three collusion structures the paper evaluates
+(Section 5.1's collusion model) plus the two hardening attacks:
+
+* :class:`~repro.collusion.models.PairwiseCollusion` (PCM) — colluder
+  pairs mutually exchange high-frequency positive ratings;
+* :class:`~repro.collusion.models.MultiNodeCollusion` (MCM) — boosting
+  nodes one-directionally pump a small set of boosted nodes;
+* :class:`~repro.collusion.models.MutualMultiNodeCollusion` (MMM) — MCM
+  plus back-ratings from boosted to boosting nodes;
+* :mod:`repro.collusion.compromise` — compromised pre-trusted peers join
+  the collusion;
+* :mod:`repro.collusion.falsify` — colluders falsify their static social
+  information (relationship lists, declared interest profiles).
+"""
+
+from repro.collusion.compromise import CompromisedPretrustedCollusion
+from repro.collusion.falsify import (
+    falsify_identical_interests,
+    falsify_single_relationship,
+)
+from repro.collusion.models import (
+    BadmouthingCollusion,
+    CollusionSchedule,
+    CompositeCollusion,
+    MultiNodeCollusion,
+    MutualMultiNodeCollusion,
+    NoCollusion,
+    PairwiseCollusion,
+    RatingBurst,
+)
+
+__all__ = [
+    "BadmouthingCollusion",
+    "CollusionSchedule",
+    "CompositeCollusion",
+    "CompromisedPretrustedCollusion",
+    "MultiNodeCollusion",
+    "MutualMultiNodeCollusion",
+    "NoCollusion",
+    "PairwiseCollusion",
+    "RatingBurst",
+    "falsify_identical_interests",
+    "falsify_single_relationship",
+]

@@ -1,0 +1,71 @@
+"""Falsified static social information (Sections 4.4 and 5.8).
+
+Colluders counterattack SocialTrust by manipulating what they *declare*:
+
+* :func:`falsify_single_relationship` — each colluding pair trims its
+  relationship list down to a single plain friendship, aiming for a
+  moderate closeness value;
+* :func:`falsify_identical_interests` — each colluding group declares an
+  identical interest set (size drawn from [1, 10] in the paper's
+  experiment), aiming for a plausible similarity value.
+
+Neither touches *behavioural* signals (interaction frequencies, genuine
+request streams), which is exactly why the hardened Eqs. (10)/(11) keep
+working in Fig. 16-18.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.social.graph import AssignedSocialNetwork, Relationship
+from repro.social.interests import InterestProfiles
+from repro.utils.rng import RngStream
+
+__all__ = ["falsify_single_relationship", "falsify_identical_interests"]
+
+
+def falsify_single_relationship(
+    network: AssignedSocialNetwork,
+    colluder_pairs: Sequence[tuple[int, int]],
+    *,
+    weight: float = 1.0,
+) -> None:
+    """Reduce each adjacent colluding pair to one declared relationship."""
+    for i, j in colluder_pairs:
+        if network.distance(i, j) != 1:
+            raise ValueError(
+                f"colluding pair ({i}, {j}) is not adjacent; falsification "
+                "targets declared relationships of adjacent pairs"
+            )
+        network.set_relationships(i, j, [Relationship(weight=weight)])
+
+
+def falsify_identical_interests(
+    profiles: InterestProfiles,
+    colluder_groups: Sequence[Sequence[int]],
+    rng: RngStream,
+    *,
+    set_size_range: tuple[int, int] = (1, 10),
+) -> None:
+    """Give every colluder in each group the same declared interest set.
+
+    The shared set's size is drawn uniformly from ``set_size_range`` per
+    group ("the number of identical interests is randomly chosen from
+    [1-10]"), its members uniformly from the interest universe.
+    """
+    lo, hi = set_size_range
+    if not 1 <= lo <= hi <= profiles.n_interests:
+        raise ValueError(
+            f"set_size_range {set_size_range} incompatible with "
+            f"{profiles.n_interests} interest categories"
+        )
+    for group in colluder_groups:
+        members = [int(x) for x in group]
+        if len(members) < 2:
+            raise ValueError("each colluding group needs at least two members")
+        size = int(rng.integers(lo, hi + 1))
+        shared = rng.choice(profiles.n_interests, size=size, replace=False)
+        shared_set = frozenset(int(v) for v in shared)
+        for node in members:
+            profiles.set_declared(node, shared_set)

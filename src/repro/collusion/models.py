@@ -1,0 +1,348 @@
+"""The paper's three collusion structures: PCM, MCM and MMM.
+
+A collusion model is a *schedule*: once per query cycle the simulator asks
+it for the :class:`RatingBurst`\\ s the colluders inject — batches of
+identical positive (or negative) ratings from one colluder to another, each
+tagged with an interest drawn from the ratee's declared interests ("a
+boosting node rates a boosted node ... on an interest randomly selected
+from the interests of the boosted node").
+
+Bursts count toward the rater's *interaction frequency* (the paper equates
+interaction frequency with rating frequency) but **not** toward its
+behavioural interest-request weights: a collusion rating is not a genuine
+resource transfer, so the system never observes a real request behind it.
+This asymmetry is what lets the hardened interest similarity (Eq. (11))
+expose profile falsification in Section 5.8.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.utils.rng import RngStream
+
+__all__ = [
+    "RatingBurst",
+    "CollusionSchedule",
+    "NoCollusion",
+    "PairwiseCollusion",
+    "MultiNodeCollusion",
+    "MutualMultiNodeCollusion",
+    "CompositeCollusion",
+]
+
+
+@dataclass(frozen=True)
+class RatingBurst:
+    """A batch of ``count`` identical ratings injected in one query cycle."""
+
+    rater: int
+    ratee: int
+    value: float
+    count: int
+    interest: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rater == self.ratee:
+            raise ValueError("colluders cannot rate themselves")
+        if self.count < 1:
+            raise ValueError(f"burst count must be >= 1, got {self.count}")
+
+
+class CollusionSchedule(abc.ABC):
+    """Produces the colluders' rating bursts, one call per query cycle."""
+
+    @property
+    @abc.abstractmethod
+    def colluders(self) -> tuple[int, ...]:
+        """All node ids participating in the collusion."""
+
+    @abc.abstractmethod
+    def bursts(self, rng: RngStream) -> Iterator[RatingBurst]:
+        """Rating bursts for one query cycle."""
+
+    @staticmethod
+    def _pick_interest(
+        interests: Sequence[frozenset[int]], ratee: int, rng: RngStream
+    ) -> int | None:
+        pool = sorted(interests[ratee]) if ratee < len(interests) else []
+        if not pool:
+            return None
+        return int(rng.choice(pool))
+
+
+class NoCollusion(CollusionSchedule):
+    """The colluder-free baseline (Fig. 7): malicious peers act alone."""
+
+    @property
+    def colluders(self) -> tuple[int, ...]:
+        return ()
+
+    def bursts(self, rng: RngStream) -> Iterator[RatingBurst]:
+        return iter(())
+
+
+class PairwiseCollusion(CollusionSchedule):
+    """PCM: consecutive colluder pairs mutually rate each other.
+
+    Colluders are paired in order; each partner rates the other
+    ``ratings_per_cycle`` times (+1) per query cycle.  An odd trailing
+    colluder pairs with the first one.
+    """
+
+    def __init__(
+        self,
+        colluder_ids: Sequence[int],
+        interests: Sequence[frozenset[int]],
+        *,
+        ratings_per_cycle: int = 20,
+        rating_value: float = 1.0,
+    ) -> None:
+        ids = [int(c) for c in colluder_ids]
+        if len(ids) < 2:
+            raise ValueError("pairwise collusion needs at least two colluders")
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate colluder ids")
+        if ratings_per_cycle < 1:
+            raise ValueError("ratings_per_cycle must be >= 1")
+        self._ids = tuple(ids)
+        self._interests = list(interests)
+        self._count = int(ratings_per_cycle)
+        self._value = float(rating_value)
+        self._pairs: list[tuple[int, int]] = []
+        for k in range(0, len(ids) - 1, 2):
+            self._pairs.append((ids[k], ids[k + 1]))
+        if len(ids) % 2 == 1:
+            self._pairs.append((ids[-1], ids[0]))
+
+    @property
+    def colluders(self) -> tuple[int, ...]:
+        return self._ids
+
+    @property
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        return tuple(self._pairs)
+
+    def bursts(self, rng: RngStream) -> Iterator[RatingBurst]:
+        for a, b in self._pairs:
+            for rater, ratee in ((a, b), (b, a)):
+                yield RatingBurst(
+                    rater=rater,
+                    ratee=ratee,
+                    value=self._value,
+                    count=self._count,
+                    interest=self._pick_interest(self._interests, ratee, rng),
+                )
+
+
+class MultiNodeCollusion(CollusionSchedule):
+    """MCM: boosting nodes pump a few boosted nodes, one-directionally.
+
+    ``n_boosted`` colluders are designated boosted; every other colluder
+    picks one boosted target at construction time and rates it a number of
+    times drawn from ``ratings_range`` each query cycle.  Boosted nodes do
+    not rate back.
+    """
+
+    def __init__(
+        self,
+        colluder_ids: Sequence[int],
+        interests: Sequence[frozenset[int]],
+        rng: RngStream,
+        *,
+        n_boosted: int = 7,
+        ratings_range: tuple[int, int] = (3, 7),
+        rating_value: float = 1.0,
+    ) -> None:
+        ids = [int(c) for c in colluder_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate colluder ids")
+        if not 1 <= n_boosted < len(ids):
+            raise ValueError(
+                f"n_boosted must be in [1, {len(ids) - 1}], got {n_boosted}"
+            )
+        lo, hi = ratings_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"invalid ratings_range {ratings_range}")
+        self._ids = tuple(ids)
+        self._interests = list(interests)
+        self._range = (int(lo), int(hi))
+        self._value = float(rating_value)
+        boosted = rng.choice(len(ids), size=n_boosted, replace=False)
+        self._boosted = tuple(sorted(ids[int(k)] for k in boosted))
+        boosted_set = set(self._boosted)
+        self._boosting = tuple(i for i in ids if i not in boosted_set)
+        self._target = {
+            b: int(rng.choice(self._boosted)) for b in self._boosting
+        }
+
+    @property
+    def colluders(self) -> tuple[int, ...]:
+        return self._ids
+
+    @property
+    def boosted(self) -> tuple[int, ...]:
+        return self._boosted
+
+    @property
+    def boosting(self) -> tuple[int, ...]:
+        return self._boosting
+
+    def target_of(self, boosting_node: int) -> int:
+        return self._target[boosting_node]
+
+    def bursts(self, rng: RngStream) -> Iterator[RatingBurst]:
+        lo, hi = self._range
+        for rater in self._boosting:
+            ratee = self._target[rater]
+            yield RatingBurst(
+                rater=rater,
+                ratee=ratee,
+                value=self._value,
+                count=int(rng.integers(lo, hi + 1)),
+                interest=self._pick_interest(self._interests, ratee, rng),
+            )
+
+
+class MutualMultiNodeCollusion(MultiNodeCollusion):
+    """MMM: MCM plus back-ratings from boosted to boosting nodes.
+
+    "Each boosting node rates randomly chosen boosted nodes 20 times and
+    the boosted node rates its boosting nodes 5 times" — forward bursts use
+    a fixed ``forward_ratings`` count and each boosted node returns
+    ``back_ratings`` ratings to each of its boosters per query cycle.
+    """
+
+    def __init__(
+        self,
+        colluder_ids: Sequence[int],
+        interests: Sequence[frozenset[int]],
+        rng: RngStream,
+        *,
+        n_boosted: int = 7,
+        forward_ratings: int = 20,
+        back_ratings: int = 5,
+        rating_value: float = 1.0,
+    ) -> None:
+        super().__init__(
+            colluder_ids,
+            interests,
+            rng,
+            n_boosted=n_boosted,
+            ratings_range=(forward_ratings, forward_ratings),
+            rating_value=rating_value,
+        )
+        if back_ratings < 1:
+            raise ValueError(f"back_ratings must be >= 1, got {back_ratings}")
+        self._back = int(back_ratings)
+        self._boosters_of: dict[int, list[int]] = {b: [] for b in self.boosted}
+        for booster in self.boosting:
+            self._boosters_of[self.target_of(booster)].append(booster)
+
+    def bursts(self, rng: RngStream) -> Iterator[RatingBurst]:
+        yield from super().bursts(rng)
+        for boosted, boosters in self._boosters_of.items():
+            for booster in boosters:
+                yield RatingBurst(
+                    rater=boosted,
+                    ratee=booster,
+                    value=1.0,
+                    count=self._back,
+                    interest=self._pick_interest(self._interests, booster, rng),
+                )
+
+
+class BadmouthingCollusion(CollusionSchedule):
+    """Negative-rating collusion: colluders suppress competitors (B4).
+
+    The paper evaluates positive-rating collusion and notes "similar
+    results can be obtained for the collusion of negative ratings"; this
+    schedule makes that concrete.  Each colluder floods a set of victim
+    peers with negative ratings every query cycle, attempting to push
+    reputable competitors below the selection threshold.  The interest tag
+    comes from the *victim's* catalogue — a competitor attack targets the
+    categories both sides sell in.
+    """
+
+    def __init__(
+        self,
+        colluder_ids: Sequence[int],
+        victim_ids: Sequence[int],
+        interests: Sequence[frozenset[int]],
+        *,
+        ratings_per_cycle: int = 20,
+        paired: bool = False,
+    ) -> None:
+        colluders = [int(c) for c in colluder_ids]
+        victims = [int(v) for v in victim_ids]
+        if not colluders:
+            raise ValueError("need at least one badmouthing colluder")
+        if not victims:
+            raise ValueError("need at least one victim")
+        if set(colluders) & set(victims):
+            raise ValueError("colluders cannot badmouth themselves")
+        if ratings_per_cycle < 1:
+            raise ValueError("ratings_per_cycle must be >= 1")
+        self._colluders = tuple(colluders)
+        self._victims = tuple(victims)
+        self._interests = list(interests)
+        self._count = int(ratings_per_cycle)
+        #: paired=True is the classic competitor attack: colluder ``k``
+        #: always targets ``victims[k % len(victims)]`` (its market rival);
+        #: paired=False sprays a random victim each cycle.
+        self._paired = bool(paired)
+
+    @property
+    def colluders(self) -> tuple[int, ...]:
+        return self._colluders
+
+    @property
+    def victims(self) -> tuple[int, ...]:
+        return self._victims
+
+    def target_of(self, colluder: int) -> int | None:
+        """The fixed victim of ``colluder`` in paired mode (None otherwise)."""
+        if not self._paired:
+            return None
+        k = self._colluders.index(colluder)
+        return self._victims[k % len(self._victims)]
+
+    def bursts(self, rng: RngStream) -> Iterator[RatingBurst]:
+        for k, rater in enumerate(self._colluders):
+            if self._paired:
+                ratee = self._victims[k % len(self._victims)]
+            else:
+                ratee = int(rng.choice(self._victims))
+            yield RatingBurst(
+                rater=rater,
+                ratee=ratee,
+                value=-1.0,
+                count=self._count,
+                interest=self._pick_interest(self._interests, ratee, rng),
+            )
+
+
+class CompositeCollusion(CollusionSchedule):
+    """Union of several schedules (e.g. MCM plus compromised pre-trusted)."""
+
+    def __init__(self, schedules: Sequence[CollusionSchedule]) -> None:
+        if not schedules:
+            raise ValueError("composite needs at least one schedule")
+        self._schedules = tuple(schedules)
+
+    @property
+    def colluders(self) -> tuple[int, ...]:
+        out: list[int] = []
+        seen: set[int] = set()
+        for schedule in self._schedules:
+            for c in schedule.colluders:
+                if c not in seen:
+                    seen.add(c)
+                    out.append(c)
+        return tuple(out)
+
+    def bursts(self, rng: RngStream) -> Iterator[RatingBurst]:
+        for schedule in self._schedules:
+            yield from schedule.bursts(rng)

@@ -1,0 +1,187 @@
+"""Social closeness ``Ωc`` — Eqs. (2), (3), (4) and the hardened Eq. (10).
+
+The closeness between a rater ``i`` and ratee ``j`` is:
+
+* **adjacent** (distance 1):
+  ``relationship_factor(i,j) * f(i,j) / sum_k f(i,k)`` — relationship count
+  ``m(i,j)`` in plain mode (Eq. (2)), the ``sum_l lambda^(l-1) w_dl``
+  weighted sum in hardened mode (Eq. (10));
+* **non-adjacent with common friends**:
+  ``sum over common friends k of (Ωc(i,k) + Ωc(k,j)) / 2`` (Eq. (3));
+* **non-adjacent without common friends**:
+  the minimum adjacent closeness along one shortest social path, 0 when no
+  path exists.
+
+Because the adjacent closeness normalises by the rater's *total* outgoing
+interaction frequency, a colluder cannot raise its closeness to a partner
+without draining closeness from everyone else it interacts with — the
+lightweight anti-gaming property Section 4.1 argues for.
+
+Two evaluation paths are provided and tested to agree:
+
+* :meth:`ClosenessComputer.closeness` — scalar, follows the piecewise
+  definition literally (readable reference implementation);
+* :meth:`ClosenessComputer.closeness_matrix` — all-pairs, vectorised.
+  With ``A`` the adjacent-closeness matrix and ``M`` the boolean adjacency
+  matrix, Eq. (3) for every pair at once is ``(A@M + M@A) / 2`` restricted
+  to non-adjacent pairs with at least one common friend (``A`` is zero off
+  the adjacency support, so the products only pick up common-friend terms).
+  The rare no-common-friend pairs fall back to the scalar path walk.
+
+The relationship-factor matrix is cached (relationship structure is static
+within an experiment); call :meth:`ClosenessComputer.invalidate_cache`
+after mutating relationships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CommonFriendAggregate, SocialTrustConfig
+from repro.core.gaussian import RaterBand
+from repro.social.graph import SocialView, relationship_factor
+from repro.social.interactions import InteractionLedger
+
+__all__ = ["ClosenessComputer"]
+
+
+class ClosenessComputer:
+    """Computes ``Ωc`` values against a social view + interaction ledger."""
+
+    def __init__(
+        self,
+        view: SocialView,
+        interactions: InteractionLedger,
+        config: SocialTrustConfig | None = None,
+    ) -> None:
+        if view.n_nodes != interactions.n_nodes:
+            raise ValueError(
+                f"social view has {view.n_nodes} nodes but interaction ledger "
+                f"has {interactions.n_nodes}"
+            )
+        self._view = view
+        self._interactions = interactions
+        self._config = config or SocialTrustConfig()
+        self._rel_factors: np.ndarray | None = None
+        self._adjacency: np.ndarray | None = None
+
+    @property
+    def n_nodes(self) -> int:
+        return self._view.n_nodes
+
+    def invalidate_cache(self) -> None:
+        """Drop cached relationship factors after mutating the social view."""
+        self._rel_factors = None
+        self._adjacency = None
+
+    def _structure(self) -> tuple[np.ndarray, np.ndarray]:
+        """(relationship-factor matrix, boolean adjacency matrix), cached."""
+        if self._rel_factors is None or self._adjacency is None:
+            n = self.n_nodes
+            factors = np.zeros((n, n), dtype=np.float64)
+            adjacency = np.zeros((n, n), dtype=bool)
+            view = self._view
+            cfg = self._config
+            for i in range(n):
+                for j in view.friends(i):
+                    adjacency[i, j] = True
+                    if factors[i, j] == 0.0:
+                        value = relationship_factor(
+                            view.relationships(i, j),
+                            hardened=cfg.hardened,
+                            lambda_scaling=cfg.lambda_scaling,
+                        )
+                        factors[i, j] = factors[j, i] = value
+            self._rel_factors = factors
+            self._adjacency = adjacency
+        return self._rel_factors, self._adjacency
+
+    # -- scalar reference path ------------------------------------------------
+
+    def adjacent(self, i: int, j: int) -> float:
+        """Eq. (2) (plain) / Eq. (10) first branch (hardened)."""
+        factor = relationship_factor(
+            self._view.relationships(i, j),
+            hardened=self._config.hardened,
+            lambda_scaling=self._config.lambda_scaling,
+        )
+        if factor == 0.0:
+            return 0.0
+        return factor * self._interactions.share(i, j)
+
+    def closeness(self, i: int, j: int) -> float:
+        """Full piecewise ``Ωc(i,j)`` — Eq. (4) / Eq. (10)."""
+        if i == j:
+            raise ValueError("closeness of a node to itself is undefined")
+        view = self._view
+        if view.are_adjacent(i, j):
+            return self.adjacent(i, j)
+        common = view.friends(i) & view.friends(j)
+        if common:
+            total = 0.0
+            for k in common:
+                total += (self.adjacent(i, k) + self.adjacent(k, j)) / 2.0
+            if self._config.common_friend_aggregate is CommonFriendAggregate.MEAN:
+                total /= len(common)
+            return total
+        return self._path_min(i, j)
+
+    def _path_min(self, i: int, j: int) -> float:
+        path = self._view.path(i, j)
+        if len(path) < 2:
+            return 0.0
+        return min(
+            self.adjacent(path[step], path[step + 1])
+            for step in range(len(path) - 1)
+        )
+
+    # -- vectorised all-pairs path --------------------------------------------
+
+    def closeness_matrix(self) -> np.ndarray:
+        """All-pairs ``Ωc`` matrix (diagonal zero).
+
+        Agrees entry-wise with :meth:`closeness`; used by the detector so
+        each reputation-update interval costs O(n^2) NumPy work instead of
+        O(n^2) Python-level graph walks.
+        """
+        factors, adjacency = self._structure()
+        shares = self._interactions.share_matrix()
+        adj_close = factors * shares * adjacency
+        # Eq. (3): combine, over common friends, the mean of the two legs.
+        adj_f = adjacency.astype(np.float64)
+        common_sum = 0.5 * (adj_close @ adj_f + adj_f @ adj_close)
+        common_counts = adj_f @ adj_f
+        if self._config.common_friend_aggregate is CommonFriendAggregate.MEAN:
+            common_sum = np.divide(
+                common_sum,
+                common_counts,
+                out=np.zeros_like(common_sum),
+                where=common_counts > 0,
+            )
+        out = np.where(adjacency, adj_close, np.where(common_counts > 0, common_sum, 0.0))
+        np.fill_diagonal(out, 0.0)
+        # Fallback: non-adjacent pairs with zero common friends but a path.
+        need_fallback = (~adjacency) & (common_counts == 0)
+        np.fill_diagonal(need_fallback, False)
+        if np.any(need_fallback):
+            # Interaction shares are directed, so each direction is walked
+            # separately; these pairs are rare in practice.
+            for i, j in np.argwhere(need_fallback):
+                out[i, j] = self._path_min(int(i), int(j))
+        return out
+
+    # -- band summaries ---------------------------------------------------------
+
+    def rater_band(self, rater: int, rated: frozenset[int] | set[int]) -> RaterBand | None:
+        """Band over the rater's closeness to every node it has rated."""
+        values = [self.closeness(rater, j) for j in rated if j != rater]
+        if not values:
+            return None
+        return RaterBand.from_values(values)
+
+    def global_band(self, pairs: list[tuple[int, int]]) -> RaterBand | None:
+        """Band over the closeness of arbitrary transaction pairs."""
+        values = [self.closeness(i, j) for i, j in pairs if i != j]
+        if not values:
+            return None
+        return RaterBand.from_values(values)

@@ -1,0 +1,98 @@
+"""The Gaussian reputation filter — Eqs. (5), (6), (8) and (9).
+
+A rating from ``i`` to ``j`` whose social coefficient deviates from the
+rater's normal band is damped by the bell curve
+
+    w = alpha * exp( -(x - b)^2 / (2 c^2) )
+
+with ``b`` the band centre (the rater's mean coefficient over nodes it has
+rated, or the system-wide mean) and ``c`` the band width
+(``|max - min|`` of the same set).  Eq. (9) multiplies the closeness and
+similarity bells by summing their exponents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["RaterBand", "gaussian_weight", "combined_weight"]
+
+
+@dataclass(frozen=True)
+class RaterBand:
+    """Centre/width summary of a rater's observed coefficients.
+
+    ``center`` plays ``b`` and ``spread`` plays ``c`` in Eq. (5); ``size``
+    records how many distinct observations back the band (the AUTO centring
+    policy falls back to the global band below
+    :attr:`~repro.core.config.SocialTrustConfig.min_band_size`).
+    """
+
+    center: float
+    spread: float
+    size: int
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "RaterBand":
+        """Band over a non-empty collection of coefficient observations."""
+        vals = [float(v) for v in values]
+        if not vals:
+            raise ValueError("cannot build a band from zero observations")
+        lo = min(vals)
+        hi = max(vals)
+        return cls(
+            center=sum(vals) / len(vals),
+            spread=abs(hi - lo),
+            size=len(vals),
+        )
+
+
+def gaussian_weight(
+    x: float,
+    band: RaterBand,
+    *,
+    alpha: float = 1.0,
+    spread_floor: float = 1e-3,
+) -> float:
+    """One-dimensional damping weight — Eq. (6)/(8).
+
+    ``spread_floor`` bounds the bell width from below: a degenerate band
+    (every observation identical) would otherwise send any deviation to
+    weight zero and exact agreement to weight ``alpha``, making the filter
+    a brittle equality test.
+    """
+    c = max(float(band.spread), float(spread_floor))
+    d = float(x) - float(band.center)
+    return float(alpha) * math.exp(-(d * d) / (2.0 * c * c))
+
+
+def combined_weight(
+    closeness: float | None,
+    closeness_band: RaterBand | None,
+    similarity: float | None,
+    similarity_band: RaterBand | None,
+    *,
+    alpha: float = 1.0,
+    spread_floor: float = 1e-3,
+) -> float:
+    """Two-dimensional damping weight — Eq. (9).
+
+    Either dimension may be disabled by passing ``None`` for its value/band
+    pair, in which case the formula degenerates to the one-dimensional
+    Eq. (6) or (8).  Disabling both is an error (there would be nothing to
+    filter on).
+    """
+    exponent = 0.0
+    used = False
+    for x, band in ((closeness, closeness_band), (similarity, similarity_band)):
+        if x is None or band is None:
+            continue
+        used = True
+        c = max(float(band.spread), float(spread_floor))
+        d = float(x) - float(band.center)
+        exponent += (d * d) / (2.0 * c * c)
+    if not used:
+        raise ValueError("at least one coefficient dimension must be provided")
+    return float(alpha) * math.exp(-exponent)

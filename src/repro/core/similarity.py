@@ -1,0 +1,122 @@
+"""Interest similarity ``Ωs`` — Eq. (7) (plain) and Eq. (11) (hardened).
+
+Plain mode is the overlap coefficient over *declared* interest sets:
+
+    Ωs(i,j) = |V_i ∩ V_j| / min(|V_i|, |V_j|)
+
+Hardened mode (Section 4.4) weights each shared interest by both nodes'
+behavioural request shares:
+
+    Ωs(i,j) = sum_l w_s(i,l) * w_s(j,l) / min(|V_i|, |V_j|)
+
+so a colluder that pads its profile with interests it never actually
+requests gains (almost) nothing, and one that *removes* declared interests
+is still exposed by its request stream.  To capture the latter, the
+hardened interest set of a node is the union of its declared profile and
+the interests it has actually requested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.config import SocialTrustConfig
+from repro.core.gaussian import RaterBand
+from repro.social.interests import InterestProfiles
+
+__all__ = ["overlap_similarity", "SimilarityComputer"]
+
+
+def overlap_similarity(a: Iterable[int], b: Iterable[int]) -> float:
+    """Eq. (7): overlap coefficient of two interest sets; 0 if either empty."""
+    sa = frozenset(a)
+    sb = frozenset(b)
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / min(len(sa), len(sb))
+
+
+class SimilarityComputer:
+    """Computes ``Ωs`` values against the interest-profile store."""
+
+    def __init__(
+        self,
+        profiles: InterestProfiles,
+        config: SocialTrustConfig | None = None,
+    ) -> None:
+        self._profiles = profiles
+        self._config = config or SocialTrustConfig()
+
+    @property
+    def n_nodes(self) -> int:
+        return self._profiles.n_nodes
+
+    def _effective_set(self, node: int) -> frozenset[int]:
+        """Declared ∪ behavioural interests (hardened-mode interest set)."""
+        return self._profiles.declared(node) | self._profiles.behavioural_interests(node)
+
+    def similarity(self, i: int, j: int) -> float:
+        """``Ωs(i,j)`` under the configured mode."""
+        if i == j:
+            raise ValueError("similarity of a node to itself is undefined")
+        profiles = self._profiles
+        if not self._config.hardened:
+            return overlap_similarity(profiles.declared(i), profiles.declared(j))
+        vi = self._effective_set(i)
+        vj = self._effective_set(j)
+        if not vi or not vj:
+            return 0.0
+        shared = vi & vj
+        if not shared:
+            return 0.0
+        wi = profiles.request_weights(i)
+        wj = profiles.request_weights(j)
+        total = 0.0
+        for l in shared:
+            total += wi[l] * wj[l]
+        return total / min(len(vi), len(vj))
+
+    def similarity_matrix(self) -> np.ndarray:
+        """All-pairs ``Ωs`` matrix (diagonal zero); agrees with :meth:`similarity`.
+
+        Plain mode: with ``D`` the boolean declared-membership matrix,
+        intersections are ``D @ D.T`` and the denominator the outer minimum
+        of set sizes.  Hardened mode: the numerator is ``W @ W.T`` over
+        request-weight rows (weights are zero outside a node's behavioural
+        interests, so the product automatically restricts to shared
+        interests) over the outer minimum of effective-set sizes.
+        """
+        profiles = self._profiles
+        n = profiles.n_nodes
+        if not self._config.hardened:
+            d = profiles.declared_matrix().astype(np.float64)
+            inter = d @ d.T
+            sizes = d.sum(axis=1)
+            denom = np.minimum.outer(sizes, sizes)
+            out = np.divide(inter, denom, out=np.zeros((n, n)), where=denom > 0)
+        else:
+            w = profiles.request_weight_matrix()
+            numer = w @ w.T
+            sizes = np.array(
+                [len(self._effective_set(i)) for i in range(n)], dtype=np.float64
+            )
+            denom = np.minimum.outer(sizes, sizes)
+            out = np.divide(numer, denom, out=np.zeros((n, n)), where=denom > 0)
+        np.fill_diagonal(out, 0.0)
+        return out
+
+    def rater_band(self, rater: int, rated: frozenset[int] | set[int]) -> RaterBand | None:
+        """Band over the rater's similarity to every node it has rated."""
+        values = [self.similarity(rater, j) for j in rated if j != rater]
+        if not values:
+            return None
+        return RaterBand.from_values(values)
+
+    def global_band(self, pairs: list[tuple[int, int]]) -> RaterBand | None:
+        """Band over the similarity of arbitrary transaction pairs."""
+        values = [self.similarity(i, j) for i, j in pairs if i != j]
+        if not values:
+            return None
+        return RaterBand.from_values(values)

@@ -1,0 +1,130 @@
+"""The SocialTrust wrapper — centralised execution path.
+
+``SocialTrust`` decorates any base :class:`~repro.reputation.base.ReputationSystem`.
+Each reputation-update interval it runs the collusion detector over the
+interval's rating aggregates, scales the flagged rater→ratee rating sums by
+the Gaussian damping weights, and forwards the adjusted interval to the
+wrapped system.  The base system's own aggregation (EigenTrust power
+iteration, eBay accumulation, ...) is untouched — exactly the layering the
+paper describes ("SocialTrust is built upon the reputation system of the
+P2P network and re-scales node reputation values").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.closeness import ClosenessComputer
+from repro.core.config import SocialTrustConfig
+from repro.core.detector import CollusionDetector, DetectionResult
+from repro.core.similarity import SimilarityComputer
+from repro.reputation.base import IntervalRatings, ReputationSystem
+from repro.social.graph import SocialView
+from repro.social.interactions import InteractionLedger
+from repro.social.interests import InterestProfiles
+
+__all__ = ["SocialTrust"]
+
+
+class SocialTrust(ReputationSystem):
+    """Collusion-resilient wrapper around a base reputation system.
+
+    Parameters
+    ----------
+    inner:
+        The base reputation system whose ratings are filtered.
+    social_view:
+        The social network (friendships, relationships, distances).
+    interactions:
+        Directed interaction-frequency ledger (fed by the simulator; the
+        paper equates interaction frequency with rating frequency).
+    profiles:
+        Declared interest sets plus behavioural request counters.
+    config:
+        Thresholds and switches; defaults follow the paper.
+    """
+
+    def __init__(
+        self,
+        inner: ReputationSystem,
+        social_view: SocialView,
+        interactions: InteractionLedger,
+        profiles: InterestProfiles,
+        config: SocialTrustConfig | None = None,
+    ) -> None:
+        super().__init__(inner.n_nodes)
+        for other, label in (
+            (social_view.n_nodes, "social view"),
+            (interactions.n_nodes, "interaction ledger"),
+            (profiles.n_nodes, "interest profiles"),
+        ):
+            if other != inner.n_nodes:
+                raise ValueError(
+                    f"{label} covers {other} nodes but the base system has "
+                    f"{inner.n_nodes}"
+                )
+        self._inner = inner
+        self._config = config or SocialTrustConfig()
+        self._closeness = ClosenessComputer(social_view, interactions, self._config)
+        self._similarity = SimilarityComputer(profiles, self._config)
+        self._detector = CollusionDetector(
+            self._closeness, self._similarity, self._config
+        )
+        self._rated_mask = np.zeros((inner.n_nodes, inner.n_nodes), dtype=bool)
+        self._flag_counts = np.zeros((inner.n_nodes, inner.n_nodes), dtype=np.int64)
+        self._last_result: DetectionResult | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self._inner.name}+SocialTrust"
+
+    @property
+    def inner(self) -> ReputationSystem:
+        return self._inner
+
+    @property
+    def config(self) -> SocialTrustConfig:
+        return self._config
+
+    @property
+    def closeness_computer(self) -> ClosenessComputer:
+        return self._closeness
+
+    @property
+    def similarity_computer(self) -> SimilarityComputer:
+        return self._similarity
+
+    @property
+    def last_detection(self) -> DetectionResult | None:
+        """Detector output of the most recent :meth:`update` (None before any)."""
+        return self._last_result
+
+    def update(self, interval: IntervalRatings) -> np.ndarray:
+        self._check_interval(interval)
+        result = self._detector.analyze(
+            interval, self._inner.reputations, self._rated_mask, self._flag_counts
+        )
+        self._last_result = result
+        self._rated_mask |= interval.counts > 0
+        np.fill_diagonal(self._rated_mask, False)
+        for finding in result.findings:
+            self._flag_counts[finding.rater, finding.ratee] += 1
+        adjusted = interval.scaled(result.weights)
+        return self._inner.update(adjusted)
+
+    @property
+    def reputations(self) -> np.ndarray:
+        return self._inner.reputations
+
+    @property
+    def flag_counts(self) -> np.ndarray:
+        """Read-only per-pair count of intervals each pair was flagged in."""
+        view = self._flag_counts.view()
+        view.flags.writeable = False
+        return view
+
+    def reset(self) -> None:
+        self._inner.reset()
+        self._rated_mask[:] = False
+        self._flag_counts[:] = 0
+        self._last_result = None

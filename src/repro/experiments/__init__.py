@@ -1,0 +1,32 @@
+"""Experiment harness.
+
+One registered experiment per table/figure of the paper's evaluation.
+
+* :mod:`repro.experiments.setup` — builds the paper's Section-5.1 world
+  (population, overlay, social network, reputation stacks);
+* :mod:`repro.experiments.runner` — multi-run averaging with confidence
+  intervals;
+* :mod:`repro.experiments.figures` — ``fig7`` ... ``fig20``;
+* :mod:`repro.experiments.table1` — the request-routing table;
+* :mod:`repro.experiments.registry` — experiment-id → callable index.
+"""
+
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.runner import ExperimentResult, average_runs
+from repro.experiments.setup import (
+    CollusionKind,
+    SystemKind,
+    WorldConfig,
+    build_world,
+)
+
+__all__ = [
+    "get_experiment",
+    "list_experiments",
+    "ExperimentResult",
+    "average_runs",
+    "CollusionKind",
+    "SystemKind",
+    "WorldConfig",
+    "build_world",
+]

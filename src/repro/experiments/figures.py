@@ -1,0 +1,530 @@
+"""Reproductions of the paper's evaluation figures (Figs. 7-20).
+
+Every function returns an :class:`~repro.experiments.runner.ExperimentResult`
+whose series carry the same content as the paper's plots: per-node
+reputation distributions for the distribution figures, convergence-cycle
+summaries for Fig. 19, per-distance means for Fig. 20.  Figures 1-4 (the
+trace study) live in :func:`fig1` ... :func:`fig4` and run on the synthetic
+Overstock trace.
+
+All functions accept ``n_runs`` / ``simulation_cycles`` so the benchmark
+harness can run a reduced-but-faithful profile while EXPERIMENTS.md records
+the full paper profile (5 runs x 50 cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.collusion import CompositeCollusion, MultiNodeCollusion
+from repro.experiments.runner import ExperimentResult, RunStats, run_cell
+from repro.experiments.setup import (
+    BuiltWorld,
+    CollusionKind,
+    SystemKind,
+    WorldConfig,
+)
+from repro.trace import (
+    MarketplaceConfig,
+    business_network_vs_reputation,
+    category_rank_distribution,
+    generate_trace,
+    interest_similarity_cdf,
+    personal_network_vs_reputation,
+    rating_stats_by_distance,
+    transactions_vs_reputation,
+)
+
+__all__ = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+]
+
+#: Default evaluation profile for the benchmark harness; the paper profile
+#: is ``n_runs=5, simulation_cycles=50``.
+DEFAULT_RUNS = 2
+DEFAULT_CYCLES = 25
+
+
+def _boosted_ids(world: BuiltWorld) -> tuple[int, ...]:
+    schedule = world.collusion
+    if isinstance(schedule, CompositeCollusion):
+        for inner in schedule._schedules:  # noqa: SLF001 - harness introspection
+            if isinstance(inner, MultiNodeCollusion):
+                return inner.boosted
+        return ()
+    if isinstance(schedule, MultiNodeCollusion):
+        return schedule.boosted
+    return ()
+
+
+def _distribution_experiment(
+    experiment_id: str,
+    title: str,
+    base: WorldConfig,
+    systems: Sequence[SystemKind],
+    *,
+    n_runs: int,
+    seed: int,
+) -> ExperimentResult:
+    """Run one figure's system sweep and collect reputation distributions."""
+    result = ExperimentResult(experiment_id=experiment_id, title=title)
+    result.meta["colluder_ids"] = base.colluder_ids
+    result.meta["pretrusted_ids"] = base.pretrusted_ids
+    result.meta["B"] = base.colluder_b
+    result.meta["collusion"] = base.collusion.value
+    request_fractions: dict[str, list[float]] = {}
+    for system in systems:
+        config = base.with_system(system)
+        reputation_samples: list[np.ndarray] = []
+        fractions: list[float] = []
+        for run_index in range(n_runs):
+            world = run_cell(config, seed=seed, run_index=run_index)
+            metrics = world.simulation.metrics
+            reputation_samples.append(metrics.final_reputations())
+            fractions.append(metrics.fraction_served_by(config.colluder_ids))
+        result.add_series(system.value, reputation_samples)
+        request_fractions[system.value] = fractions
+    result.meta["request_fraction_to_colluders"] = {
+        name: float(np.mean(vals)) for name, vals in request_fractions.items()
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Trace study (Figs. 1-4)
+# ---------------------------------------------------------------------------
+
+
+def _trace(seed: int, config: MarketplaceConfig | None) -> object:
+    return generate_trace(config or MarketplaceConfig(), seed=seed)
+
+
+def fig1(seed: int = 0, config: MarketplaceConfig | None = None) -> ExperimentResult:
+    """Fig. 1: business-network size and transaction count vs reputation."""
+    trace = _trace(seed, config)
+    biz = business_network_vs_reputation(trace)
+    tx = transactions_vs_reputation(trace)
+    result = ExperimentResult("fig1", "Effect of reputation on transaction")
+    result.add_series("business_size_correlation", [np.array([biz.correlation])])
+    result.add_series("transactions_correlation", [np.array([tx.correlation])])
+    result.meta["paper_business_correlation"] = 0.996
+    result.meta["n_users"] = trace.n_users
+    result.meta["n_transactions"] = trace.n_transactions
+    return result
+
+
+def fig2(seed: int = 0, config: MarketplaceConfig | None = None) -> ExperimentResult:
+    """Fig. 2: personal-network size vs reputation (weak relationship)."""
+    trace = _trace(seed, config)
+    personal = personal_network_vs_reputation(trace)
+    result = ExperimentResult("fig2", "Social network size vs reputation")
+    result.add_series("personal_size_correlation", [np.array([personal.correlation])])
+    result.meta["paper_correlation"] = 0.092
+    return result
+
+
+def fig3(seed: int = 0, config: MarketplaceConfig | None = None) -> ExperimentResult:
+    """Fig. 3: rating value / frequency vs social distance."""
+    trace = _trace(seed, config)
+    stats = rating_stats_by_distance(trace)
+    result = ExperimentResult("fig3", "Impact of social distance on ratings")
+    result.add_series("mean_rating_by_hop", [stats.mean_rating])
+    result.add_series("mean_ratings_per_pair_by_hop", [stats.mean_ratings_per_pair])
+    result.meta["hops"] = stats.hops.tolist()
+    return result
+
+
+def fig4(seed: int = 0, config: MarketplaceConfig | None = None) -> ExperimentResult:
+    """Fig. 4: category-rank CDF and interest-similarity CDF."""
+    trace = _trace(seed, config)
+    rank_cdf = category_rank_distribution(trace)
+    edges, sim_cdf = interest_similarity_cdf(trace)
+    result = ExperimentResult("fig4", "Impact of interests on purchasing")
+    result.add_series("category_rank_cdf", [rank_cdf])
+    result.add_series("interest_similarity_cdf", [sim_cdf])
+    result.meta["similarity_bins"] = edges.tolist()
+    result.meta["paper_top3_share"] = 0.88
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Collusion experiments (Figs. 7-18)
+# ---------------------------------------------------------------------------
+
+
+def fig7(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 7: EigenTrust vs eBay with malicious peers but no collusion."""
+    base = WorldConfig(
+        collusion=CollusionKind.NONE,
+        colluder_b=(0.2, 0.6),
+        simulation_cycles=simulation_cycles,
+        **(overrides or {}),
+    )
+    result = _distribution_experiment(
+        "fig7",
+        "EigenTrust and eBay without colluders",
+        base,
+        [SystemKind.EIGENTRUST, SystemKind.EBAY],
+        n_runs=n_runs,
+        seed=seed,
+    )
+    # Fig. 7(c): percent of services provided by malicious nodes.
+    result.meta["percent_services_by_malicious"] = result.meta.pop(
+        "request_fraction_to_colluders"
+    )
+    return result
+
+
+def _pcm(b: float, simulation_cycles: int, **kw) -> WorldConfig:
+    return WorldConfig(
+        collusion=CollusionKind.PCM,
+        colluder_b=b,
+        simulation_cycles=simulation_cycles,
+        **kw,
+    )
+
+
+ALL_SYSTEMS = (
+    SystemKind.EIGENTRUST,
+    SystemKind.EBAY,
+    SystemKind.EIGENTRUST_SOCIALTRUST,
+    SystemKind.EBAY_SOCIALTRUST,
+)
+
+
+def fig8(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 8: reputation distributions, PCM with B=0.6."""
+    return _distribution_experiment(
+        "fig8",
+        "PCM with B=0.6",
+        _pcm(0.6, simulation_cycles, **(overrides or {})),
+        ALL_SYSTEMS,
+        n_runs=n_runs,
+        seed=seed,
+    )
+
+
+def fig9(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 9: reputation distributions, PCM with B=0.2."""
+    return _distribution_experiment(
+        "fig9",
+        "PCM with B=0.2",
+        _pcm(0.2, simulation_cycles, **(overrides or {})),
+        ALL_SYSTEMS,
+        n_runs=n_runs,
+        seed=seed,
+    )
+
+
+def fig10(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 10: PCM + compromised pre-trusted nodes, B=0.2."""
+    params = {"n_compromised_pretrusted": 7, **(overrides or {})}
+    base = _pcm(0.2, simulation_cycles, **params)
+    result = _distribution_experiment(
+        "fig10",
+        "PCM with compromised pre-trusted nodes, B=0.2",
+        base,
+        [SystemKind.EIGENTRUST, SystemKind.EIGENTRUST_SOCIALTRUST],
+        n_runs=n_runs,
+        seed=seed,
+    )
+    return result
+
+
+def _mcm(b: float, simulation_cycles: int, **kw) -> WorldConfig:
+    return WorldConfig(
+        collusion=CollusionKind.MCM,
+        colluder_b=b,
+        simulation_cycles=simulation_cycles,
+        **kw,
+    )
+
+
+def _mmm(b: float, simulation_cycles: int, **kw) -> WorldConfig:
+    return WorldConfig(
+        collusion=CollusionKind.MMM,
+        colluder_b=b,
+        simulation_cycles=simulation_cycles,
+        **kw,
+    )
+
+
+def fig11(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 11: reputation distributions, MCM with B=0.6."""
+    return _distribution_experiment(
+        "fig11", "MCM with B=0.6", _mcm(0.6, simulation_cycles, **(overrides or {})),
+        ALL_SYSTEMS, n_runs=n_runs, seed=seed,
+    )
+
+
+def fig12(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 12: reputation distributions, MCM with B=0.2."""
+    return _distribution_experiment(
+        "fig12", "MCM with B=0.2", _mcm(0.2, simulation_cycles, **(overrides or {})),
+        ALL_SYSTEMS, n_runs=n_runs, seed=seed,
+    )
+
+
+def fig13(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 13: reputation distributions, MMM with B=0.6."""
+    return _distribution_experiment(
+        "fig13", "MMM with B=0.6", _mmm(0.6, simulation_cycles, **(overrides or {})),
+        ALL_SYSTEMS, n_runs=n_runs, seed=seed,
+    )
+
+
+def fig14(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 14: reputation distributions, MMM with B=0.2."""
+    return _distribution_experiment(
+        "fig14", "MMM with B=0.2", _mmm(0.2, simulation_cycles, **(overrides or {})),
+        ALL_SYSTEMS, n_runs=n_runs, seed=seed,
+    )
+
+
+def fig15(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 15: MCM and MMM with compromised pre-trusted nodes, B=0.2."""
+    result = ExperimentResult(
+        "fig15", "MCM/MMM with compromised pre-trusted nodes, B=0.2"
+    )
+    fractions: dict[str, float] = {}
+    for label, maker in (("MCM", _mcm), ("MMM", _mmm)):
+        params = {"n_compromised_pretrusted": 7, **(overrides or {})}
+        base = maker(0.2, simulation_cycles, **params)
+        sub = _distribution_experiment(
+            "fig15",
+            result.title,
+            base,
+            [SystemKind.EIGENTRUST, SystemKind.EIGENTRUST_SOCIALTRUST],
+            n_runs=n_runs,
+            seed=seed,
+        )
+        for name, stats in sub.series.items():
+            result.series[f"{label}/{name}"] = stats
+        for name, frac in sub.meta["request_fraction_to_colluders"].items():
+            fractions[f"{label}/{name}"] = frac
+    result.meta["request_fraction_to_colluders"] = fractions
+    reference = WorldConfig(
+        **{k: v for k, v in (overrides or {}).items() if k != "n_compromised_pretrusted"}
+    )
+    result.meta["colluder_ids"] = reference.colluder_ids
+    result.meta["pretrusted_ids"] = reference.pretrusted_ids
+    return result
+
+
+def _falsified_fig(
+    experiment_id: str,
+    title: str,
+    base: WorldConfig,
+    *,
+    n_runs: int,
+    seed: int,
+) -> ExperimentResult:
+    return _distribution_experiment(
+        experiment_id,
+        title,
+        replace(base, falsified_social_info=True),
+        [SystemKind.EIGENTRUST_SOCIALTRUST, SystemKind.EBAY_SOCIALTRUST],
+        n_runs=n_runs,
+        seed=seed,
+    )
+
+
+def fig16(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 16: PCM B=0.6 with falsified social information."""
+    return _falsified_fig(
+        "fig16", "PCM B=0.6, falsified social information",
+        _pcm(0.6, simulation_cycles, **(overrides or {})),
+        n_runs=n_runs, seed=seed,
+    )
+
+
+def fig17(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 17: MCM B=0.6 with falsified social information."""
+    return _falsified_fig(
+        "fig17", "MCM B=0.6, falsified social information",
+        _mcm(0.6, simulation_cycles, **(overrides or {})),
+        n_runs=n_runs, seed=seed,
+    )
+
+
+def fig18(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 18: MMM B=0.6 with falsified social information."""
+    return _falsified_fig(
+        "fig18", "MMM B=0.6, falsified social information",
+        _mmm(0.6, simulation_cycles, **(overrides or {})),
+        n_runs=n_runs, seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Efficiency and distance sweeps (Figs. 19-20)
+# ---------------------------------------------------------------------------
+
+
+def fig19(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    threshold: float = 1e-3,
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 19: simulation cycles until the colluders' mean reputation
+    falls below 1e-3 and stays there.
+
+    MMM collusion; B=0.2 compares SocialTrust / EigenTrust / eBay, B=0.6
+    compares SocialTrust / EigenTrust (the paper omits eBay at B=0.6
+    because it never converges there).  Runs that never converge are
+    reported as ``simulation_cycles + 1``.
+    """
+    result = ExperimentResult(
+        "fig19", "Efficiency of collusion deterrence (MMM)"
+    )
+    grids = {
+        0.2: [
+            SystemKind.EIGENTRUST_SOCIALTRUST,
+            SystemKind.EIGENTRUST,
+            SystemKind.EBAY,
+        ],
+        0.6: [SystemKind.EIGENTRUST_SOCIALTRUST, SystemKind.EIGENTRUST],
+    }
+    for b, systems in grids.items():
+        for system in systems:
+            config = _mmm(b, simulation_cycles, **(overrides or {})).with_system(
+                system
+            )
+            cycles: list[float] = []
+            for run_index in range(n_runs):
+                world = run_cell(config, seed=seed, run_index=run_index)
+                converged = world.simulation.metrics.cycles_until_mean_below(
+                    config.colluder_ids, threshold
+                )
+                cycles.append(
+                    float(converged)
+                    if converged is not None
+                    else float(simulation_cycles + 1)
+                )
+            result.series[f"B={b}/{system.value}"] = RunStats.from_samples(
+                [np.array([c]) for c in cycles]
+            )
+    result.meta["threshold"] = threshold
+    result.meta["never_converged_value"] = simulation_cycles + 1
+    return result
+
+
+def fig20(
+    n_runs: int = DEFAULT_RUNS,
+    simulation_cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    distances: Sequence[int] = (1, 2, 3),
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Fig. 20: colluder vs normal reputation against colluder social distance.
+
+    All three collusion models run under EigenTrust+SocialTrust with the
+    colluder clique pinned at distance 1, 2 or 3.
+    """
+    result = ExperimentResult(
+        "fig20", "Average reputation vs colluder social distance (SocialTrust)"
+    )
+    makers = {"PCM": _pcm, "MCM": _mcm, "MMM": _mmm}
+    for label, maker in makers.items():
+        col_means: list[np.ndarray] = []
+        normal_means: list[np.ndarray] = []
+        for run_index in range(n_runs):
+            col_row = []
+            normal_row = []
+            for distance in distances:
+                config = replace(
+                    maker(0.6, simulation_cycles, **(overrides or {})),
+                    colluder_distance=int(distance),
+                ).with_system(SystemKind.EIGENTRUST_SOCIALTRUST)
+                world = run_cell(config, seed=seed, run_index=run_index)
+                reps = world.simulation.metrics.final_reputations()
+                col_row.append(reps[list(config.colluder_ids)].mean())
+                normal_row.append(reps[list(config.normal_ids)].mean())
+            col_means.append(np.array(col_row))
+            normal_means.append(np.array(normal_row))
+        result.add_series(f"colluders/{label}", col_means)
+        result.add_series(f"normal/{label}", normal_means)
+    result.meta["distances"] = list(distances)
+    return result

@@ -1,0 +1,54 @@
+"""Experiment registry: id → callable.
+
+Single authoritative index of every reproduced table/figure, used by the
+benchmark harness and by ``examples/reproduce_paper.py``.  Each entry
+returns an :class:`~repro.experiments.runner.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.table1 import table1
+
+__all__ = ["get_experiment", "list_experiments", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": figures.fig1,
+    "fig2": figures.fig2,
+    "fig3": figures.fig3,
+    "fig4": figures.fig4,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "fig14": figures.fig14,
+    "fig15": figures.fig15,
+    "fig16": figures.fig16,
+    "fig17": figures.fig17,
+    "fig18": figures.fig18,
+    "fig19": figures.fig19,
+    "fig20": figures.fig20,
+    "table1": table1,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up one experiment; raises ``KeyError`` with the known ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All known experiment ids, sorted."""
+    return sorted(EXPERIMENTS)

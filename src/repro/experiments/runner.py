@@ -1,0 +1,111 @@
+"""Multi-run execution and aggregation.
+
+The paper runs every experiment 5 times and reports the average with 95%
+confidence intervals; :func:`average_runs` does exactly that over any
+per-run metric extractor, and :class:`ExperimentResult` is the uniform
+container the figure functions return (named series of per-node or
+per-category values plus free-form metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.setup import BuiltWorld, WorldConfig, build_world
+
+__all__ = ["RunStats", "ExperimentResult", "average_runs", "run_cell"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Mean and 95% confidence half-width over repeated runs."""
+
+    mean: np.ndarray
+    ci95: np.ndarray
+    n_runs: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[np.ndarray]) -> "RunStats":
+        if not samples:
+            raise ValueError("need at least one run")
+        stack = np.vstack([np.atleast_1d(np.asarray(s, dtype=float)) for s in samples])
+        mean = stack.mean(axis=0)
+        if stack.shape[0] > 1:
+            sem = stack.std(axis=0, ddof=1) / np.sqrt(stack.shape[0])
+            ci95 = 1.96 * sem
+        else:
+            ci95 = np.zeros_like(mean)
+        return cls(mean=mean, ci95=ci95, n_runs=stack.shape[0])
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result container for every figure/table reproduction."""
+
+    experiment_id: str
+    title: str
+    #: Named data series, e.g. one reputation distribution per system.
+    series: dict[str, RunStats] = field(default_factory=dict)
+    #: Free-form scalars/labels (axis descriptions, group boundaries, ...).
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def add_series(self, name: str, samples: Sequence[np.ndarray]) -> None:
+        self.series[name] = RunStats.from_samples(samples)
+
+    def describe(self) -> str:
+        """Human-readable summary used by the benchmark harness output."""
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        for key, value in self.meta.items():
+            lines.append(f"  meta {key}: {value}")
+        for name, stats in self.series.items():
+            values = stats.mean
+            if values.size <= 8:
+                body = ", ".join(f"{v:.4g}" for v in values)
+            else:
+                body = (
+                    f"n={values.size} mean={values.mean():.4g} "
+                    f"min={values.min():.4g} max={values.max():.4g}"
+                )
+            lines.append(f"  {name}: {body} (runs={stats.n_runs})")
+        return "\n".join(lines)
+
+
+def run_cell(
+    config: WorldConfig,
+    *,
+    seed: int = 0,
+    run_index: int = 0,
+) -> BuiltWorld:
+    """Build and fully run one simulation cell; returns the finished world."""
+    world = build_world(config, seed=seed, run_index=run_index)
+    world.simulation.run()
+    return world
+
+
+def average_runs(
+    config: WorldConfig,
+    extractor: Callable[[BuiltWorld], np.ndarray | float | Mapping[str, float]],
+    *,
+    n_runs: int = 5,
+    seed: int = 0,
+) -> RunStats:
+    """Run ``config`` ``n_runs`` times and aggregate ``extractor``'s output.
+
+    The extractor may return an array (e.g. the final reputation vector),
+    a scalar, or a flat mapping of scalars (aggregated key-wise in sorted
+    key order; the key order is recorded nowhere, so prefer arrays for
+    anything ordered).
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    samples: list[np.ndarray] = []
+    for run_index in range(n_runs):
+        world = run_cell(config, seed=seed, run_index=run_index)
+        value = extractor(world)
+        if isinstance(value, Mapping):
+            value = np.array([value[k] for k in sorted(value)], dtype=float)
+        samples.append(np.atleast_1d(np.asarray(value, dtype=float)))
+    return RunStats.from_samples(samples)

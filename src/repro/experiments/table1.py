@@ -1,0 +1,127 @@
+"""Table 1: percentage of service requests sent to colluders.
+
+The paper's grid: {PCM, MCM, MMM} x {B=0.2, B=0.6} x {eBay, EigenTrust,
+EigenTrust (Pre), eBay+SocialTrust, EigenTrust+SocialTrust,
+EigenTrust+SocialTrust (Pre)}, where "(Pre)" marks runs with 7 compromised
+pre-trusted nodes joining the collusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult, run_cell
+from repro.experiments.setup import CollusionKind, SystemKind, WorldConfig
+
+__all__ = ["table1", "TABLE1_ROWS"]
+
+#: (row label, system, compromised pre-trusted count)
+TABLE1_ROWS: tuple[tuple[str, SystemKind, int], ...] = (
+    ("eBay", SystemKind.EBAY, 0),
+    ("EigenTrust", SystemKind.EIGENTRUST, 0),
+    ("EigenTrust (Pre)", SystemKind.EIGENTRUST, 7),
+    ("eBay+SocialTrust", SystemKind.EBAY_SOCIALTRUST, 0),
+    ("EigenTrust+SocialTrust", SystemKind.EIGENTRUST_SOCIALTRUST, 0),
+    ("EigenTrust+SocialTrust (Pre)", SystemKind.EIGENTRUST_SOCIALTRUST, 7),
+)
+
+#: Paper-reported percentages, keyed (model, B, row label) — recorded here
+#: so the benchmark output can print paper-vs-measured side by side.
+PAPER_TABLE1: dict[tuple[str, float, str], float] = {
+    ("pcm", 0.2, "eBay"): 0.06,
+    ("pcm", 0.2, "EigenTrust"): 0.17,
+    ("pcm", 0.2, "EigenTrust (Pre)"): 0.22,
+    ("pcm", 0.2, "eBay+SocialTrust"): 0.03,
+    ("pcm", 0.2, "EigenTrust+SocialTrust"): 0.02,
+    ("pcm", 0.2, "EigenTrust+SocialTrust (Pre)"): 0.02,
+    ("pcm", 0.6, "eBay"): 0.17,
+    ("pcm", 0.6, "EigenTrust"): 0.24,
+    ("pcm", 0.6, "EigenTrust (Pre)"): 0.24,
+    ("pcm", 0.6, "eBay+SocialTrust"): 0.02,
+    ("pcm", 0.6, "EigenTrust+SocialTrust"): 0.03,
+    ("pcm", 0.6, "EigenTrust+SocialTrust (Pre)"): 0.02,
+    ("mcm", 0.2, "eBay"): 0.07,
+    ("mcm", 0.2, "EigenTrust"): 0.07,
+    ("mcm", 0.2, "EigenTrust (Pre)"): 0.09,
+    ("mcm", 0.2, "eBay+SocialTrust"): 0.03,
+    ("mcm", 0.2, "EigenTrust+SocialTrust"): 0.02,
+    ("mcm", 0.2, "EigenTrust+SocialTrust (Pre)"): 0.02,
+    ("mcm", 0.6, "eBay"): 0.16,
+    ("mcm", 0.6, "EigenTrust"): 0.15,
+    ("mcm", 0.6, "EigenTrust (Pre)"): 0.10,
+    ("mcm", 0.6, "eBay+SocialTrust"): 0.02,
+    ("mcm", 0.6, "EigenTrust+SocialTrust"): 0.02,
+    ("mcm", 0.6, "EigenTrust+SocialTrust (Pre)"): 0.02,
+    ("mmm", 0.2, "eBay"): 0.08,
+    ("mmm", 0.2, "EigenTrust"): 0.19,
+    ("mmm", 0.2, "EigenTrust (Pre)"): 0.21,
+    ("mmm", 0.2, "eBay+SocialTrust"): 0.02,
+    ("mmm", 0.2, "EigenTrust+SocialTrust"): 0.03,
+    ("mmm", 0.2, "EigenTrust+SocialTrust (Pre)"): 0.04,
+    ("mmm", 0.6, "eBay"): 0.17,
+    ("mmm", 0.6, "EigenTrust"): 0.21,
+    ("mmm", 0.6, "EigenTrust (Pre)"): 0.24,
+    ("mmm", 0.6, "eBay+SocialTrust"): 0.02,
+    ("mmm", 0.6, "EigenTrust+SocialTrust"): 0.03,
+    ("mmm", 0.6, "EigenTrust+SocialTrust (Pre)"): 0.03,
+}
+
+
+def table1(
+    n_runs: int = 2,
+    simulation_cycles: int = 25,
+    seed: int = 0,
+    *,
+    models: tuple[CollusionKind, ...] = (
+        CollusionKind.PCM,
+        CollusionKind.MCM,
+        CollusionKind.MMM,
+    ),
+    b_values: tuple[float, ...] = (0.2, 0.6),
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Reproduce Table 1: fraction of served requests handled by colluders.
+
+    Series are keyed ``<model>/B=<b>/<row label>``; each holds the mean
+    request fraction over ``n_runs`` runs.  ``meta['paper']`` carries the
+    paper's reported value for every measured cell.
+    """
+    result = ExperimentResult("table1", "Percentage of requests sent to colluders")
+    paper: dict[str, float] = {}
+    for model in models:
+        for b in b_values:
+            base = WorldConfig(
+                collusion=model,
+                colluder_b=b,
+                simulation_cycles=simulation_cycles,
+                **(overrides or {}),
+            )
+            for label, system, n_pre in TABLE1_ROWS:
+                config = replace(
+                    base,
+                    system=system,
+                    # Scaled-down worlds may have fewer pre-trusted peers
+                    # than the paper's 7 compromised ones.
+                    n_compromised_pretrusted=min(n_pre, base.n_pretrusted),
+                )
+                fractions: list[np.ndarray] = []
+                for run_index in range(n_runs):
+                    world = run_cell(config, seed=seed, run_index=run_index)
+                    fractions.append(
+                        np.array(
+                            [
+                                world.simulation.metrics.fraction_served_by(
+                                    config.colluder_ids
+                                )
+                            ]
+                        )
+                    )
+                key = f"{model.value}/B={b}/{label}"
+                result.add_series(key, fractions)
+                paper_value = PAPER_TABLE1.get((model.value, b, label))
+                if paper_value is not None:
+                    paper[key] = paper_value
+    result.meta["paper"] = paper
+    return result

@@ -1,0 +1,161 @@
+"""Chord-style distributed hash table.
+
+The paper's reputation substrates "depend on the distributed hash tables to
+collect reputation ratings and calculate the global reputation value of
+each peer" (EigenTrust, PowerTrust).  This module provides that substrate:
+a consistent-hashing ring over the manager nodes with Chord finger tables,
+used to decide *which* resource manager is responsible for a node's
+ratings and to account the lookup cost of reaching it.
+
+* Keys and node positions live on a ``2^m`` identifier ring (ids are
+  deterministic salted hashes, so placement is reproducible).
+* ``manager_for(key)`` returns the responsible manager — the ring
+  successor of the key's position.
+* ``lookup(origin, key)`` walks greedy finger-table routing from an
+  origin manager and returns the route; its length is the O(log n) hop
+  cost a real deployment would pay per rating report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+__all__ = ["ChordRing"]
+
+
+def _hash_to_ring(value: str, bits: int) -> int:
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << bits)
+
+
+class ChordRing:
+    """Consistent-hashing ring with Chord finger tables.
+
+    Parameters
+    ----------
+    manager_ids:
+        The participating manager nodes (arbitrary distinct ints).
+    bits:
+        Identifier-space size (``2^bits`` positions).
+    salt:
+        Namespace string mixed into every hash, so distinct deployments
+        place nodes differently but reproducibly.
+    """
+
+    def __init__(
+        self,
+        manager_ids: Sequence[int],
+        *,
+        bits: int = 32,
+        salt: str = "socialtrust",
+    ) -> None:
+        managers = sorted(set(int(m) for m in manager_ids))
+        if not managers:
+            raise ValueError("need at least one manager")
+        if not 8 <= bits <= 60:
+            raise ValueError(f"bits must be in [8, 60], got {bits}")
+        self._bits = bits
+        self._salt = salt
+        self._positions: dict[int, int] = {}
+        used: set[int] = set()
+        for manager in managers:
+            position = _hash_to_ring(f"{salt}:manager:{manager}", bits)
+            # Resolve (vanishingly rare) position collisions determinately.
+            while position in used:
+                position = (position + 1) % (1 << bits)
+            used.add(position)
+            self._positions[manager] = position
+        self._ring = sorted((pos, mid) for mid, pos in self._positions.items())
+        self._ring_positions = [pos for pos, _ in self._ring]
+        self._fingers: dict[int, list[int]] = {
+            mid: self._build_fingers(pos) for mid, pos in self._positions.items()
+        }
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def managers(self) -> tuple[int, ...]:
+        return tuple(mid for _, mid in self._ring)
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def position_of(self, manager_id: int) -> int:
+        """Ring position of a manager."""
+        return self._positions[manager_id]
+
+    def _successor(self, position: int) -> int:
+        """Manager responsible for ``position`` (first at or after it)."""
+        idx = bisect_left(self._ring_positions, position % (1 << self._bits))
+        if idx == len(self._ring_positions):
+            idx = 0
+        return self._ring[idx][1]
+
+    def _build_fingers(self, position: int) -> list[int]:
+        fingers = []
+        for k in range(self._bits):
+            target = (position + (1 << k)) % (1 << self._bits)
+            fingers.append(self._successor(target))
+        return fingers
+
+    # -- key routing ----------------------------------------------------------
+
+    def key_position(self, node: int) -> int:
+        """Ring position of a P2P node's rating-storage key."""
+        return _hash_to_ring(f"{self._salt}:key:{node}", self._bits)
+
+    def manager_for(self, node: int) -> int:
+        """The manager responsible for ``node``'s ratings."""
+        return self._successor(self.key_position(node))
+
+    def assignment(self, n_nodes: int) -> list[int]:
+        """Node → manager mapping for a dense node-id range."""
+        return [self.manager_for(node) for node in range(n_nodes)]
+
+    def lookup(self, origin: int, node: int) -> list[int]:
+        """Greedy finger-table route from ``origin`` to ``node``'s manager.
+
+        Returns the managers visited, starting with ``origin`` and ending
+        with the responsible manager; ``len(route) - 1`` is the hop count.
+        """
+        if origin not in self._positions:
+            raise KeyError(f"unknown origin manager {origin}")
+        target = self.manager_for(node)
+        key_pos = self.key_position(node)
+        size = 1 << self._bits
+        route = [origin]
+        current = origin
+        while current != target:
+            cur_pos = self._positions[current]
+            distance = (key_pos - cur_pos) % size
+            # Largest finger that does not overshoot the key.
+            best = None
+            for k in reversed(range(self._bits)):
+                if (1 << k) <= distance:
+                    candidate = self._fingers[current][k]
+                    if candidate != current:
+                        cand_pos = self._positions[candidate]
+                        if ((cand_pos - cur_pos) % size) <= distance:
+                            best = candidate
+                            break
+            if best is None:
+                best = target  # adjacent on the ring: final hop
+            route.append(best)
+            current = best
+            if len(route) > len(self._ring) + 1:
+                raise RuntimeError("routing failed to converge")
+        return route
+
+    def mean_lookup_hops(self, n_nodes: int) -> float:
+        """Average route length over all (origin, node) pairs — the per-
+        report overhead a deployment pays; O(log n) for healthy rings."""
+        total = 0
+        count = 0
+        for origin in self.managers:
+            for node in range(n_nodes):
+                total += len(self.lookup(origin, node)) - 1
+                count += 1
+        return total / count if count else 0.0

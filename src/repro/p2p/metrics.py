@@ -1,0 +1,141 @@
+"""Simulation metrics.
+
+Collects exactly what the evaluation section reports:
+
+* per-simulation-cycle reputation snapshots (the Fig. 8-18 distributions);
+* request routing counts — how many genuine service requests each node
+  served, and what share went to a designated group (Table 1 and
+  Fig. 7(c));
+* convergence — the first simulation cycle after which every node of a
+  group stays below a reputation threshold (Fig. 19).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Accumulates routing counts and reputation history for one run."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self._n = int(n_nodes)
+        self._served = np.zeros(n_nodes, dtype=np.int64)
+        self._issued = np.zeros(n_nodes, dtype=np.int64)
+        self._unserved = 0
+        self._snapshots: list[np.ndarray] = []
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    # -- request routing ------------------------------------------------------
+
+    def record_request(self, client: int, server: int) -> None:
+        self._issued[client] += 1
+        self._served[server] += 1
+
+    def record_unserved(self, client: int) -> None:
+        self._issued[client] += 1
+        self._unserved += 1
+
+    @property
+    def total_requests(self) -> int:
+        return int(self._issued.sum())
+
+    @property
+    def total_served(self) -> int:
+        return int(self._served.sum())
+
+    @property
+    def unserved(self) -> int:
+        return self._unserved
+
+    def served_by(self, nodes: Sequence[int]) -> int:
+        ids = np.asarray(list(nodes), dtype=np.int64)
+        return int(self._served[ids].sum()) if ids.size else 0
+
+    def fraction_served_by(self, nodes: Sequence[int]) -> float:
+        """Share of all *served* requests handled by ``nodes``."""
+        total = self.total_served
+        if total == 0:
+            return 0.0
+        return self.served_by(nodes) / total
+
+    # -- reputation history -----------------------------------------------------
+
+    def snapshot(self, reputations: np.ndarray) -> None:
+        reps = np.asarray(reputations, dtype=np.float64)
+        if reps.shape != (self._n,):
+            raise ValueError(
+                f"snapshot shape {reps.shape} != ({self._n},)"
+            )
+        self._snapshots.append(reps.copy())
+
+    @property
+    def n_snapshots(self) -> int:
+        return len(self._snapshots)
+
+    def reputation_history(self) -> np.ndarray:
+        """(n_cycles, n_nodes) array of end-of-cycle reputations."""
+        if not self._snapshots:
+            return np.zeros((0, self._n))
+        return np.vstack(self._snapshots)
+
+    def final_reputations(self) -> np.ndarray:
+        if not self._snapshots:
+            return np.zeros(self._n)
+        return self._snapshots[-1].copy()
+
+    def cycles_until_mean_below(
+        self, nodes: Sequence[int], threshold: float
+    ) -> int | None:
+        """First 1-based cycle from which the *mean* reputation of ``nodes``
+        stays below ``threshold``; ``None`` if that never happens.
+
+        The per-node variant (:meth:`cycles_until_below`) is strict — one
+        node briefly popping above the bar resets it; the group mean is the
+        robust summary Fig. 19's convergence comparison needs.
+        """
+        ids = np.asarray(list(nodes), dtype=np.int64)
+        if ids.size == 0:
+            raise ValueError("nodes must be non-empty")
+        history = self.reputation_history()
+        if history.shape[0] == 0:
+            return None
+        below = history[:, ids].mean(axis=1) < threshold
+        failing = np.flatnonzero(~below)
+        if failing.size == 0:
+            return 1
+        first = int(failing[-1]) + 1
+        if first >= history.shape[0]:
+            return None
+        return first + 1
+
+    def cycles_until_below(
+        self, nodes: Sequence[int], threshold: float
+    ) -> int | None:
+        """First 1-based cycle from which every node in ``nodes`` stays below
+        ``threshold`` until the end of the run; ``None`` if that never happens.
+        """
+        ids = np.asarray(list(nodes), dtype=np.int64)
+        if ids.size == 0:
+            raise ValueError("nodes must be non-empty")
+        history = self.reputation_history()
+        if history.shape[0] == 0:
+            return None
+        below = np.all(history[:, ids] < threshold, axis=1)
+        # Last index where the condition fails; converged from the next one.
+        failing = np.flatnonzero(~below)
+        if failing.size == 0:
+            return 1
+        first = int(failing[-1]) + 1
+        if first >= history.shape[0]:
+            return None
+        return first + 1

@@ -1,0 +1,87 @@
+"""Interest-based unstructured overlay.
+
+"Nodes with the same interests are connected with each other, and a node
+requests resources from its interest neighbors" (Section 5.1).  The
+overlay is therefore fully determined by the declared interest sets: two
+peers are neighbours iff their interest sets intersect, and the candidate
+servers for a request on interest ``l`` are the other peers declaring
+``l``.
+
+Both relations are precomputed as NumPy index arrays so the simulator's
+inner loop does no set algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["InterestOverlay"]
+
+
+class InterestOverlay:
+    """Neighbour/provider structure induced by declared interest sets."""
+
+    def __init__(self, interest_sets: Sequence[frozenset[int]], n_interests: int) -> None:
+        if not interest_sets:
+            raise ValueError("overlay needs at least one node")
+        if n_interests <= 0:
+            raise ValueError(f"n_interests must be positive, got {n_interests}")
+        n = len(interest_sets)
+        membership = np.zeros((n, n_interests), dtype=bool)
+        for node, interests in enumerate(interest_sets):
+            if not interests:
+                raise ValueError(f"node {node} has an empty interest set")
+            for v in interests:
+                if not 0 <= v < n_interests:
+                    raise ValueError(
+                        f"interest {v} of node {node} out of range [0, {n_interests})"
+                    )
+                membership[node, v] = True
+        self._membership = membership
+        shared = membership @ membership.T
+        np.fill_diagonal(shared, 0)
+        self._neighbor_mask = shared > 0
+        self._providers = [
+            np.flatnonzero(membership[:, l]).astype(np.int64)
+            for l in range(n_interests)
+        ]
+        self._neighbors = [
+            np.flatnonzero(self._neighbor_mask[i]).astype(np.int64) for i in range(n)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        return self._membership.shape[0]
+
+    @property
+    def n_interests(self) -> int:
+        return self._membership.shape[1]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Ids of peers sharing at least one interest with ``node``."""
+        return self._neighbors[node]
+
+    def shares_interest(self, i: int, j: int) -> bool:
+        return bool(self._neighbor_mask[i, j])
+
+    def providers(self, interest: int) -> np.ndarray:
+        """All peers declaring ``interest`` (including potential requesters)."""
+        return self._providers[interest]
+
+    def candidate_servers(self, node: int, interest: int) -> np.ndarray:
+        """Peers that can serve ``node``'s request on ``interest``.
+
+        Providers of the interest, excluding the requester itself.  (Every
+        provider of one of the requester's interests is by construction an
+        interest neighbour.)
+        """
+        providers = self._providers[interest]
+        return providers[providers != node]
+
+    def interest_membership(self) -> np.ndarray:
+        """Read-only boolean node-by-interest membership matrix."""
+        view = self._membership.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,173 @@
+"""Peer behaviour models.
+
+The paper's node model (Section 5.1) has three kinds of peers:
+
+* **pre-trusted** — always serve authentic resources (``B = 1``);
+* **normal** — serve authentic resources with probability 0.8;
+* **malicious** — serve authentic resources with probability ``B``
+  (0.2 or 0.6 in the collusion experiments, uniform over [0.2, 0.6] in the
+  colluder-free baseline).  Malicious peers optionally *collude* — the
+  collusion behaviour itself lives in :mod:`repro.collusion`.
+
+Each peer also carries a per-query-cycle service capacity (50 in the
+paper), an activity probability drawn from [0.5, 1], and a declared
+interest set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_probability
+
+__all__ = ["NodeKind", "NodeSpec", "Population"]
+
+
+class NodeKind(enum.Enum):
+    """Behaviour class of a peer (Section 5.1's node model)."""
+
+    PRETRUSTED = "pretrusted"
+    NORMAL = "normal"
+    MALICIOUS = "malicious"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static behaviour parameters of one peer."""
+
+    node_id: int
+    kind: NodeKind
+    #: Probability of serving an authentic resource (``B`` for malicious).
+    authentic_prob: float
+    #: Requests the node can serve per query cycle.
+    capacity: int
+    #: Probability the node issues a query in a given query cycle.
+    activity: float
+    #: Declared interest categories.
+    interests: frozenset[int]
+
+    def __post_init__(self) -> None:
+        check_probability("authentic_prob", self.authentic_prob)
+        check_probability("activity", self.activity)
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if not self.interests:
+            raise ValueError("every node needs at least one interest")
+
+
+class Population:
+    """All peers of one simulated network, indexable by node id."""
+
+    def __init__(self, specs: Sequence[NodeSpec]) -> None:
+        specs = list(specs)
+        if not specs:
+            raise ValueError("population must not be empty")
+        ids = [s.node_id for s in specs]
+        if ids != list(range(len(specs))):
+            raise ValueError("node ids must be dense 0..n-1 and in order")
+        self._specs = tuple(specs)
+        self._authentic = np.array([s.authentic_prob for s in specs])
+        self._activity = np.array([s.activity for s in specs])
+        self._capacity = np.array([s.capacity for s in specs], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __getitem__(self, node_id: int) -> NodeSpec:
+        return self._specs[node_id]
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._specs)
+
+    @property
+    def authentic_probs(self) -> np.ndarray:
+        return self._authentic
+
+    @property
+    def activity_probs(self) -> np.ndarray:
+        return self._activity
+
+    @property
+    def capacities(self) -> np.ndarray:
+        return self._capacity
+
+    def ids_of_kind(self, kind: NodeKind) -> tuple[int, ...]:
+        return tuple(s.node_id for s in self._specs if s.kind is kind)
+
+    def kind_mask(self, kind: NodeKind) -> np.ndarray:
+        return np.array([s.kind is kind for s in self._specs])
+
+    @classmethod
+    def build(
+        cls,
+        n_nodes: int,
+        rng: RngStream,
+        *,
+        pretrusted_ids: Iterable[int] = (),
+        malicious_ids: Iterable[int] = (),
+        n_interests: int = 20,
+        interests_per_node: tuple[int, int] = (1, 10),
+        capacity: int = 50,
+        activity_range: tuple[float, float] = (0.5, 1.0),
+        normal_authentic_prob: float = 0.8,
+        malicious_authentic_prob: float | tuple[float, float] = 0.2,
+    ) -> "Population":
+        """Construct the paper's population.
+
+        ``malicious_authentic_prob`` may be a scalar ``B`` (all malicious
+        peers share it — the collusion experiments) or a ``(low, high)``
+        range sampled per node (the colluder-free baseline).
+        """
+        pretrusted = set(int(x) for x in pretrusted_ids)
+        malicious = set(int(x) for x in malicious_ids)
+        if pretrusted & malicious:
+            raise ValueError("a node cannot be both pre-trusted and malicious")
+        for x in pretrusted | malicious:
+            if not 0 <= x < n_nodes:
+                raise ValueError(f"node id {x} out of range [0, {n_nodes})")
+        lo_i, hi_i = interests_per_node
+        if not 1 <= lo_i <= hi_i <= n_interests:
+            raise ValueError(
+                f"interests_per_node {interests_per_node} incompatible with "
+                f"{n_interests} interest categories"
+            )
+        lo_a, hi_a = activity_range
+        specs = []
+        for node_id in range(n_nodes):
+            if node_id in pretrusted:
+                kind = NodeKind.PRETRUSTED
+                prob = 1.0
+            elif node_id in malicious:
+                kind = NodeKind.MALICIOUS
+                if isinstance(malicious_authentic_prob, tuple):
+                    b_lo, b_hi = malicious_authentic_prob
+                    prob = float(rng.uniform(b_lo, b_hi))
+                else:
+                    prob = float(malicious_authentic_prob)
+            else:
+                kind = NodeKind.NORMAL
+                prob = normal_authentic_prob
+            k = int(rng.integers(lo_i, hi_i + 1))
+            interests = frozenset(
+                int(v) for v in rng.choice(n_interests, size=k, replace=False)
+            )
+            specs.append(
+                NodeSpec(
+                    node_id=node_id,
+                    kind=kind,
+                    authentic_prob=prob,
+                    capacity=capacity,
+                    activity=float(rng.uniform(lo_a, hi_a)),
+                    interests=interests,
+                )
+            )
+        return cls(specs)

@@ -1,0 +1,95 @@
+"""Reputation-guided server selection.
+
+The paper's selection rule: "a node randomly chooses a neighbor with
+available capacity greater than 0 and reputation higher than T_R = 0.01".
+Since every node starts at reputation 0, a pure threshold rule would
+deadlock; the paper resolves this by random choice "at the initial stage"
+and notes that chosen nodes "subsequently have a higher probability to be
+chosen".  Three policies capture the space:
+
+* :attr:`SelectionPolicy.RANDOM` — uniform over capacity-positive
+  candidates (reputation ignored);
+* :attr:`SelectionPolicy.THRESHOLD_RANDOM` — uniform over candidates above
+  the reputation threshold, uniform over all capacity-positive candidates
+  when none qualifies;
+* :attr:`SelectionPolicy.REPUTATION_WEIGHTED` — probability proportional to
+  reputation among candidates above the threshold, with the same uniform
+  fallback.  This is the default: it reproduces the rich-get-richer
+  dynamics the paper describes (high-reputed nodes attract more requests —
+  the very dynamics that make reputation boosting profitable).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+
+__all__ = ["SelectionPolicy", "select_server"]
+
+
+class SelectionPolicy(enum.Enum):
+    """How a requester chooses among capacity-positive candidate servers."""
+
+    RANDOM = "random"
+    THRESHOLD_RANDOM = "threshold_random"
+    REPUTATION_WEIGHTED = "reputation_weighted"
+
+
+def select_server(
+    candidates: np.ndarray,
+    reputations: np.ndarray,
+    remaining_capacity: np.ndarray,
+    rng: RngStream,
+    *,
+    threshold: float = 0.01,
+    policy: SelectionPolicy = SelectionPolicy.REPUTATION_WEIGHTED,
+    exploration: float = 0.0,
+) -> int | None:
+    """Pick a server for one request; ``None`` when no candidate has capacity.
+
+    Parameters
+    ----------
+    candidates:
+        Node ids eligible to serve the request (interest providers).
+    reputations:
+        Current global reputation vector.
+    remaining_capacity:
+        Per-node remaining capacity for the current query cycle.
+    threshold:
+        The paper's ``T_R`` reputation floor for preferred selection.
+    policy:
+        Selection rule applied to above-threshold candidates.
+    exploration:
+        Probability of ignoring reputations entirely and picking uniformly
+        among capacity-positive candidates.  A strictly threshold-gated
+        rule starves every sub-threshold node of traffic completely, which
+        contradicts the trace dynamics the paper reports (low-reputed
+        nodes attract *less* traffic, not none) and freezes the reputation
+        system's ability to ever re-evaluate a node; a small exploration
+        fraction keeps the market open.
+    """
+    if not 0.0 <= exploration <= 1.0:
+        raise ValueError(f"exploration must be in [0, 1], got {exploration}")
+    if candidates.size == 0:
+        return None
+    available = candidates[remaining_capacity[candidates] > 0]
+    if available.size == 0:
+        return None
+    if policy is SelectionPolicy.RANDOM:
+        return int(rng.choice(available))
+    if exploration > 0.0 and rng.random() < exploration:
+        return int(rng.choice(available))
+    reps = reputations[available]
+    qualified = available[reps > threshold]
+    if qualified.size == 0:
+        return int(rng.choice(available))
+    if policy is SelectionPolicy.THRESHOLD_RANDOM:
+        return int(rng.choice(qualified))
+    weights = reputations[qualified]
+    total = weights.sum()
+    if total <= 0:
+        return int(rng.choice(qualified))
+    return int(rng.choice(qualified, p=weights / total))

@@ -1,0 +1,209 @@
+"""The discrete-cycle simulation engine.
+
+One :class:`Simulation` couples a peer population, the interest overlay, a
+reputation system (optionally wrapped by SocialTrust), and a collusion
+schedule.  Time advances in the paper's two-level cycles:
+
+* **query cycle** — every active peer issues one resource request on one of
+  its interests (interest choice is Zipf-distributed per node, matching the
+  trace's power-law category ranks), a server is selected by reputation,
+  the service outcome is rated ±1, and the colluders inject their rating
+  bursts;
+* **simulation cycle** — after ``query_cycles_per_simulation_cycle`` (30)
+  query cycles, the accumulated interval ratings feed the reputation
+  update and a metrics snapshot is taken.
+
+Genuine requests update three behavioural ledgers shared with SocialTrust:
+the rating ledger, the interaction-frequency ledger and the per-interest
+request counters.  Collusion bursts update the rating and interaction
+ledgers only (a rating exchange without a genuine resource transfer leaves
+no request trace — see :mod:`repro.collusion.models`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collusion.models import CollusionSchedule, NoCollusion
+from repro.p2p.metrics import MetricsCollector
+from repro.p2p.network import InterestOverlay
+from repro.p2p.node import Population
+from repro.p2p.selection import SelectionPolicy, select_server
+from repro.reputation.base import Rating, ReputationSystem
+from repro.reputation.ledger import RatingLedger
+from repro.social.interactions import InteractionLedger
+from repro.social.interests import InterestProfiles
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_probability
+
+__all__ = ["SimulationConfig", "Simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine parameters (defaults are the paper's Section 5.1 values)."""
+
+    simulation_cycles: int = 50
+    query_cycles_per_simulation_cycle: int = 30
+    #: The paper's ``T_R`` server-selection reputation floor.
+    selection_threshold: float = 0.01
+    selection_policy: SelectionPolicy = SelectionPolicy.REPUTATION_WEIGHTED
+    #: Probability of reputation-blind uniform selection (see
+    #: :func:`repro.p2p.selection.select_server`).
+    selection_exploration: float = 0.0
+    #: Zipf exponent for per-node interest choice (trace: the top 3
+    #: categories cover ~88% of a user's purchases).
+    interest_zipf_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.simulation_cycles < 1:
+            raise ValueError("simulation_cycles must be >= 1")
+        if self.query_cycles_per_simulation_cycle < 1:
+            raise ValueError("query_cycles_per_simulation_cycle must be >= 1")
+        check_probability("selection_threshold", self.selection_threshold)
+        check_probability("selection_exploration", self.selection_exploration)
+        if self.interest_zipf_exponent < 0:
+            raise ValueError("interest_zipf_exponent must be >= 0")
+
+
+class Simulation:
+    """Couples all substrates and runs the two-level cycle loop."""
+
+    def __init__(
+        self,
+        population: Population,
+        overlay: InterestOverlay,
+        system: ReputationSystem,
+        rng: RngStream,
+        *,
+        config: SimulationConfig | None = None,
+        collusion: CollusionSchedule | None = None,
+        interactions: InteractionLedger | None = None,
+        profiles: InterestProfiles | None = None,
+    ) -> None:
+        n = population.n_nodes
+        if overlay.n_nodes != n:
+            raise ValueError("overlay and population disagree on network size")
+        if system.n_nodes != n:
+            raise ValueError("reputation system and population disagree on size")
+        self._population = population
+        self._overlay = overlay
+        self._system = system
+        self._rng = rng
+        self._config = config or SimulationConfig()
+        self._collusion = collusion or NoCollusion()
+        self._interactions = interactions or InteractionLedger(n)
+        if profiles is None:
+            profiles = InterestProfiles(n, overlay.n_interests)
+            for spec in population:
+                profiles.set_declared(spec.node_id, spec.interests)
+        self._profiles = profiles
+        self._ledger = RatingLedger(n)
+        self._metrics = MetricsCollector(n)
+        self._cycles_run = 0
+        # Per-node Zipf weights over the node's own (sorted) interest list.
+        s = self._config.interest_zipf_exponent
+        self._interest_choices: list[np.ndarray] = []
+        self._interest_weights: list[np.ndarray] = []
+        for spec in population:
+            interests = np.array(sorted(spec.interests), dtype=np.int64)
+            ranks = np.arange(1, interests.size + 1, dtype=np.float64)
+            weights = ranks**-s if s > 0 else np.ones_like(ranks)
+            self._interest_choices.append(interests)
+            self._interest_weights.append(weights / weights.sum())
+
+    @property
+    def population(self) -> Population:
+        return self._population
+
+    @property
+    def system(self) -> ReputationSystem:
+        return self._system
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self._metrics
+
+    @property
+    def interactions(self) -> InteractionLedger:
+        return self._interactions
+
+    @property
+    def profiles(self) -> InterestProfiles:
+        return self._profiles
+
+    @property
+    def cycles_run(self) -> int:
+        return self._cycles_run
+
+    def _draw_interest(self, node: int) -> int:
+        choices = self._interest_choices[node]
+        if choices.size == 1:
+            return int(choices[0])
+        return int(self._rng.choice(choices, p=self._interest_weights[node]))
+
+    def _run_query_cycle(self, remaining_capacity: np.ndarray) -> None:
+        rng = self._rng
+        population = self._population
+        reputations = self._system.reputations
+        active_draw = rng.random(population.n_nodes)
+        np.copyto(remaining_capacity, population.capacities)
+        for client in rng.permutation(population.n_nodes):
+            client = int(client)
+            if active_draw[client] >= population.activity_probs[client]:
+                continue
+            interest = self._draw_interest(client)
+            candidates = self._overlay.candidate_servers(client, interest)
+            server = select_server(
+                candidates,
+                reputations,
+                remaining_capacity,
+                rng,
+                threshold=self._config.selection_threshold,
+                policy=self._config.selection_policy,
+                exploration=self._config.selection_exploration,
+            )
+            if server is None:
+                self._metrics.record_unserved(client)
+                continue
+            remaining_capacity[server] -= 1
+            authentic = rng.random() < population.authentic_probs[server]
+            value = 1.0 if authentic else -1.0
+            self._ledger.record(
+                Rating(rater=client, ratee=server, value=value, interest=interest)
+            )
+            self._interactions.record(client, server)
+            self._profiles.record_request(client, interest)
+            self._metrics.record_request(client, server)
+        # Collusion bursts: ratings + interactions, no genuine requests.
+        for burst in self._collusion.bursts(rng):
+            self._ledger.record_batch(
+                burst.rater, burst.ratee, burst.value, burst.count
+            )
+            self._interactions.record(burst.rater, burst.ratee, burst.count)
+
+    def run_simulation_cycle(self) -> np.ndarray:
+        """Run one simulation cycle; returns the updated reputation vector."""
+        remaining_capacity = self._population.capacities.copy()
+        for _ in range(self._config.query_cycles_per_simulation_cycle):
+            self._run_query_cycle(remaining_capacity)
+        interval = self._ledger.drain()
+        reputations = self._system.update(interval)
+        self._metrics.snapshot(reputations)
+        self._cycles_run += 1
+        return reputations
+
+    def run(self, simulation_cycles: int | None = None) -> MetricsCollector:
+        """Run the configured number of simulation cycles; returns metrics."""
+        cycles = (
+            simulation_cycles
+            if simulation_cycles is not None
+            else self._config.simulation_cycles
+        )
+        if cycles < 1:
+            raise ValueError("simulation_cycles must be >= 1")
+        for _ in range(cycles):
+            self.run_simulation_cycle()
+        return self._metrics

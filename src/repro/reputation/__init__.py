@@ -1,0 +1,33 @@
+"""Reputation-system substrate.
+
+Implements the two base reputation systems the paper evaluates —
+:class:`~repro.reputation.eigentrust.EigenTrust` (power-iteration global
+trust with pre-trusted peers) and :class:`~repro.reputation.ebay.EBayModel`
+(weekly-bucketed rating accumulator) — behind a single
+:class:`~repro.reputation.base.ReputationSystem` interface that SocialTrust
+wraps.
+
+Ratings flow through a per-interval :class:`~repro.reputation.ledger.RatingLedger`
+(dense NumPy accumulators) so that both the reputation update and the
+SocialTrust adjustment are vectorised matrix operations.
+"""
+
+from repro.reputation.base import IntervalRatings, Rating, ReputationSystem
+from repro.reputation.ebay import EBayModel
+from repro.reputation.gossip import GossipTrust
+from repro.reputation.eigentrust import EigenTrust
+from repro.reputation.ledger import RatingLedger
+from repro.reputation.powertrust import PowerTrust
+from repro.reputation.trustguard import SimilarityWeightedModel
+
+__all__ = [
+    "IntervalRatings",
+    "Rating",
+    "ReputationSystem",
+    "EBayModel",
+    "EigenTrust",
+    "GossipTrust",
+    "PowerTrust",
+    "SimilarityWeightedModel",
+    "RatingLedger",
+]

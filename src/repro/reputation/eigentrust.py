@@ -1,0 +1,164 @@
+"""EigenTrust (Kamvar, Schlosser & Garcia-Molina, WWW 2003).
+
+Global trust is the stationary vector of the normalised local-trust matrix,
+blended with a pre-trusted distribution:
+
+    t_{k+1} = (1 - a) * C^T t_k + a * p
+
+where ``C`` row-normalises the clipped accumulated local ratings
+``s_ij = max(sum of ratings i gave j, 0)``, ``p`` is uniform over the
+pre-trusted peers, and ``a`` is the pre-trust weight (see the class
+docstring for why the default is 0.15 rather than the SocialTrust paper's
+stated 0.5).  Rows with no positive local trust fall back to ``p`` — the standard
+EigenTrust treatment of inexperienced peers, which is also what lets
+pre-trusted peers anchor the computation.
+
+The iteration is a dense 200x200 matrix-vector product per step; pure NumPy
+is more than fast enough for the paper-scale experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.reputation.base import IntervalRatings, ReputationSystem
+
+__all__ = ["EigenTrust"]
+
+
+class EigenTrust(ReputationSystem):
+    """Power-iteration EigenTrust with pre-trusted peers.
+
+    Parameters
+    ----------
+    n_nodes:
+        Network size.
+    pretrusted:
+        Ids of pre-trusted peers (distribution ``p`` is uniform over them).
+        May be empty, in which case ``p`` is uniform over all nodes.
+    pretrust_weight:
+        The blend factor ``a`` in the update rule.  The SocialTrust paper
+        states 0.5, but its own reputation plots are inconsistent with a
+        0.5 *blend* (nine pre-trusted peers would each be guaranteed
+        ``0.5/9 ≈ 5.5%`` of the total mass, an order of magnitude above
+        every curve shown); the default therefore follows the EigenTrust
+        paper's PageRank-style 0.15, and the experiment harness documents
+        the divergence.  Pass 0.5 to follow the stated value literally.
+    epsilon:
+        L1 convergence tolerance of the power iteration.
+    max_iterations:
+        Safety bound on power-iteration steps.
+    memory_decay:
+        Fading-memory factor applied to the accumulated local trust before
+        each interval is added (TrustGuard-style: recent behaviour weighs
+        more than ancient history).  1.0 (default) keeps the paper's
+        infinite memory; 0.9 halves the weight of an interval after ~7
+        more intervals.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        pretrusted: Sequence[int] = (),
+        *,
+        pretrust_weight: float = 0.15,
+        epsilon: float = 1e-10,
+        max_iterations: int = 1000,
+        memory_decay: float = 1.0,
+    ) -> None:
+        super().__init__(n_nodes)
+        if not 0.0 < memory_decay <= 1.0:
+            raise ValueError(
+                f"memory_decay must be in (0, 1], got {memory_decay}"
+            )
+        self._decay = float(memory_decay)
+        if not 0.0 <= pretrust_weight < 1.0:
+            raise ValueError(
+                f"pretrust_weight must be in [0, 1), got {pretrust_weight}"
+            )
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        ids = sorted(set(int(x) for x in pretrusted))
+        for x in ids:
+            if not 0 <= x < n_nodes:
+                raise ValueError(f"pretrusted id {x} out of range [0, {n_nodes})")
+        self._pretrusted = tuple(ids)
+        self._a = float(pretrust_weight)
+        self._eps = float(epsilon)
+        self._max_iter = int(max_iterations)
+        self._p = np.zeros(n_nodes, dtype=np.float64)
+        if ids:
+            self._p[ids] = 1.0 / len(ids)
+        else:
+            self._p[:] = 1.0 / n_nodes
+        self._local = np.zeros((n_nodes, n_nodes), dtype=np.float64)
+        self._t = self._p.copy()
+        self._last_iterations = 0
+
+    @property
+    def name(self) -> str:
+        return "EigenTrust"
+
+    @property
+    def pretrusted(self) -> tuple[int, ...]:
+        return self._pretrusted
+
+    @property
+    def last_iterations(self) -> int:
+        """Power-iteration steps taken by the most recent :meth:`update`."""
+        return self._last_iterations
+
+    @property
+    def local_trust(self) -> np.ndarray:
+        """Read-only view of the accumulated (signed) local ratings ``s_ij``."""
+        view = self._local.view()
+        view.flags.writeable = False
+        return view
+
+    def normalized_local(self) -> np.ndarray:
+        """The row-stochastic matrix ``C``; pretrust rows for empty raters."""
+        clipped = np.clip(self._local, 0.0, None)
+        np.fill_diagonal(clipped, 0.0)
+        row_sums = clipped.sum(axis=1, keepdims=True)
+        c = np.divide(
+            clipped, row_sums, out=np.zeros_like(clipped), where=row_sums > 0
+        )
+        empty = row_sums[:, 0] == 0
+        if np.any(empty):
+            c[empty] = self._p
+        return c
+
+    def update(self, interval: IntervalRatings) -> np.ndarray:
+        self._check_interval(interval)
+        if self._decay < 1.0:
+            self._local *= self._decay
+        self._local += interval.value_sum
+        c = self.normalized_local()
+        ct = np.ascontiguousarray(c.T)
+        t = self._t
+        a, p = self._a, self._p
+        for iteration in range(1, self._max_iter + 1):
+            t_next = (1.0 - a) * (ct @ t) + a * p
+            delta = np.abs(t_next - t).sum()
+            t = t_next
+            if delta < self._eps:
+                break
+        self._last_iterations = iteration
+        self._t = t
+        return self.reputations
+
+    @property
+    def reputations(self) -> np.ndarray:
+        total = self._t.sum()
+        if total <= 0:
+            return np.zeros(self._n)
+        return self._t / total
+
+    def reset(self) -> None:
+        self._local[:] = 0.0
+        self._t = self._p.copy()
+        self._last_iterations = 0

@@ -1,0 +1,144 @@
+"""GossipTrust-style aggregation (Zhou & Hwang, TKDE 2007) — simplified.
+
+The related work's fully decentralised alternative to DHT collection:
+"GossipTrust enables peers to share weighted local trust scores with
+randomly selected neighbors until reaching global consensus on peer
+reputations."  This implementation runs push-sum gossip over the local
+trust matrix:
+
+* every peer holds a (value, weight) pair per subject peer, seeded from
+  its own local trust row;
+* each gossip round, every peer splits its pairs in half and pushes one
+  half to a uniformly random peer;
+* the value/weight ratio at every peer converges to the global average of
+  the local trust columns — the same aggregate a centralised pass would
+  compute — with per-round communication instead of a coordinator.
+
+The class exposes both the converged reputations (the
+:class:`~repro.reputation.base.ReputationSystem` interface) and gossip
+diagnostics: rounds used and the residual disagreement between peers,
+which is what the decentralisation actually costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reputation.base import IntervalRatings, ReputationSystem
+from repro.utils.rng import RngStream, spawn_rng
+
+__all__ = ["GossipTrust"]
+
+
+class GossipTrust(ReputationSystem):
+    """Push-sum gossip aggregation of local trust.
+
+    Parameters
+    ----------
+    n_nodes:
+        Network size.
+    rounds:
+        Gossip rounds per reputation update.  Push-sum halves the
+        disagreement roughly geometrically, so a few dozen rounds reach
+        consensus at paper scale.
+    convergence_tolerance:
+        Stop early once the maximum relative disagreement between peers'
+        estimates falls below this.
+    seed:
+        Seed for the gossip partner selection (kept internal so the
+        simulation's main stream is not perturbed).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        rounds: int = 50,
+        convergence_tolerance: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_nodes)
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if convergence_tolerance <= 0:
+            raise ValueError("convergence_tolerance must be positive")
+        self._rounds = int(rounds)
+        self._tol = float(convergence_tolerance)
+        self._rng: RngStream = spawn_rng(seed, 0x60551)
+        self._local = np.zeros((n_nodes, n_nodes), dtype=np.float64)
+        self._reputations = np.zeros(n_nodes, dtype=np.float64)
+        self._last_rounds = 0
+        self._last_disagreement = 0.0
+
+    @property
+    def name(self) -> str:
+        return "GossipTrust"
+
+    @property
+    def last_rounds(self) -> int:
+        """Gossip rounds used by the most recent update."""
+        return self._last_rounds
+
+    @property
+    def last_disagreement(self) -> float:
+        """Residual max disagreement between peers after the last update."""
+        return self._last_disagreement
+
+    def _gossip_average(self, columns: np.ndarray) -> np.ndarray:
+        """Push-sum average of each column of ``columns`` across peers.
+
+        ``values[p, j]`` is peer ``p``'s running sum for subject ``j``;
+        ``weights[p]`` its push-sum weight.  Returns the converged
+        per-subject averages.
+        """
+        n = self._n
+        values = columns.copy()
+        weights = np.ones(n, dtype=np.float64)
+        estimates = values / weights[:, None]
+        self._last_rounds = self._rounds
+        for round_index in range(1, self._rounds + 1):
+            targets = self._rng.integers(0, n, size=n)
+            half_values = values * 0.5
+            half_weights = weights * 0.5
+            values = half_values.copy()
+            weights = half_weights.copy()
+            np.add.at(values, targets, half_values)
+            np.add.at(weights, targets, half_weights)
+            estimates = values / weights[:, None]
+            spread = estimates.max(axis=0) - estimates.min(axis=0)
+            scale = np.abs(estimates).max()
+            if scale == 0.0 or spread.max() <= self._tol * scale:
+                self._last_rounds = round_index
+                break
+        self._last_disagreement = float(
+            (estimates.max(axis=0) - estimates.min(axis=0)).max()
+        )
+        return estimates.mean(axis=0)
+
+    def update(self, interval: IntervalRatings) -> np.ndarray:
+        self._check_interval(interval)
+        self._local += interval.value_sum
+        # Row-normalise the clipped local trust (as EigenTrust's C), then
+        # gossip-average the columns: the result is each peer's aggregate
+        # trustworthiness in the eyes of the network.
+        clipped = np.clip(self._local, 0.0, None)
+        np.fill_diagonal(clipped, 0.0)
+        row_sums = clipped.sum(axis=1, keepdims=True)
+        c = np.divide(
+            clipped, row_sums, out=np.zeros_like(clipped), where=row_sums > 0
+        )
+        self._reputations = np.clip(self._gossip_average(c), 0.0, None)
+        return self.reputations
+
+    @property
+    def reputations(self) -> np.ndarray:
+        total = self._reputations.sum()
+        if total <= 0:
+            return np.zeros(self._n)
+        return self._reputations / total
+
+    def reset(self) -> None:
+        self._local[:] = 0.0
+        self._reputations[:] = 0.0
+        self._last_rounds = 0
+        self._last_disagreement = 0.0

@@ -1,0 +1,68 @@
+"""Per-interval rating accumulator.
+
+The simulator records every rating into a :class:`RatingLedger`; at each
+reputation-update interval the ledger is drained into an immutable-by-
+convention :class:`~repro.reputation.base.IntervalRatings` bundle.  Keeping
+the hot-path ``record`` a pair of array increments (rather than appending
+Python objects) is what keeps the 200-node x 30-query-cycle x 50-cycle
+experiment grid fast.
+"""
+
+from __future__ import annotations
+
+from repro.reputation.base import IntervalRatings, Rating
+
+__all__ = ["RatingLedger"]
+
+
+class RatingLedger:
+    """Accumulates ratings for the current reputation-update interval."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self._n = int(n_nodes)
+        self._interval = IntervalRatings(self._n)
+        self._total_recorded = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def total_recorded(self) -> int:
+        """Ratings recorded since construction (across all intervals)."""
+        return self._total_recorded
+
+    def record(self, rating: Rating) -> None:
+        if not 0 <= rating.rater < self._n or not 0 <= rating.ratee < self._n:
+            raise IndexError(
+                f"rating ({rating.rater} -> {rating.ratee}) out of range"
+            )
+        self._interval.add(rating)
+        self._total_recorded += 1
+
+    def record_batch(self, rater: int, ratee: int, value: float, count: int) -> None:
+        """Record ``count`` identical ratings in one call (collusion bursts)."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if rater == ratee:
+            raise ValueError("self-ratings are not allowed")
+        if not 0 <= rater < self._n or not 0 <= ratee < self._n:
+            raise IndexError(f"rating ({rater} -> {ratee}) out of range")
+        self._interval.value_sum[rater, ratee] += value * count
+        if value >= 0:
+            self._interval.pos_counts[rater, ratee] += count
+        else:
+            self._interval.neg_counts[rater, ratee] += count
+        self._total_recorded += count
+
+    def peek(self) -> IntervalRatings:
+        """Current interval aggregates without draining (copy)."""
+        return self._interval.copy()
+
+    def drain(self) -> IntervalRatings:
+        """Return the interval aggregates and start a fresh interval."""
+        out = self._interval
+        self._interval = IntervalRatings(self._n)
+        return out

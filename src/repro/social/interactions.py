@@ -1,0 +1,75 @@
+"""Directed interaction-frequency ledger — the ``f(i,j)`` input of Eq. (2).
+
+In a P2P network coupled to a social network, an *interaction* is one node
+requesting a resource from (or rating) another.  SocialTrust's closeness
+formula normalises the pairwise frequency by the rater's total outgoing
+frequency, so colluders cannot raise their closeness to everyone at once:
+pumping ``f(i,j)`` for one partner necessarily dilutes the share of every
+other partner.
+
+The ledger is a dense ``n x n`` ``float64`` matrix; recording is O(1) and
+the share computation is a vectorised row normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InteractionLedger"]
+
+
+class InteractionLedger:
+    """Accumulates directed interaction counts between nodes."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self._n = int(n_nodes)
+        self._counts = np.zeros((self._n, self._n), dtype=np.float64)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def record(self, i: int, j: int, count: float = 1.0) -> None:
+        """Record ``count`` interactions initiated by ``i`` toward ``j``."""
+        if i == j:
+            raise ValueError("self-interactions are not meaningful")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._counts[i, j] += count
+
+    def frequency(self, i: int, j: int) -> float:
+        """Raw interaction count from ``i`` to ``j``."""
+        return float(self._counts[i, j])
+
+    def total_out(self, i: int) -> float:
+        """Total outgoing interactions of ``i`` — the Eq. (2) denominator."""
+        return float(self._counts[i].sum())
+
+    def share(self, i: int, j: int) -> float:
+        """``f(i,j) / sum_k f(i,k)``; 0 when ``i`` has no interactions."""
+        total = self._counts[i].sum()
+        if total == 0.0:
+            return 0.0
+        return float(self._counts[i, j] / total)
+
+    def share_matrix(self) -> np.ndarray:
+        """Row-normalised copy of the count matrix (rows with no data stay 0)."""
+        totals = self._counts.sum(axis=1, keepdims=True)
+        out = np.divide(
+            self._counts,
+            totals,
+            out=np.zeros_like(self._counts),
+            where=totals > 0,
+        )
+        return out
+
+    def counts_matrix(self) -> np.ndarray:
+        """Read-only view of the raw count matrix."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    def reset(self) -> None:
+        self._counts[:] = 0.0

@@ -1,0 +1,112 @@
+"""Per-node interest sets and request-weighted interest vectors.
+
+Two views of a node's interests coexist, and keeping them separate is the
+point of the paper's Section 4.4 hardening:
+
+* the **declared** interest set — what the node's profile claims
+  (``V_i`` in Eq. (7)); colluders can falsify this freely;
+* the **behavioural** request weights — the fraction of the node's actual
+  resource requests landing on each interest (``w_s(i,l)`` in Eq. (11));
+  these are observed by the system and cannot be faked without actually
+  issuing requests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["InterestProfiles"]
+
+
+class InterestProfiles:
+    """Declared interest sets plus behavioural request counters for all nodes."""
+
+    def __init__(self, n_nodes: int, n_interests: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if n_interests <= 0:
+            raise ValueError(f"n_interests must be positive, got {n_interests}")
+        self._n = int(n_nodes)
+        self._k = int(n_interests)
+        self._declared: list[frozenset[int]] = [frozenset() for _ in range(self._n)]
+        self._requests = np.zeros((self._n, self._k), dtype=np.float64)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def n_interests(self) -> int:
+        return self._k
+
+    # -- declared profile ---------------------------------------------------
+
+    def set_declared(self, node: int, interests: Iterable[int]) -> None:
+        """Set the declared interest set of ``node`` (replaces any previous)."""
+        vals = frozenset(int(v) for v in interests)
+        for v in vals:
+            if not 0 <= v < self._k:
+                raise ValueError(f"interest {v} out of range [0, {self._k})")
+        if not vals:
+            raise ValueError("declared interest set must be non-empty")
+        self._declared[node] = vals
+
+    def declared(self, node: int) -> frozenset[int]:
+        return self._declared[node]
+
+    # -- behavioural requests -----------------------------------------------
+
+    def record_request(self, node: int, interest: int, count: float = 1.0) -> None:
+        """Record that ``node`` issued ``count`` requests on ``interest``."""
+        if not 0 <= interest < self._k:
+            raise ValueError(f"interest {interest} out of range [0, {self._k})")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._requests[node, interest] += count
+
+    def request_counts(self, node: int) -> np.ndarray:
+        """Copy of the raw per-interest request counts of ``node``."""
+        return self._requests[node].copy()
+
+    def request_weights(self, node: int) -> np.ndarray:
+        """``w_s(node, l)`` — share of the node's requests per interest.
+
+        All-zero when the node has issued no requests yet.
+        """
+        row = self._requests[node]
+        total = row.sum()
+        if total == 0.0:
+            return np.zeros(self._k)
+        return row / total
+
+    def request_weight_matrix(self) -> np.ndarray:
+        """Row-normalised request-share matrix for all nodes (zero rows kept)."""
+        totals = self._requests.sum(axis=1, keepdims=True)
+        return np.divide(
+            self._requests,
+            totals,
+            out=np.zeros_like(self._requests),
+            where=totals > 0,
+        )
+
+    def behavioural_interests(self, node: int) -> frozenset[int]:
+        """Interests the node has actually requested at least once."""
+        return frozenset(np.flatnonzero(self._requests[node] > 0).tolist())
+
+    def declared_matrix(self) -> np.ndarray:
+        """Boolean ``n x k`` membership matrix of the declared sets."""
+        out = np.zeros((self._n, self._k), dtype=bool)
+        for i, vals in enumerate(self._declared):
+            for v in vals:
+                out[i, v] = True
+        return out
+
+    def summary(self) -> Mapping[str, float]:
+        """Aggregate statistics used in docs/tests."""
+        sizes = np.array([len(v) for v in self._declared], dtype=float)
+        return {
+            "mean_declared_size": float(sizes.mean()),
+            "total_requests": float(self._requests.sum()),
+        }

@@ -1,0 +1,109 @@
+"""Graph statistics for social networks.
+
+Descriptive statistics over any :class:`~repro.social.graph.SocialView`:
+degree distributions, clustering, path lengths.  Used to sanity-check the
+synthetic topologies against the qualitative properties the paper's trace
+exhibits (heavy-tailed friend counts, short distances, homophily-driven
+clustering) and exposed for users validating their own graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.social.graph import SocialView
+from repro.social.paths import bfs_distances
+
+__all__ = [
+    "GraphSummary",
+    "degree_distribution",
+    "clustering_coefficient",
+    "mean_path_length",
+    "summarize_graph",
+]
+
+
+def degree_distribution(view: SocialView) -> np.ndarray:
+    """Per-node friend counts."""
+    return np.array(
+        [len(view.friends(i)) for i in range(view.n_nodes)], dtype=np.int64
+    )
+
+
+def clustering_coefficient(view: SocialView, node: int) -> float:
+    """Fraction of the node's friend pairs that are themselves friends.
+
+    0.0 for nodes with fewer than two friends (no triangle possible).
+    """
+    friends = sorted(view.friends(node))
+    k = len(friends)
+    if k < 2:
+        return 0.0
+    links = 0
+    for idx, a in enumerate(friends):
+        for b in friends[idx + 1 :]:
+            if view.are_adjacent(a, b):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def mean_path_length(
+    view: SocialView, *, sample_sources: int | None = None, seed: int = 0
+) -> float:
+    """Mean hop distance over reachable pairs.
+
+    ``sample_sources`` caps the number of BFS roots (deterministically
+    spread across the id range) for large graphs; ``None`` uses every node.
+    Returns ``nan`` when no pair is reachable.
+    """
+    n = view.n_nodes
+    if sample_sources is None or sample_sources >= n:
+        sources = range(n)
+    else:
+        if sample_sources < 1:
+            raise ValueError("sample_sources must be >= 1")
+        sources = np.linspace(0, n - 1, sample_sources, dtype=np.int64)
+    total = 0.0
+    pairs = 0
+    for s in sources:
+        for node, d in bfs_distances(view, int(s)).items():
+            if node != s:
+                total += d
+                pairs += 1
+    if pairs == 0:
+        return float("nan")
+    return total / pairs
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Headline statistics of one social graph."""
+
+    n_nodes: int
+    n_edges: int
+    mean_degree: float
+    max_degree: int
+    mean_clustering: float
+    mean_path_length: float
+
+
+def summarize_graph(
+    view: SocialView, *, path_sample_sources: int | None = 50, seed: int = 0
+) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``view``."""
+    degrees = degree_distribution(view)
+    clustering = np.array(
+        [clustering_coefficient(view, i) for i in range(view.n_nodes)]
+    )
+    return GraphSummary(
+        n_nodes=view.n_nodes,
+        n_edges=int(degrees.sum()) // 2,
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()),
+        mean_clustering=float(clustering.mean()),
+        mean_path_length=mean_path_length(
+            view, sample_sources=path_sample_sources, seed=seed
+        ),
+    )

@@ -1,0 +1,86 @@
+"""Graph-distance helpers shared by the trace analysis and closeness code.
+
+These operate on any :class:`repro.social.graph.SocialView`; the functions
+are deliberately small so they can also be applied to ad-hoc adjacency
+structures in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.social.graph import UNREACHABLE, SocialView
+
+__all__ = ["bfs_distances", "common_friends", "shortest_path", "distance_histogram"]
+
+
+def bfs_distances(view: SocialView, source: int, max_hops: int | None = None) -> dict[int, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    Parameters
+    ----------
+    view:
+        Social network to traverse.
+    source:
+        Start node.
+    max_hops:
+        Optional traversal cutoff; nodes farther than this are omitted.
+
+    Returns
+    -------
+    dict mapping node id -> hop count (``source`` maps to 0).
+    """
+    dist = {source: 0}
+    frontier = [source]
+    hops = 0
+    while frontier and (max_hops is None or hops < max_hops):
+        hops += 1
+        nxt: list[int] = []
+        for u in frontier:
+            for v in view.friends(u):
+                if v not in dist:
+                    dist[v] = hops
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def common_friends(view: SocialView, i: int, j: int) -> frozenset[int]:
+    """The friend-of-friend intermediaries ``S_i ∩ S_j`` of Eq. (3)."""
+    return view.friends(i) & view.friends(j)
+
+
+def shortest_path(view: SocialView, i: int, j: int) -> list[int]:
+    """One shortest path between ``i`` and ``j`` (delegates to the view)."""
+    return view.path(i, j)
+
+
+def distance_histogram(
+    view: SocialView, pairs: Sequence[tuple[int, int]]
+) -> Mapping[int, int]:
+    """Count the hop distance of each pair; ``UNREACHABLE`` pairs keyed as -1.
+
+    Used by the trace analysis to bucket transactions by rater-ratee social
+    distance (Fig. 3).
+    """
+    counts: dict[int, int] = {}
+    for a, b in pairs:
+        d = view.distance(a, b)
+        counts[d] = counts.get(d, 0) + 1
+    return counts
+
+
+def pairwise_distance_matrix(view: SocialView) -> np.ndarray:
+    """Dense all-pairs hop-distance matrix via repeated BFS.
+
+    O(n * (n + m)); fine for the paper-scale networks (hundreds of nodes).
+    Unreachable pairs hold :data:`repro.social.graph.UNREACHABLE`.
+    """
+    n = view.n_nodes
+    out = np.full((n, n), UNREACHABLE, dtype=np.int64)
+    for s in range(n):
+        for node, d in bfs_distances(view, s).items():
+            out[s, node] = d
+    return out

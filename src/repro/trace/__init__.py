@@ -1,0 +1,51 @@
+"""Synthetic Overstock trace substrate.
+
+The paper's Section 3 analyses a crawled trace of 450,000 transaction
+ratings between 200,000+ Overstock users (2008-2010).  That trace is not
+publicly available, so this package provides:
+
+* :mod:`repro.trace.schema` — user / transaction record types;
+* :mod:`repro.trace.generator` — a marketplace simulator calibrated to
+  every aggregate statistic the paper reports (see
+  :class:`~repro.trace.generator.MarketplaceConfig`);
+* :mod:`repro.trace.crawler` — the BFS crawler the authors used to walk
+  personal + business networks from a seed user;
+* :mod:`repro.trace.analysis` — the Section-3 analyses themselves
+  (reputation/network-size correlations, per-hop rating statistics,
+  category-rank CDF, interest-similarity CDF), which operate on any
+  :class:`~repro.trace.schema.Trace` regardless of origin.
+
+Because Section 3 only ever consumes aggregates of the trace, a generator
+matching those aggregates exercises the identical analysis code path and
+reproduces observations O1-O6 / suspicious behaviours B1-B4.
+"""
+
+from repro.trace.analysis import (
+    business_network_vs_reputation,
+    category_rank_distribution,
+    interest_similarity_cdf,
+    personal_network_vs_reputation,
+    rating_stats_by_distance,
+    transactions_vs_reputation,
+)
+from repro.trace.crawler import bfs_crawl
+from repro.trace.generator import MarketplaceConfig, generate_trace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.schema import Trace, TraceUser, Transaction
+
+__all__ = [
+    "business_network_vs_reputation",
+    "category_rank_distribution",
+    "interest_similarity_cdf",
+    "personal_network_vs_reputation",
+    "rating_stats_by_distance",
+    "transactions_vs_reputation",
+    "bfs_crawl",
+    "MarketplaceConfig",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+    "Trace",
+    "TraceUser",
+    "Transaction",
+]

@@ -1,0 +1,205 @@
+"""The paper's Section-3 trace analyses.
+
+Each function reproduces one figure of the trace study:
+
+* :func:`business_network_vs_reputation` — Fig. 1(a): near-perfect linear
+  relationship (paper C ≈ 0.996);
+* :func:`transactions_vs_reputation` — Fig. 1(b);
+* :func:`personal_network_vs_reputation` — Fig. 2: weak relationship
+  (paper C ≈ 0.092);
+* :func:`rating_stats_by_distance` — Fig. 3(a)/(b): mean rating value and
+  mean rating count per pair against personal-network hop distance;
+* :func:`category_rank_distribution` — Fig. 4(a): CDF over per-buyer
+  category ranks (paper: top 3 ranks ≈ 88%);
+* :func:`interest_similarity_cdf` — Fig. 4(b): CDF of transactions against
+  buyer-seller interest similarity (paper: ≤ 10% of transactions below
+  0.2 similarity, ≥ 60% above 0.3).
+
+All functions take a :class:`~repro.trace.schema.Trace` — crawled or
+synthetic — and return plain NumPy structures the benchmark harness
+prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import paper_correlation
+from repro.core.similarity import overlap_similarity
+from repro.social.graph import SocialGraph
+from repro.social.paths import bfs_distances
+from repro.trace.schema import Trace
+
+__all__ = [
+    "CorrelationResult",
+    "DistanceRatingStats",
+    "business_network_vs_reputation",
+    "transactions_vs_reputation",
+    "personal_network_vs_reputation",
+    "rating_stats_by_distance",
+    "category_rank_distribution",
+    "interest_similarity_cdf",
+]
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """(x, y) point cloud plus the paper's correlation statistic."""
+
+    x: np.ndarray
+    y: np.ndarray
+    correlation: float
+
+
+def _active_mask(trace: Trace) -> np.ndarray:
+    """Users with at least one transaction in either role.
+
+    The paper's log-log scatter plots implicitly exclude users the crawl
+    saw but who never traded (zero reputation, zero business network).
+    """
+    active = np.zeros(trace.n_users, dtype=bool)
+    for t in trace.transactions:
+        active[t.buyer] = True
+        active[t.seller] = True
+    return active
+
+
+def business_network_vs_reputation(trace: Trace) -> CorrelationResult:
+    """Fig. 1(a): business-network size against reputation."""
+    mask = _active_mask(trace)
+    x = trace.reputations()[mask]
+    y = trace.business_sizes()[mask]
+    return CorrelationResult(x=x, y=y, correlation=paper_correlation(x, y))
+
+
+def transactions_vs_reputation(trace: Trace) -> CorrelationResult:
+    """Fig. 1(b): per-user transaction count against reputation.
+
+    Counts transactions a user participated in (either role); since
+    Overstock rating is mutual, reputation accumulates from both roles and
+    participation is the volume measure it tracks.
+    """
+    mask = _active_mask(trace)
+    counts = np.zeros(trace.n_users, dtype=np.float64)
+    for t in trace.transactions:
+        counts[t.buyer] += 1
+        counts[t.seller] += 1
+    x = trace.reputations()[mask]
+    y = counts[mask]
+    return CorrelationResult(x=x, y=y, correlation=paper_correlation(x, y))
+
+
+def personal_network_vs_reputation(trace: Trace) -> CorrelationResult:
+    """Fig. 2: personal-network size against reputation (weak relation)."""
+    mask = _active_mask(trace)
+    x = trace.reputations()[mask]
+    y = trace.personal_sizes()[mask]
+    return CorrelationResult(x=x, y=y, correlation=paper_correlation(x, y))
+
+
+@dataclass(frozen=True)
+class DistanceRatingStats:
+    """Per-hop rating statistics (hop 1..max_hops, then an overflow bucket)."""
+
+    hops: np.ndarray
+    mean_rating: np.ndarray
+    mean_ratings_per_pair: np.ndarray
+    n_transactions: np.ndarray
+
+
+def _personal_graph(trace: Trace) -> SocialGraph:
+    g = SocialGraph(trace.n_users)
+    for user in trace.users:
+        for friend in user.friends:
+            if user.user_id < friend:
+                g.add_friendship(user.user_id, friend)
+    return g
+
+
+def rating_stats_by_distance(trace: Trace, *, max_hops: int = 4) -> DistanceRatingStats:
+    """Fig. 3: mean rating value / frequency against social hop distance.
+
+    Pairs farther than ``max_hops`` (or disconnected) land in the last
+    bucket, mirroring the paper's "distance 4" group.
+    """
+    if max_hops < 1:
+        raise ValueError("max_hops must be >= 1")
+    graph = _personal_graph(trace)
+    # Distance of each transacting pair, buyer-side BFS with cutoff.
+    value_sum = np.zeros(max_hops, dtype=np.float64)
+    rating_count_sum = np.zeros(max_hops, dtype=np.float64)
+    pair_sets: list[set[tuple[int, int]]] = [set() for _ in range(max_hops)]
+    tx_count = np.zeros(max_hops, dtype=np.float64)
+    distance_cache: dict[int, dict[int, int]] = {}
+    for t in trace.transactions:
+        dist = distance_cache.get(t.buyer)
+        if dist is None:
+            dist = bfs_distances(graph, t.buyer, max_hops=max_hops - 1)
+            distance_cache[t.buyer] = dist
+        hop = dist.get(t.seller, max_hops)
+        bucket = min(hop, max_hops) - 1
+        value_sum[bucket] += t.rating * t.n_ratings
+        rating_count_sum[bucket] += t.n_ratings
+        tx_count[bucket] += 1
+        pair_sets[bucket].add((t.buyer, t.seller))
+    n_pairs = np.array([max(len(s), 1) for s in pair_sets], dtype=np.float64)
+    mean_rating = np.divide(
+        value_sum,
+        rating_count_sum,
+        out=np.zeros(max_hops),
+        where=rating_count_sum > 0,
+    )
+    return DistanceRatingStats(
+        hops=np.arange(1, max_hops + 1),
+        mean_rating=mean_rating,
+        mean_ratings_per_pair=rating_count_sum / n_pairs,
+        n_transactions=tx_count,
+    )
+
+
+def category_rank_distribution(trace: Trace, *, top: int = 7) -> np.ndarray:
+    """Fig. 4(a): CDF over per-buyer category ranks.
+
+    For each buyer, categories are ranked by purchase count (descending);
+    the return value is the cumulative share of purchases covered by the
+    top ``r`` ranks, averaged over buyers with at least one purchase.
+    """
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    counts = trace.purchase_counts_by_category()
+    totals = counts.sum(axis=1)
+    buyers = totals > 0
+    if not buyers.any():
+        raise ValueError("trace has no purchases")
+    ranked = -np.sort(-counts[buyers], axis=1)[:, :top]
+    shares = ranked / totals[buyers][:, None]
+    return np.cumsum(shares.mean(axis=0))
+
+
+def interest_similarity_cdf(
+    trace: Trace, *, bins: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 4(b): CDF of transactions against buyer-seller interest similarity.
+
+    Buyer interest = behavioural purchase categories; seller interest =
+    sell categories; similarity is the paper's overlap coefficient
+    (Eq. (1)).  Returns ``(bin_edges, cdf)`` where ``cdf[k]`` is the share
+    of transactions with similarity <= ``bin_edges[k]``.
+    """
+    if bins is None:
+        bins = np.linspace(0.0, 1.0, 11)
+    counts = trace.purchase_counts_by_category()
+    buyer_interest = [frozenset(np.flatnonzero(row > 0).tolist()) for row in counts]
+    sims = np.array(
+        [
+            overlap_similarity(
+                buyer_interest[t.buyer], trace.users[t.seller].sell_categories
+            )
+            for t in trace.transactions
+        ],
+        dtype=np.float64,
+    )
+    cdf = np.array([(sims <= edge).mean() for edge in bins])
+    return np.asarray(bins), cdf

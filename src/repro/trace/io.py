@@ -1,0 +1,101 @@
+"""Trace serialisation.
+
+Round-trips a :class:`~repro.trace.schema.Trace` through a single JSON
+document so that synthetic traces can be cached across runs and real
+crawled datasets can be brought in from outside.  JSON keeps the format
+inspectable and diff-able; the arrays involved are small enough (hundreds
+of thousands of transactions) that a binary format would buy little.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trace.schema import Trace, TraceUser, Transaction
+
+__all__ = ["save_trace", "load_trace", "trace_to_dict", "trace_from_dict"]
+
+#: Format marker written into every file; bumped on breaking changes.
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """Plain-dict representation of a trace (JSON-compatible)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "n_categories": trace.n_categories,
+        "n_months": trace.n_months,
+        "users": [
+            {
+                "user_id": u.user_id,
+                "friends": sorted(u.friends),
+                "business_contacts": sorted(u.business_contacts),
+                "reputation": u.reputation,
+                "sell_categories": sorted(u.sell_categories),
+                "buy_preferences": list(u.buy_preferences),
+            }
+            for u in trace.users
+        ],
+        "transactions": [
+            {
+                "buyer": t.buyer,
+                "seller": t.seller,
+                "category": t.category,
+                "rating": t.rating,
+                "month": t.month,
+                "counter_rating": t.counter_rating,
+                "n_ratings": t.n_ratings,
+            }
+            for t in trace.transactions
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> Trace:
+    """Inverse of :func:`trace_to_dict` (validates the format version)."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    users = [
+        TraceUser(
+            user_id=int(u["user_id"]),
+            friends=set(int(f) for f in u["friends"]),
+            business_contacts=set(int(b) for b in u["business_contacts"]),
+            reputation=float(u["reputation"]),
+            sell_categories=frozenset(int(c) for c in u["sell_categories"]),
+            buy_preferences=tuple(int(c) for c in u["buy_preferences"]),
+        )
+        for u in data["users"]
+    ]
+    transactions = [
+        Transaction(
+            buyer=int(t["buyer"]),
+            seller=int(t["seller"]),
+            category=int(t["category"]),
+            rating=float(t["rating"]),
+            month=int(t["month"]),
+            counter_rating=float(t.get("counter_rating", 0.0)),
+            n_ratings=int(t.get("n_ratings", 1)),
+        )
+        for t in data["transactions"]
+    ]
+    return Trace(
+        users=users,
+        transactions=transactions,
+        n_categories=int(data["n_categories"]),
+        n_months=int(data["n_months"]),
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

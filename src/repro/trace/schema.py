@@ -1,0 +1,125 @@
+"""Record types for marketplace traces.
+
+Mirrors what the Overstock crawl exposes: each user has a *personal
+network* (friendship links), a *business network* (past transaction
+partners), a reputation accumulated from ratings in [-2, +2], and an
+interest profile over product categories; each transaction records buyer,
+seller, category, rating and month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceUser", "Transaction", "Trace"]
+
+#: Overstock's rating scale.
+RATING_MIN = -2.0
+RATING_MAX = 2.0
+
+
+@dataclass
+class TraceUser:
+    """One marketplace user."""
+
+    user_id: int
+    #: Friendship links (symmetric).
+    friends: set[int] = field(default_factory=set)
+    #: Past transaction partners (symmetric; grows with trading).
+    business_contacts: set[int] = field(default_factory=set)
+    #: Accumulated rating sum.
+    reputation: float = 0.0
+    #: Categories this user *sells* in.
+    sell_categories: frozenset[int] = frozenset()
+    #: Zipf-ranked categories this user prefers to *buy* in (best first).
+    buy_preferences: tuple[int, ...] = ()
+
+    @property
+    def personal_network_size(self) -> int:
+        return len(self.friends)
+
+    @property
+    def business_network_size(self) -> int:
+        return len(self.business_contacts)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One rated purchase."""
+
+    buyer: int
+    seller: int
+    category: int
+    #: Buyer's rating of the seller in [-2, +2].
+    rating: float
+    #: Month index since trace start.
+    month: int
+    #: Seller's counter-rating of the buyer (Overstock rating is mutual).
+    counter_rating: float = 0.0
+    #: Number of individual ratings this pair exchanged for the purchase
+    #: burst (the paper measures rating *frequency* per pair).
+    n_ratings: int = 1
+
+    def __post_init__(self) -> None:
+        if self.buyer == self.seller:
+            raise ValueError("self-trades are not allowed")
+        if not RATING_MIN <= self.rating <= RATING_MAX:
+            raise ValueError(
+                f"rating {self.rating} outside [{RATING_MIN}, {RATING_MAX}]"
+            )
+        if not RATING_MIN <= self.counter_rating <= RATING_MAX:
+            raise ValueError(
+                f"counter_rating {self.counter_rating} outside "
+                f"[{RATING_MIN}, {RATING_MAX}]"
+            )
+        if self.n_ratings < 1:
+            raise ValueError("n_ratings must be >= 1")
+        if self.month < 0:
+            raise ValueError("month must be >= 0")
+
+
+@dataclass
+class Trace:
+    """A full marketplace trace: users plus the transaction log."""
+
+    users: list[TraceUser]
+    transactions: list[Transaction]
+    n_categories: int
+    n_months: int
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    def reputations(self) -> np.ndarray:
+        return np.array([u.reputation for u in self.users], dtype=np.float64)
+
+    def personal_sizes(self) -> np.ndarray:
+        return np.array(
+            [u.personal_network_size for u in self.users], dtype=np.float64
+        )
+
+    def business_sizes(self) -> np.ndarray:
+        return np.array(
+            [u.business_network_size for u in self.users], dtype=np.float64
+        )
+
+    def transactions_received(self) -> np.ndarray:
+        """Per-user count of transactions as seller."""
+        counts = np.zeros(self.n_users, dtype=np.float64)
+        for t in self.transactions:
+            counts[t.seller] += 1
+        return counts
+
+    def purchase_counts_by_category(self) -> np.ndarray:
+        """(n_users, n_categories) purchase counts as buyer."""
+        out = np.zeros((self.n_users, self.n_categories), dtype=np.float64)
+        for t in self.transactions:
+            out[t.buyer, t.category] += 1
+        return out

@@ -1,0 +1,53 @@
+"""Deterministic random-number streams.
+
+Every stochastic component of the simulator draws from a
+:class:`numpy.random.Generator`.  Experiments derive independent child
+streams from a root seed via :func:`spawn_rng` so that
+
+* a given ``(experiment, run)`` pair is exactly reproducible, and
+* adding a new consumer of randomness does not perturb existing streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RngStream", "spawn_rng"]
+
+#: Alias used throughout the package for readability in signatures.
+RngStream = np.random.Generator
+
+
+def spawn_rng(seed: int | None, *key: Iterable[int] | int) -> RngStream:
+    """Return a generator keyed by ``seed`` plus an arbitrary integer key path.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  ``None`` yields OS entropy (non-reproducible runs).
+    *key:
+        Zero or more integers identifying the consumer, e.g.
+        ``spawn_rng(42, experiment_id, run_index)``.  Distinct key paths
+        yield statistically independent streams (``SeedSequence`` spawning).
+
+    Examples
+    --------
+    >>> a = spawn_rng(7, 1, 0)
+    >>> b = spawn_rng(7, 1, 0)
+    >>> float(a.random()) == float(b.random())
+    True
+    >>> c = spawn_rng(7, 1, 1)
+    >>> float(spawn_rng(7, 1, 0).random()) != float(c.random())
+    True
+    """
+    if seed is None:
+        return np.random.default_rng()
+    flat: list[int] = [int(seed)]
+    for part in key:
+        if isinstance(part, (list, tuple)):
+            flat.extend(int(p) for p in part)
+        else:
+            flat.append(int(part))
+    return np.random.default_rng(np.random.SeedSequence(flat))

@@ -1,0 +1,56 @@
+"""Lightweight argument validation helpers.
+
+The simulator is configuration-heavy; these helpers turn silent
+mis-configuration (a probability of 1.5, a negative node count) into
+immediate ``ValueError``s with the offending name in the message.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_probability",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+]
+
+
+def _check_finite(name: str, value: float) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate ``value`` lies in the closed interval [0, 1]."""
+    _check_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate ``value`` lies in the half-open interval (0, 1]."""
+    _check_finite(name, value)
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate ``value`` is strictly positive."""
+    _check_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate ``value`` is zero or positive."""
+    _check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)

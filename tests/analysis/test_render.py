@@ -1,0 +1,77 @@
+"""Tests for ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import bar_chart, distribution_panel, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_input_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_flat_input(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_downsampling(self):
+        line = sparkline(np.arange(100), width=10)
+        assert len(line) == 10
+
+    def test_extremes_use_full_range(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestBarChart:
+    def test_rows_and_values(self):
+        out = bar_chart({"a": 1.0, "b": 0.5})
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "1.0000" in lines[0]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_scaled_to_width(self):
+        out = bar_chart({"x": 2.0}, width=10)
+        assert out.count("#") == 10
+
+    def test_zero_values(self):
+        out = bar_chart({"x": 0.0, "y": 0.0})
+        assert "#" not in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestDistributionPanel:
+    def test_groups_rendered(self):
+        reps = np.linspace(0, 1, 10)
+        panel = distribution_panel(
+            reps, {"colluders": [0, 1, 2], "normal": list(range(3, 10))}
+        )
+        lines = panel.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("colluders")
+        assert "mean=" in lines[0] and "max=" in lines[1]
+
+    def test_empty_group_skipped(self):
+        reps = np.ones(4)
+        panel = distribution_panel(reps, {"a": [0, 1], "b": []})
+        assert len(panel.splitlines()) == 1
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_panel(np.ones(3), {})

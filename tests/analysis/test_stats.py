@@ -1,0 +1,152 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    ecdf,
+    paper_correlation,
+    pearson_correlation,
+    percentile_summary,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(50)
+        y = rng.random(50)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.array([1.0]), np.array([2.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestPaperCorrelation:
+    def test_is_squared_pearson(self):
+        rng = np.random.default_rng(1)
+        x = rng.random(40)
+        y = 2 * x + rng.random(40) * 0.1
+        r = pearson_correlation(x, y)
+        assert paper_correlation(x, y) == pytest.approx(r * r)
+
+    def test_sign_insensitive(self):
+        x = np.arange(10.0)
+        assert paper_correlation(x, -x) == pytest.approx(1.0)
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_in_unit_interval(self, data):
+        x = np.array([d[0] for d in data])
+        y = np.array([d[1] for d in data])
+        assert 0.0 <= paper_correlation(x, y) <= 1.0 + 1e-9
+
+
+class TestEcdf:
+    def test_sorted_output(self):
+        v, p = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert np.array_equal(v, [1.0, 2.0, 3.0])
+        assert np.allclose(p, [1 / 3, 2 / 3, 1.0])
+
+    def test_last_probability_one(self):
+        _, p = ecdf(np.random.default_rng(0).random(17))
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+    @given(values=st.lists(st.floats(-10, 10), min_size=1, max_size=40))
+    def test_monotone(self, values):
+        v, p = ecdf(np.array(values))
+        assert np.all(np.diff(v) >= 0)
+        assert np.all(np.diff(p) > 0)
+
+
+class TestHillTailExponent:
+    def test_recovers_pareto_exponent(self):
+        rng = np.random.default_rng(7)
+        alpha = 2.0
+        samples = (1.0 / rng.random(50000)) ** (1.0 / alpha)  # Pareto(alpha)
+        from repro.analysis.stats import hill_tail_exponent
+
+        estimate = hill_tail_exponent(samples, tail_fraction=0.05)
+        assert abs(estimate - alpha) < 0.3
+
+    def test_heavier_tail_smaller_alpha(self):
+        from repro.analysis.stats import hill_tail_exponent
+
+        rng = np.random.default_rng(8)
+        heavy = (1.0 / rng.random(20000)) ** (1.0 / 1.5)
+        light = (1.0 / rng.random(20000)) ** (1.0 / 3.0)
+        assert hill_tail_exponent(heavy) < hill_tail_exponent(light)
+
+    def test_constant_tail_infinite(self):
+        from repro.analysis.stats import hill_tail_exponent
+
+        assert hill_tail_exponent(np.ones(100)) == float("inf")
+
+    def test_rejects_tiny_samples(self):
+        from repro.analysis.stats import hill_tail_exponent
+
+        with pytest.raises(ValueError):
+            hill_tail_exponent(np.array([1.0, 2.0]))
+
+    def test_rejects_bad_fraction(self):
+        from repro.analysis.stats import hill_tail_exponent
+
+        with pytest.raises(ValueError):
+            hill_tail_exponent(np.arange(1, 100, dtype=float), tail_fraction=0.0)
+
+    def test_synthetic_trace_reputations_heavy_tailed(self):
+        """The marketplace's reputation distribution has the heavy tail the
+        paper's log-log Fig. 1 rests on."""
+        from repro.analysis.stats import hill_tail_exponent
+        from repro.trace import MarketplaceConfig, generate_trace
+
+        trace = generate_trace(
+            MarketplaceConfig(n_users=800, n_months=10), seed=4
+        )
+        alpha = hill_tail_exponent(trace.reputations(), tail_fraction=0.1)
+        assert alpha < 6.0  # heavy-ish tail; exponential data gives >> 10
+
+
+class TestPercentileSummary:
+    def test_ordering(self):
+        s = percentile_summary(np.random.default_rng(2).random(200))
+        assert s.p01 <= s.median <= s.p99
+
+    def test_constant(self):
+        s = percentile_summary(np.full(10, 3.0))
+        assert s.p01 == s.median == s.p99 == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_summary(np.array([]))

@@ -1,0 +1,131 @@
+"""Tests for the negative-rating (badmouthing) collusion schedule."""
+
+import pytest
+
+from repro.collusion.models import BadmouthingCollusion
+from repro.utils.rng import spawn_rng
+
+INTERESTS = [frozenset({i % 3}) for i in range(10)]
+
+
+@pytest.fixture
+def rng():
+    return spawn_rng(41, 0)
+
+
+class TestBadmouthing:
+    def test_all_bursts_negative(self, rng):
+        schedule = BadmouthingCollusion([0, 1], [5, 6], INTERESTS)
+        for burst in schedule.bursts(rng):
+            assert burst.value == -1.0
+            assert burst.count == 20
+
+    def test_targets_are_victims(self, rng):
+        schedule = BadmouthingCollusion([0, 1, 2], [7, 8], INTERESTS)
+        for _ in range(5):
+            for burst in schedule.bursts(rng):
+                assert burst.ratee in {7, 8}
+                assert burst.rater in {0, 1, 2}
+
+    def test_interest_from_victim(self, rng):
+        schedule = BadmouthingCollusion([0], [5], INTERESTS)
+        (burst,) = list(schedule.bursts(rng))
+        assert burst.interest in INTERESTS[5]
+
+    def test_colluders_property(self, rng):
+        schedule = BadmouthingCollusion([3, 4], [5], INTERESTS)
+        assert schedule.colluders == (3, 4)
+        assert schedule.victims == (5,)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            BadmouthingCollusion([0, 1], [1, 2], INTERESTS)
+
+    def test_rejects_empty_sides(self):
+        with pytest.raises(ValueError):
+            BadmouthingCollusion([], [1], INTERESTS)
+        with pytest.raises(ValueError):
+            BadmouthingCollusion([0], [], INTERESTS)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            BadmouthingCollusion([0], [1], INTERESTS, ratings_per_cycle=0)
+
+
+class TestBadmouthingEndToEnd:
+    """SocialTrust's B4 pattern protects victims from suppression."""
+
+    def _run(self, use_socialtrust, cycles=8, seed=19):
+        import numpy as np
+
+        from repro.core import SocialTrust
+        from repro.p2p import (
+            InterestOverlay,
+            Population,
+            Simulation,
+            SimulationConfig,
+        )
+        from repro.reputation import EigenTrust
+        from repro.social import InteractionLedger, InterestProfiles
+        from repro.social.generators import paper_social_network
+
+        n = 40
+        colluders = tuple(range(2, 8))
+        victims = tuple(range(8, 12))
+        rng = spawn_rng(seed, 0)
+        pop = Population.build(
+            n,
+            rng,
+            pretrusted_ids=(0, 1),
+            malicious_ids=colluders,
+            n_interests=8,
+            interests_per_node=(1, 4),
+            malicious_authentic_prob=0.6,
+        )
+        # Victims share the colluders' market: same declared interests.
+        overlay = InterestOverlay([s.interests for s in pop], 8)
+        network = paper_social_network(n, colluders, rng)
+        interactions = InteractionLedger(n)
+        profiles = InterestProfiles(n, 8)
+        for spec in pop:
+            profiles.set_declared(spec.node_id, spec.interests)
+        # Competitor attack: victims get the colluders' interests so the
+        # badmouthing happens at HIGH interest similarity (behaviour B4).
+        for v, c in zip(victims, colluders):
+            profiles.set_declared(v, profiles.declared(c))
+            for interest in profiles.declared(c):
+                profiles.record_request(v, interest, 2.0)
+            for interest in profiles.declared(c):
+                profiles.record_request(c, interest, 2.0)
+        base = EigenTrust(n, (0, 1), pretrust_weight=0.05)
+        system = (
+            SocialTrust(base, network, interactions, profiles)
+            if use_socialtrust
+            else base
+        )
+        attack = BadmouthingCollusion(
+            colluders, victims, [s.interests for s in pop], ratings_per_cycle=20
+        )
+        sim = Simulation(
+            pop,
+            overlay,
+            system,
+            rng,
+            config=SimulationConfig(
+                simulation_cycles=cycles, query_cycles_per_simulation_cycle=10
+            ),
+            collusion=attack,
+            interactions=interactions,
+            profiles=profiles,
+        )
+        sim.run()
+        reps = sim.metrics.final_reputations()
+        return float(np.mean(reps[list(victims)]))
+
+    def test_socialtrust_protects_victims(self):
+        without = self._run(use_socialtrust=False)
+        with_st = self._run(use_socialtrust=True)
+        # Badmouthing suppresses the victims under plain EigenTrust; the
+        # B4 pattern damps the negative floods so victims keep more
+        # reputation under SocialTrust.
+        assert with_st > without

@@ -1,0 +1,51 @@
+"""Tests for compromised pre-trusted collusion."""
+
+import pytest
+
+from repro.collusion.compromise import CompromisedPretrustedCollusion
+from repro.utils.rng import spawn_rng
+
+INTERESTS = [frozenset({i % 3}) for i in range(10)]
+
+
+@pytest.fixture
+def rng():
+    return spawn_rng(23, 0)
+
+
+class TestCompromisedPretrusted:
+    def test_each_compromised_node_gets_a_partner(self, rng):
+        schedule = CompromisedPretrustedCollusion([0, 1], [5, 6, 7], INTERESTS, rng)
+        partners = dict(schedule.partners)
+        assert set(partners) == {0, 1}
+        assert all(p in {5, 6, 7} for p in partners.values())
+
+    def test_mutual_bursts(self, rng):
+        schedule = CompromisedPretrustedCollusion(
+            [0], [5], INTERESTS, rng, ratings_per_cycle=20
+        )
+        bursts = list(schedule.bursts(rng))
+        assert {(b.rater, b.ratee) for b in bursts} == {(0, 5), (5, 0)}
+        assert all(b.count == 20 and b.value == 1.0 for b in bursts)
+
+    def test_colluders_cover_both_sides(self, rng):
+        schedule = CompromisedPretrustedCollusion([0, 1], [5], INTERESTS, rng)
+        assert set(schedule.colluders) == {0, 1, 5}
+
+    def test_rejects_empty_compromised(self, rng):
+        with pytest.raises(ValueError):
+            CompromisedPretrustedCollusion([], [5], INTERESTS, rng)
+
+    def test_rejects_empty_colluders(self, rng):
+        with pytest.raises(ValueError):
+            CompromisedPretrustedCollusion([0], [], INTERESTS, rng)
+
+    def test_rejects_overlap(self, rng):
+        with pytest.raises(ValueError):
+            CompromisedPretrustedCollusion([0], [0, 1], INTERESTS, rng)
+
+    def test_rejects_zero_rate(self, rng):
+        with pytest.raises(ValueError):
+            CompromisedPretrustedCollusion(
+                [0], [5], INTERESTS, rng, ratings_per_cycle=0
+            )

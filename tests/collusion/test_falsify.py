@@ -1,0 +1,93 @@
+"""Tests for falsified static social information."""
+
+import numpy as np
+import pytest
+
+from repro.collusion.falsify import (
+    falsify_identical_interests,
+    falsify_single_relationship,
+)
+from repro.social.generators import paper_social_network
+from repro.social.interests import InterestProfiles
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture
+def rng():
+    return spawn_rng(31, 0)
+
+
+@pytest.fixture
+def network(rng):
+    return paper_social_network(10, [0, 1, 2], rng)
+
+
+class TestFalsifyRelationships:
+    def test_reduces_to_single(self, network):
+        assert len(network.relationships(0, 1)) >= 3
+        falsify_single_relationship(network, [(0, 1)])
+        assert len(network.relationships(0, 1)) == 1
+
+    def test_rejects_non_adjacent(self, network, rng):
+        # Find a non-adjacent pair among non-colluders.
+        target = None
+        for i in range(3, 10):
+            for j in range(i + 1, 10):
+                if network.distance(i, j) != 1:
+                    target = (i, j)
+                    break
+            if target:
+                break
+        assert target is not None
+        with pytest.raises(ValueError):
+            falsify_single_relationship(network, [target])
+
+    def test_custom_weight(self, network):
+        falsify_single_relationship(network, [(0, 2)], weight=0.5)
+        (rel,) = network.relationships(0, 2)
+        assert rel.weight == 0.5
+
+
+class TestFalsifyInterests:
+    @pytest.fixture
+    def profiles(self):
+        p = InterestProfiles(6, 12)
+        for i in range(6):
+            p.set_declared(i, {i, i + 1})
+        return p
+
+    def test_group_shares_declared_set(self, profiles, rng):
+        falsify_identical_interests(profiles, [[0, 1, 2]], rng)
+        assert profiles.declared(0) == profiles.declared(1) == profiles.declared(2)
+
+    def test_set_size_in_range(self, profiles, rng):
+        falsify_identical_interests(
+            profiles, [[0, 1]], rng, set_size_range=(2, 4)
+        )
+        assert 2 <= len(profiles.declared(0)) <= 4
+
+    def test_groups_independent(self, profiles, rng):
+        falsify_identical_interests(profiles, [[0, 1], [2, 3]], rng)
+        # Groups drew independently; extremely unlikely to match and both
+        # must differ from untouched nodes' sets only coincidentally.
+        assert profiles.declared(0) == profiles.declared(1)
+        assert profiles.declared(2) == profiles.declared(3)
+
+    def test_behaviour_untouched(self, profiles, rng):
+        profiles.record_request(0, 11, 5.0)
+        falsify_identical_interests(profiles, [[0, 1]], rng)
+        assert profiles.behavioural_interests(0) == frozenset({11})
+
+    def test_rejects_small_group(self, profiles, rng):
+        with pytest.raises(ValueError):
+            falsify_identical_interests(profiles, [[0]], rng)
+
+    def test_rejects_bad_range(self, profiles, rng):
+        with pytest.raises(ValueError):
+            falsify_identical_interests(
+                profiles, [[0, 1]], rng, set_size_range=(0, 5)
+            )
+        with pytest.raises(ValueError):
+            falsify_identical_interests(
+                profiles, [[0, 1]], rng, set_size_range=(1, 99)
+            )

@@ -1,0 +1,166 @@
+"""Tests for the PCM / MCM / MMM collusion schedules."""
+
+import pytest
+
+from repro.collusion.models import (
+    CompositeCollusion,
+    MultiNodeCollusion,
+    MutualMultiNodeCollusion,
+    NoCollusion,
+    PairwiseCollusion,
+    RatingBurst,
+)
+from repro.utils.rng import spawn_rng
+
+INTERESTS = [frozenset({i % 4, (i + 1) % 4}) for i in range(12)]
+
+
+@pytest.fixture
+def rng():
+    return spawn_rng(17, 0)
+
+
+class TestRatingBurst:
+    def test_rejects_self(self):
+        with pytest.raises(ValueError):
+            RatingBurst(rater=1, ratee=1, value=1.0, count=3)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            RatingBurst(rater=0, ratee=1, value=1.0, count=0)
+
+
+class TestNoCollusion:
+    def test_empty(self, rng):
+        schedule = NoCollusion()
+        assert schedule.colluders == ()
+        assert list(schedule.bursts(rng)) == []
+
+
+class TestPairwise:
+    def test_even_pairing(self, rng):
+        schedule = PairwiseCollusion([2, 3, 4, 5], INTERESTS)
+        assert schedule.pairs == ((2, 3), (4, 5))
+
+    def test_odd_trailing_wraps(self, rng):
+        schedule = PairwiseCollusion([2, 3, 4], INTERESTS)
+        assert schedule.pairs == ((2, 3), (4, 2))
+
+    def test_mutual_bursts(self, rng):
+        schedule = PairwiseCollusion([2, 3], INTERESTS, ratings_per_cycle=20)
+        bursts = list(schedule.bursts(rng))
+        directed = {(b.rater, b.ratee) for b in bursts}
+        assert directed == {(2, 3), (3, 2)}
+        assert all(b.count == 20 and b.value == 1.0 for b in bursts)
+
+    def test_interest_from_ratee(self, rng):
+        schedule = PairwiseCollusion([2, 3], INTERESTS)
+        for burst in schedule.bursts(rng):
+            assert burst.interest in INTERESTS[burst.ratee]
+
+    def test_rejects_single_colluder(self):
+        with pytest.raises(ValueError):
+            PairwiseCollusion([2], INTERESTS)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            PairwiseCollusion([2, 2], INTERESTS)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            PairwiseCollusion([2, 3], INTERESTS, ratings_per_cycle=0)
+
+
+class TestMultiNode:
+    def test_role_partition(self, rng):
+        schedule = MultiNodeCollusion(list(range(10)), INTERESTS, rng, n_boosted=3)
+        assert len(schedule.boosted) == 3
+        assert len(schedule.boosting) == 7
+        assert set(schedule.boosted) | set(schedule.boosting) == set(range(10))
+
+    def test_bursts_one_directional(self, rng):
+        schedule = MultiNodeCollusion(list(range(8)), INTERESTS, rng, n_boosted=2)
+        bursts = list(schedule.bursts(rng))
+        boosted = set(schedule.boosted)
+        assert all(b.ratee in boosted for b in bursts)
+        assert all(b.rater not in boosted for b in bursts)
+        assert len(bursts) == 6
+
+    def test_counts_in_range(self, rng):
+        schedule = MultiNodeCollusion(
+            list(range(8)), INTERESTS, rng, n_boosted=2, ratings_range=(3, 7)
+        )
+        for _ in range(5):
+            for burst in schedule.bursts(rng):
+                assert 3 <= burst.count <= 7
+
+    def test_target_stable(self, rng):
+        schedule = MultiNodeCollusion(list(range(8)), INTERESTS, rng, n_boosted=2)
+        booster = schedule.boosting[0]
+        target = schedule.target_of(booster)
+        for _ in range(3):
+            for burst in schedule.bursts(rng):
+                if burst.rater == booster:
+                    assert burst.ratee == target
+
+    def test_rejects_bad_n_boosted(self, rng):
+        with pytest.raises(ValueError):
+            MultiNodeCollusion(list(range(4)), INTERESTS, rng, n_boosted=4)
+
+    def test_rejects_bad_range(self, rng):
+        with pytest.raises(ValueError):
+            MultiNodeCollusion(
+                list(range(4)), INTERESTS, rng, n_boosted=1, ratings_range=(5, 3)
+            )
+
+
+class TestMutualMultiNode:
+    def test_back_ratings_present(self, rng):
+        schedule = MutualMultiNodeCollusion(
+            list(range(8)),
+            INTERESTS,
+            rng,
+            n_boosted=2,
+            forward_ratings=20,
+            back_ratings=5,
+        )
+        bursts = list(schedule.bursts(rng))
+        boosted = set(schedule.boosted)
+        forward = [b for b in bursts if b.ratee in boosted]
+        backward = [b for b in bursts if b.rater in boosted]
+        assert all(b.count == 20 for b in forward)
+        assert all(b.count == 5 for b in backward)
+        assert len(forward) == len(backward) == 6
+
+    def test_back_rating_targets_own_boosters(self, rng):
+        schedule = MutualMultiNodeCollusion(
+            list(range(8)), INTERESTS, rng, n_boosted=2
+        )
+        for burst in schedule.bursts(rng):
+            if burst.rater in schedule.boosted:
+                assert schedule.target_of(burst.ratee) == burst.rater
+
+    def test_rejects_zero_back_ratings(self, rng):
+        with pytest.raises(ValueError):
+            MutualMultiNodeCollusion(
+                list(range(8)), INTERESTS, rng, n_boosted=2, back_ratings=0
+            )
+
+
+class TestComposite:
+    def test_union_of_bursts(self, rng):
+        a = PairwiseCollusion([0, 1], INTERESTS)
+        b = PairwiseCollusion([2, 3], INTERESTS)
+        combo = CompositeCollusion([a, b])
+        raters = {x.rater for x in combo.bursts(rng)}
+        assert raters == {0, 1, 2, 3}
+
+    def test_colluders_deduplicated(self, rng):
+        a = PairwiseCollusion([0, 1], INTERESTS)
+        b = PairwiseCollusion([1, 2], INTERESTS)
+        combo = CompositeCollusion([a, b])
+        assert sorted(combo.colluders) == [0, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeCollusion([])

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Tests run the paper's machinery at reduced scale (tens of nodes, a few
+cycles) — the qualitative shapes the paper reports survive the scale-down
+and keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SocialTrustConfig
+from repro.p2p import InterestOverlay, Population
+from repro.social import InteractionLedger, InterestProfiles
+from repro.social.generators import paper_social_network
+from repro.utils.rng import spawn_rng
+
+N_SMALL = 24
+N_INTERESTS = 8
+PRETRUSTED = (0, 1)
+COLLUDERS = (2, 3, 4, 5)
+NORMAL = tuple(range(6, N_SMALL))
+
+
+@pytest.fixture
+def rng():
+    return spawn_rng(1234, 0)
+
+
+@pytest.fixture
+def small_population(rng):
+    return Population.build(
+        N_SMALL,
+        rng,
+        pretrusted_ids=PRETRUSTED,
+        malicious_ids=COLLUDERS,
+        n_interests=N_INTERESTS,
+        interests_per_node=(1, 4),
+        capacity=10,
+        malicious_authentic_prob=0.2,
+    )
+
+
+@pytest.fixture
+def small_world(rng, small_population):
+    """(population, overlay, network, interactions, profiles) bundle."""
+    overlay = InterestOverlay(
+        [s.interests for s in small_population], N_INTERESTS
+    )
+    network = paper_social_network(N_SMALL, COLLUDERS, rng)
+    interactions = InteractionLedger(N_SMALL)
+    profiles = InterestProfiles(N_SMALL, N_INTERESTS)
+    for spec in small_population:
+        profiles.set_declared(spec.node_id, spec.interests)
+    return small_population, overlay, network, interactions, profiles
+
+
+@pytest.fixture
+def default_config():
+    return SocialTrustConfig()
+
+
+def seeded_interactions(ledger: InteractionLedger, rng: np.random.Generator, density: float = 0.3) -> None:
+    """Populate a ledger with random interaction counts."""
+    n = ledger.n_nodes
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < density:
+                ledger.record(i, j, float(rng.integers(1, 6)))

@@ -1,0 +1,198 @@
+"""Tests for the social-closeness computation (Eqs. (2)-(4), (10))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closeness import ClosenessComputer
+from repro.core.config import CommonFriendAggregate, SocialTrustConfig
+from repro.social.graph import AssignedSocialNetwork, Relationship, SocialGraph
+from repro.social.interactions import InteractionLedger
+from repro.utils.rng import spawn_rng
+
+
+def plain_config(**kw):
+    return SocialTrustConfig(hardened=False, **kw)
+
+
+@pytest.fixture
+def triangle():
+    """0-1 adjacent, 0-2 adjacent, 1-2 non-adjacent (common friend 0)."""
+    g = SocialGraph(4)
+    g.add_friendship(0, 1, [Relationship(), Relationship()])  # m=2
+    g.add_friendship(0, 2)  # m=1
+    ledger = InteractionLedger(4)
+    ledger.record(0, 1, 3.0)
+    ledger.record(0, 2, 1.0)
+    ledger.record(1, 0, 2.0)
+    ledger.record(2, 0, 4.0)
+    return g, ledger
+
+
+class TestAdjacentCloseness:
+    def test_eq2(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(g, ledger, plain_config())
+        # m(0,1)=2, f(0,1)=3, total_out(0)=4 -> 2 * 3/4
+        assert cc.adjacent(0, 1) == pytest.approx(2 * 0.75)
+
+    def test_directionality(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(g, ledger, plain_config())
+        # m(1,0)=2, f(1,0)=2, total_out(1)=2 -> 2 * 1.0
+        assert cc.adjacent(1, 0) == pytest.approx(2.0)
+
+    def test_zero_interactions_zero(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1)
+        cc = ClosenessComputer(g, InteractionLedger(3), plain_config())
+        assert cc.adjacent(0, 1) == 0.0
+
+    def test_hardened_uses_weighted_factor(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(
+            g, ledger, SocialTrustConfig(hardened=True, lambda_scaling=0.5)
+        )
+        # factor = 1 + 0.5 = 1.5 instead of m = 2
+        assert cc.adjacent(0, 1) == pytest.approx(1.5 * 0.75)
+
+
+class TestCommonFriendCloseness:
+    def test_eq3_mean(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(g, ledger, plain_config())
+        expected = (cc.adjacent(1, 0) + cc.adjacent(0, 2)) / 2.0
+        assert cc.closeness(1, 2) == pytest.approx(expected)
+
+    def test_eq3_sum_option(self):
+        g = SocialGraph(5)
+        # 1 and 2 share common friends 0 and 3.
+        for hub in (0, 3):
+            g.add_friendship(1, hub)
+            g.add_friendship(2, hub)
+        ledger = InteractionLedger(5)
+        for i, j in [(1, 0), (0, 2), (1, 3), (3, 2)]:
+            ledger.record(i, j, 1.0)
+        mean_cc = ClosenessComputer(
+            g, ledger, plain_config(common_friend_aggregate=CommonFriendAggregate.MEAN)
+        )
+        sum_cc = ClosenessComputer(
+            g, ledger, plain_config(common_friend_aggregate=CommonFriendAggregate.SUM)
+        )
+        assert sum_cc.closeness(1, 2) == pytest.approx(2 * mean_cc.closeness(1, 2))
+
+    def test_self_closeness_rejected(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(g, ledger, plain_config())
+        with pytest.raises(ValueError):
+            cc.closeness(1, 1)
+
+
+class TestPathFallback:
+    def test_min_over_path(self):
+        """Chain 0-1-2-3: closeness(0,3) = min of adjacent closenesses."""
+        g = SocialGraph(4)
+        for i in range(3):
+            g.add_friendship(i, i + 1)
+        ledger = InteractionLedger(4)
+        ledger.record(0, 1, 1.0)
+        ledger.record(1, 2, 1.0)
+        ledger.record(2, 3, 1.0)
+        # Make 1->2 the weak link by diluting 1's attention.
+        ledger.record(1, 0, 9.0)
+        cc = ClosenessComputer(g, ledger, plain_config())
+        legs = [cc.adjacent(0, 1), cc.adjacent(1, 2), cc.adjacent(2, 3)]
+        assert cc.closeness(0, 3) == pytest.approx(min(legs))
+
+    def test_disconnected_zero(self):
+        g = SocialGraph(4)
+        g.add_friendship(0, 1)
+        cc = ClosenessComputer(g, InteractionLedger(4), plain_config())
+        assert cc.closeness(0, 3) == 0.0
+
+
+class TestClosenessMatrix:
+    def _random_world(self, seed, n=14, density=0.25):
+        rng = spawn_rng(seed, 0)
+        g = SocialGraph(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < density:
+                    count = int(rng.integers(1, 4))
+                    g.add_friendship(i, j, [Relationship()] * count)
+        ledger = InteractionLedger(n)
+        for i in range(n):
+            for j in range(n):
+                if i != j and rng.random() < 0.5:
+                    ledger.record(i, j, float(rng.integers(1, 8)))
+        return g, ledger
+
+    @pytest.mark.parametrize("hardened", [False, True])
+    @pytest.mark.parametrize("aggregate", list(CommonFriendAggregate))
+    def test_matrix_matches_scalar(self, hardened, aggregate):
+        g, ledger = self._random_world(7)
+        cfg = SocialTrustConfig(hardened=hardened, common_friend_aggregate=aggregate)
+        cc = ClosenessComputer(g, ledger, cfg)
+        matrix = cc.closeness_matrix()
+        n = g.n_nodes
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    assert matrix[i, j] == 0.0
+                    continue
+                expected = cc.closeness(i, j)
+                # The matrix path walks min-over-path pairs identically only
+                # when a unique shortest path exists; both paths agree on
+                # adjacency/common-friend pairs exactly.
+                if g.are_adjacent(i, j) or (g.friends(i) & g.friends(j)):
+                    assert matrix[i, j] == pytest.approx(expected), (i, j)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_matrix_non_negative(self, seed):
+        g, ledger = self._random_world(seed)
+        cc = ClosenessComputer(g, ledger, plain_config())
+        assert np.all(cc.closeness_matrix() >= 0.0)
+
+    def test_cache_invalidation(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1)
+        ledger = InteractionLedger(3)
+        ledger.record(0, 1, 1.0)
+        cc = ClosenessComputer(g, ledger, plain_config())
+        before = cc.closeness_matrix()[0, 1]
+        g.add_friendship(0, 1, [Relationship()])  # now m=2
+        stale = cc.closeness_matrix()[0, 1]
+        assert stale == pytest.approx(before)  # cached structure
+        cc.invalidate_cache()
+        assert cc.closeness_matrix()[0, 1] == pytest.approx(2 * before)
+
+
+class TestBands:
+    def test_rater_band(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(g, ledger, plain_config())
+        band = cc.rater_band(0, {1, 2})
+        values = [cc.closeness(0, 1), cc.closeness(0, 2)]
+        assert band.center == pytest.approx(np.mean(values))
+        assert band.spread == pytest.approx(max(values) - min(values))
+        assert band.size == 2
+
+    def test_rater_band_empty(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(g, ledger, plain_config())
+        assert cc.rater_band(0, set()) is None
+
+    def test_global_band(self, triangle):
+        g, ledger = triangle
+        cc = ClosenessComputer(g, ledger, plain_config())
+        band = cc.global_band([(0, 1), (1, 0)])
+        assert band is not None and band.size == 2
+
+
+class TestSizeMismatch:
+    def test_rejected(self):
+        g = SocialGraph(3)
+        with pytest.raises(ValueError):
+            ClosenessComputer(g, InteractionLedger(4))

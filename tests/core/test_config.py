@@ -1,0 +1,83 @@
+"""Tests for SocialTrustConfig validation."""
+
+import pytest
+
+from repro.core.config import (
+    CommonFriendAggregate,
+    GaussianCenter,
+    SocialTrustConfig,
+)
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SocialTrustConfig()
+        assert cfg.alpha == 1.0
+        assert cfg.theta == 2.0
+        assert cfg.hardened is True
+        assert cfg.center is GaussianCenter.AUTO
+        assert cfg.common_friend_aggregate is CommonFriendAggregate.MEAN
+        assert cfg.use_closeness and cfg.use_similarity
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SocialTrustConfig().alpha = 2.0  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_rejects_non_positive_alpha(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(alpha=0.0)
+
+    def test_rejects_theta_below_one(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(theta=1.0)
+
+    def test_rejects_negative_frequency_threshold(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(pos_frequency_threshold=-1.0)
+
+    def test_rejects_bad_reputation_threshold(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(low_reputation_threshold=1.5)
+
+    def test_rejects_inverted_closeness_band(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(closeness_low=0.9, closeness_high=0.1)
+
+    def test_rejects_inverted_similarity_band(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(similarity_low=0.9, similarity_high=0.1)
+
+    def test_rejects_lambda_outside_half_one(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(lambda_scaling=0.4)
+        with pytest.raises(ValueError):
+            SocialTrustConfig(lambda_scaling=1.1)
+
+    def test_rejects_zero_band_size(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(min_band_size=0)
+
+    def test_rejects_both_dimensions_disabled(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(use_closeness=False, use_similarity=False)
+
+    def test_single_dimension_allowed(self):
+        assert SocialTrustConfig(use_closeness=False).use_similarity
+
+    def test_rejects_bad_spread_floor(self):
+        with pytest.raises(ValueError):
+            SocialTrustConfig(spread_floor=0.0)
+
+    def test_explicit_thresholds_accepted(self):
+        cfg = SocialTrustConfig(
+            pos_frequency_threshold=5.0,
+            neg_frequency_threshold=3.0,
+            closeness_low=0.1,
+            closeness_high=0.8,
+            similarity_low=0.2,
+            similarity_high=0.7,
+            low_reputation_threshold=0.01,
+        )
+        assert cfg.pos_frequency_threshold == 5.0

@@ -1,0 +1,112 @@
+"""Tests for the Gaussian reputation filter (Eqs. (5), (6), (8), (9))."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.gaussian import RaterBand, combined_weight, gaussian_weight
+
+
+class TestRaterBand:
+    def test_from_values(self):
+        band = RaterBand.from_values([0.1, 0.5, 0.3])
+        assert band.center == pytest.approx(0.3)
+        assert band.spread == pytest.approx(0.4)
+        assert band.size == 3
+
+    def test_single_value_zero_spread(self):
+        band = RaterBand.from_values([0.7])
+        assert band.spread == 0.0
+        assert band.size == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RaterBand.from_values([])
+
+
+class TestGaussianWeight:
+    def test_peak_at_center(self):
+        band = RaterBand(center=0.5, spread=0.2, size=5)
+        assert gaussian_weight(0.5, band) == pytest.approx(1.0)
+
+    def test_alpha_scales_peak(self):
+        band = RaterBand(center=0.5, spread=0.2, size=5)
+        assert gaussian_weight(0.5, band, alpha=0.7) == pytest.approx(0.7)
+
+    def test_symmetry(self):
+        band = RaterBand(center=0.5, spread=0.2, size=5)
+        assert gaussian_weight(0.3, band) == pytest.approx(gaussian_weight(0.7, band))
+
+    def test_monotone_decay(self):
+        band = RaterBand(center=0.0, spread=1.0, size=5)
+        values = [gaussian_weight(x, band) for x in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_exact_formula(self):
+        band = RaterBand(center=0.2, spread=0.5, size=5)
+        expected = math.exp(-((0.9 - 0.2) ** 2) / (2 * 0.5**2))
+        assert gaussian_weight(0.9, band) == pytest.approx(expected)
+
+    def test_spread_floor_applied(self):
+        band = RaterBand(center=0.5, spread=0.0, size=1)
+        # Without the floor this would be exp(-inf) = 0.
+        w = gaussian_weight(0.51, band, spread_floor=0.1)
+        assert w == pytest.approx(math.exp(-(0.01**2) / (2 * 0.01)))
+
+    @given(
+        x=st.floats(-5, 5),
+        center=st.floats(-5, 5),
+        spread=st.floats(0, 3),
+    )
+    def test_bounded_by_alpha(self, x, center, spread):
+        band = RaterBand(center=center, spread=spread, size=3)
+        w = gaussian_weight(x, band, alpha=1.0)
+        assert 0.0 <= w <= 1.0
+
+
+class TestCombinedWeight:
+    def test_two_dimensions_multiply_exponents(self):
+        bc = RaterBand(center=0.0, spread=1.0, size=5)
+        bs = RaterBand(center=0.0, spread=1.0, size=5)
+        w = combined_weight(1.0, bc, 1.0, bs)
+        single = gaussian_weight(1.0, bc)
+        assert w == pytest.approx(single * single)
+
+    def test_degenerates_to_one_dimension(self):
+        bc = RaterBand(center=0.2, spread=0.3, size=5)
+        assert combined_weight(0.9, bc, None, None) == pytest.approx(
+            gaussian_weight(0.9, bc)
+        )
+        assert combined_weight(None, None, 0.9, bc) == pytest.approx(
+            gaussian_weight(0.9, bc)
+        )
+
+    def test_rejects_no_dimensions(self):
+        with pytest.raises(ValueError):
+            combined_weight(None, None, None, None)
+
+    def test_extreme_deviation_near_zero(self):
+        """The Fig. 6 corners: extreme (closeness, similarity) combos are
+        damped to nearly nothing."""
+        bc = RaterBand(center=0.3, spread=0.1, size=5)
+        bs = RaterBand(center=0.4, spread=0.1, size=5)
+        assert combined_weight(3.0, bc, 0.0, bs) < 1e-10
+
+    @given(
+        xc=st.floats(-3, 3),
+        xs=st.floats(-3, 3),
+        alpha=st.floats(0.1, 1.0),
+    )
+    def test_bounded(self, xc, xs, alpha):
+        bc = RaterBand(center=0.0, spread=0.5, size=4)
+        bs = RaterBand(center=0.0, spread=0.5, size=4)
+        w = combined_weight(xc, bc, xs, bs, alpha=alpha)
+        assert 0.0 <= w <= alpha
+
+    def test_combined_never_exceeds_single_dimension(self):
+        bc = RaterBand(center=0.0, spread=0.5, size=4)
+        bs = RaterBand(center=0.0, spread=0.5, size=4)
+        combined = combined_weight(0.8, bc, 0.8, bs)
+        assert combined <= gaussian_weight(0.8, bc) + 1e-12

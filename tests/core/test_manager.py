@@ -1,0 +1,188 @@
+"""Tests for the distributed resource-manager execution path."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSocialTrust, SocialTrust
+from repro.reputation import EigenTrust
+from repro.reputation.base import IntervalRatings, Rating
+from repro.social import InteractionLedger, InterestProfiles
+from repro.social.generators import paper_social_network
+from repro.utils.rng import spawn_rng
+
+N = 12
+COLLUDERS = (0, 1)
+
+
+def build_pair(n_managers=3):
+    """A centralised and a distributed SocialTrust over identical state."""
+    rng = spawn_rng(11, 0)
+    network = paper_social_network(N, COLLUDERS, rng)
+    interactions = InteractionLedger(N)
+    profiles = InterestProfiles(N, 5)
+    profiles.set_declared(0, {0})
+    profiles.set_declared(1, {1})
+    for i in range(2, N):
+        profiles.set_declared(i, {2, 3, 4})
+        profiles.record_request(i, 2, 2.0)
+    central = SocialTrust(EigenTrust(N, [2]), network, interactions, profiles)
+    distributed = DistributedSocialTrust(
+        EigenTrust(N, [2]),
+        network,
+        interactions,
+        profiles,
+        n_managers=n_managers,
+    )
+    return central, distributed, interactions
+
+
+def collusion_interval(interactions, count=50):
+    iv = IntervalRatings(N)
+    for i in range(N):
+        for j in range(N):
+            if i != j:
+                iv.add(Rating(i, j, 1.0))
+                interactions.record(i, j)
+    for a, b in [(0, 1), (1, 0)]:
+        for _ in range(count):
+            iv.add(Rating(a, b, 1.0))
+        interactions.record(a, b, count)
+    return iv
+
+
+class TestEquivalence:
+    def test_identical_reputations(self):
+        central, distributed, interactions = build_pair()
+        for _ in range(3):
+            iv = collusion_interval(interactions)
+            central.update(iv.copy())
+            distributed.update(iv)
+        assert np.allclose(central.reputations, distributed.reputations)
+
+    def test_identical_findings(self):
+        central, distributed, interactions = build_pair()
+        iv = collusion_interval(interactions)
+        central.update(iv.copy())
+        distributed.update(iv)
+        c = {(f.rater, f.ratee) for f in central.last_detection.findings}
+        d = {(f.rater, f.ratee) for f in distributed.last_detection.findings}
+        assert c == d
+
+
+class TestAssignment:
+    def test_round_robin_default(self):
+        _, distributed, _ = build_pair(n_managers=4)
+        assert len(distributed.managers) == 4
+        assert distributed.manager_of(0).manager_id == 0
+        assert distributed.manager_of(5).manager_id == 1
+
+    def test_explicit_assignment(self):
+        rng = spawn_rng(11, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, {0})
+        assignment = [0] * 6 + [1] * 6
+        dist = DistributedSocialTrust(
+            EigenTrust(N, [2]),
+            network,
+            interactions,
+            profiles,
+            assignment=assignment,
+        )
+        assert dist.manager_of(0).manager_id == 0
+        assert dist.manager_of(11).manager_id == 1
+        assert dist.manager_of(3) is dist.manager_of(5)
+
+    def test_rejects_bad_assignment_shape(self):
+        rng = spawn_rng(11, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, {0})
+        with pytest.raises(ValueError):
+            DistributedSocialTrust(
+                EigenTrust(N, [2]),
+                network,
+                interactions,
+                profiles,
+                assignment=[0, 1],
+            )
+
+    def test_dht_assignment_integration(self):
+        """A Chord ring supplies the node -> manager responsibility map."""
+        from repro.p2p import ChordRing
+
+        rng = spawn_rng(11, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, {0})
+        ring = ChordRing(range(4))
+        dist = DistributedSocialTrust(
+            EigenTrust(N, [2]),
+            network,
+            interactions,
+            profiles,
+            assignment=ring.assignment(N),
+        )
+        for node in range(N):
+            assert dist.manager_of(node).manager_id == ring.manager_for(node)
+
+    def test_rejects_zero_managers(self):
+        rng = spawn_rng(11, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, {0})
+        with pytest.raises(ValueError):
+            DistributedSocialTrust(
+                EigenTrust(N, [2]), network, interactions, profiles, n_managers=0
+            )
+
+
+class TestMessageAccounting:
+    def test_cross_manager_traffic_counted(self):
+        _, distributed, interactions = build_pair(n_managers=3)
+        distributed.update(collusion_interval(interactions))
+        assert distributed.total_messages > 0
+        kinds = set()
+        for manager in distributed.managers:
+            kinds |= set(manager.messages_sent)
+        assert "rating_report" in kinds
+
+    def test_info_round_trips_for_cross_manager_findings(self):
+        _, distributed, interactions = build_pair(n_managers=2)
+        # Colluders 0 and 1 land on different managers (round robin).
+        distributed.update(collusion_interval(interactions))
+        requests = sum(
+            m.messages_sent.get("info_request", 0) for m in distributed.managers
+        )
+        responses = sum(
+            m.messages_sent.get("info_response", 0) for m in distributed.managers
+        )
+        assert requests == responses
+        assert requests > 0
+
+    def test_single_manager_no_info_traffic(self):
+        _, distributed, interactions = build_pair(n_managers=1)
+        distributed.update(collusion_interval(interactions))
+        assert all(
+            m.messages_sent.get("info_request", 0) == 0
+            and m.messages_sent.get("rating_report", 0) == 0
+            for m in distributed.managers
+        )
+
+    def test_reset_clears_messages(self):
+        _, distributed, interactions = build_pair()
+        distributed.update(collusion_interval(interactions))
+        distributed.reset()
+        assert distributed.total_messages == 0
+
+    def test_name(self):
+        _, distributed, _ = build_pair()
+        assert "distributed" in distributed.name

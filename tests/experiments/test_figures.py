@@ -1,0 +1,122 @@
+"""Smoke + shape tests for the figure reproductions at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.trace.generator import MarketplaceConfig
+
+#: Scaled-down world shared by all simulation figures in this module.
+SMALL_WORLD = dict(
+    n_nodes=30,
+    n_pretrusted=3,
+    n_colluders=6,
+    n_interests=8,
+    interests_per_node=(1, 4),
+    query_cycles=5,
+)
+SMALL_TRACE = MarketplaceConfig(n_users=250, n_months=5)
+FAST = dict(n_runs=1, simulation_cycles=3, overrides=SMALL_WORLD)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {f"fig{i}" for i in (1, 2, 3, 4)} | {
+            f"fig{i}" for i in range(7, 21)
+        } | {"table1"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup(self):
+        assert get_experiment("fig8") is figures.fig8
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="fig8"):
+            get_experiment("nope")
+
+    def test_list_sorted(self):
+        names = list_experiments()
+        assert names == sorted(names)
+
+
+class TestTraceFigures:
+    def test_fig1(self):
+        result = figures.fig1(seed=1, config=SMALL_TRACE)
+        assert "business_size_correlation" in result.series
+        c = result.series["business_size_correlation"].mean[0]
+        assert 0.0 <= c <= 1.0
+
+    def test_fig2(self):
+        result = figures.fig2(seed=1, config=SMALL_TRACE)
+        assert 0.0 <= result.series["personal_size_correlation"].mean[0] <= 1.0
+
+    def test_fig3_decays(self):
+        result = figures.fig3(seed=1, config=SMALL_TRACE)
+        means = result.series["mean_rating_by_hop"].mean
+        assert means[0] > means[-1]
+
+    def test_fig4_cdfs(self):
+        result = figures.fig4(seed=1, config=SMALL_TRACE)
+        rank = result.series["category_rank_cdf"].mean
+        assert np.all(np.diff(rank) >= -1e-12)
+        sim = result.series["interest_similarity_cdf"].mean
+        assert sim[-1] == pytest.approx(1.0)
+
+
+class TestSimulationFigures:
+    def test_fig7_two_systems(self):
+        result = figures.fig7(**FAST)
+        assert set(result.series) == {"EigenTrust", "eBay"}
+        assert "percent_services_by_malicious" in result.meta
+
+    def test_fig8_four_systems_full_distributions(self):
+        result = figures.fig8(**FAST)
+        assert len(result.series) == 4
+        for stats in result.series.values():
+            assert stats.mean.shape == (SMALL_WORLD["n_nodes"],)
+
+    def test_fig10_compromised(self):
+        result = figures.fig10(
+            n_runs=1,
+            simulation_cycles=3,
+            overrides={**SMALL_WORLD, "n_compromised_pretrusted": 2},
+        )
+        assert set(result.series) == {"EigenTrust", "EigenTrust+SocialTrust"}
+
+    def test_fig15_both_models(self):
+        result = figures.fig15(
+            n_runs=1,
+            simulation_cycles=3,
+            overrides={**SMALL_WORLD, "n_compromised_pretrusted": 2},
+        )
+        assert any(k.startswith("MCM/") for k in result.series)
+        assert any(k.startswith("MMM/") for k in result.series)
+
+    def test_fig16_falsified_socialtrust_only(self):
+        result = figures.fig16(**FAST)
+        assert set(result.series) == {
+            "EigenTrust+SocialTrust",
+            "eBay+SocialTrust",
+        }
+
+    def test_fig19_convergence_series(self):
+        result = figures.fig19(**FAST)
+        assert "B=0.2/EigenTrust+SocialTrust" in result.series
+        assert "B=0.6/EigenTrust" in result.series
+        for stats in result.series.values():
+            assert 1 <= stats.mean[0] <= 4  # cycles or never-converged (4)
+
+    def test_fig20_distance_sweep(self):
+        result = figures.fig20(
+            n_runs=1,
+            simulation_cycles=3,
+            distances=(1, 2),
+            overrides=SMALL_WORLD,
+        )
+        assert result.series["colluders/PCM"].mean.shape == (2,)
+        assert result.meta["distances"] == [1, 2]
+
+    def test_request_fractions_are_probabilities(self):
+        result = figures.fig9(**FAST)
+        for value in result.meta["request_fraction_to_colluders"].values():
+            assert 0.0 <= value <= 1.0

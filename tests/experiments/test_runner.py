@@ -1,0 +1,103 @@
+"""Tests for multi-run aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    RunStats,
+    average_runs,
+    run_cell,
+)
+from repro.experiments.setup import CollusionKind, WorldConfig
+
+SMALL = dict(
+    n_nodes=24,
+    n_pretrusted=2,
+    n_colluders=4,
+    n_interests=6,
+    interests_per_node=(1, 3),
+    simulation_cycles=2,
+    query_cycles=4,
+    collusion=CollusionKind.PCM,
+)
+
+
+class TestRunStats:
+    def test_single_run_zero_ci(self):
+        stats = RunStats.from_samples([np.array([1.0, 2.0])])
+        assert np.array_equal(stats.mean, [1.0, 2.0])
+        assert np.array_equal(stats.ci95, [0.0, 0.0])
+        assert stats.n_runs == 1
+
+    def test_mean_and_ci(self):
+        stats = RunStats.from_samples([np.array([1.0]), np.array([3.0])])
+        assert stats.mean[0] == pytest.approx(2.0)
+        sem = np.std([1.0, 3.0], ddof=1) / np.sqrt(2)
+        assert stats.ci95[0] == pytest.approx(1.96 * sem)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunStats.from_samples([])
+
+    def test_scalars_promoted(self):
+        stats = RunStats.from_samples([np.array(5.0), np.array(7.0)])
+        assert stats.mean.shape == (1,)
+
+
+class TestExperimentResult:
+    def test_add_series(self):
+        result = ExperimentResult("x", "title")
+        result.add_series("a", [np.array([1.0]), np.array([2.0])])
+        assert result.series["a"].mean[0] == pytest.approx(1.5)
+
+    def test_describe_mentions_everything(self):
+        result = ExperimentResult("figX", "My title")
+        result.meta["note"] = "hello"
+        result.add_series("short", [np.arange(3.0)])
+        result.add_series("long", [np.arange(20.0)])
+        text = result.describe()
+        assert "figX" in text and "My title" in text
+        assert "note" in text
+        assert "short" in text and "long" in text
+        assert "n=20" in text  # long series summarised
+
+
+class TestRunCell:
+    def test_returns_finished_world(self):
+        world = run_cell(WorldConfig(**SMALL))
+        assert world.simulation.cycles_run == 2
+
+
+class TestAverageRuns:
+    def test_array_extractor(self):
+        stats = average_runs(
+            WorldConfig(**SMALL),
+            lambda w: w.simulation.metrics.final_reputations(),
+            n_runs=2,
+        )
+        assert stats.mean.shape == (24,)
+        assert stats.n_runs == 2
+
+    def test_scalar_extractor(self):
+        stats = average_runs(
+            WorldConfig(**SMALL),
+            lambda w: w.simulation.metrics.fraction_served_by(
+                w.config.colluder_ids
+            ),
+            n_runs=2,
+        )
+        assert stats.mean.shape == (1,)
+        assert 0.0 <= stats.mean[0] <= 1.0
+
+    def test_mapping_extractor(self):
+        stats = average_runs(
+            WorldConfig(**SMALL),
+            lambda w: {"a": 1.0, "b": 2.0},
+            n_runs=2,
+        )
+        assert np.array_equal(stats.mean, [1.0, 2.0])
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            average_runs(WorldConfig(**SMALL), lambda w: 0.0, n_runs=0)

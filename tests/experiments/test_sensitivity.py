@@ -1,0 +1,48 @@
+"""Tests for the parameter-sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    sweep_socialtrust_parameter,
+)
+
+FAST = dict(simulation_cycles=2)
+
+
+class TestSweep:
+    def test_theta_sweep_shape(self):
+        points = sweep_socialtrust_parameter("theta", [2.0, 4.0], **FAST)
+        assert len(points) == 2
+        assert all(isinstance(p, SensitivityPoint) for p in points)
+        assert points[0].value == 2.0
+        assert points[1].value == 4.0
+
+    def test_metrics_are_bounded(self):
+        (point,) = sweep_socialtrust_parameter("recidivism_decay", [0.5], **FAST)
+        assert 0.0 <= point.colluder_mass <= 1.0
+        assert 0.0 <= point.request_share <= 1.0
+        assert 0.0 <= point.false_positive_share <= 1.0
+
+    def test_exploration_parameter_routes_to_world(self):
+        points = sweep_socialtrust_parameter(
+            "selection_exploration", [0.0, 0.5], **FAST
+        )
+        assert len(points) == 2
+
+    def test_min_band_size_parameter(self):
+        (point,) = sweep_socialtrust_parameter("min_band_size", [5], **FAST)
+        assert point.value == 5.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="parameter"):
+            sweep_socialtrust_parameter("bogus", [1.0], **FAST)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_socialtrust_parameter("theta", [], **FAST)
+
+    def test_deterministic(self):
+        a = sweep_socialtrust_parameter("theta", [2.0], seed=3, **FAST)
+        b = sweep_socialtrust_parameter("theta", [2.0], seed=3, **FAST)
+        assert a == b

@@ -1,0 +1,183 @@
+"""Tests for the experimental world builder."""
+
+import numpy as np
+import pytest
+
+from repro.collusion import (
+    CompositeCollusion,
+    MultiNodeCollusion,
+    MutualMultiNodeCollusion,
+    NoCollusion,
+    PairwiseCollusion,
+)
+from repro.core import SocialTrust
+from repro.experiments.setup import (
+    CollusionKind,
+    SystemKind,
+    WorldConfig,
+    build_world,
+)
+from repro.reputation import EBayModel, EigenTrust, PowerTrust
+
+SMALL = dict(
+    n_nodes=30,
+    n_pretrusted=3,
+    n_colluders=6,
+    n_interests=8,
+    interests_per_node=(1, 4),
+    simulation_cycles=2,
+    query_cycles=5,
+)
+
+
+class TestWorldConfig:
+    def test_id_partitions(self):
+        cfg = WorldConfig(**SMALL)
+        assert cfg.pretrusted_ids == (0, 1, 2)
+        assert cfg.colluder_ids == tuple(range(3, 9))
+        assert cfg.normal_ids == tuple(range(9, 30))
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_nodes=10, n_pretrusted=6, n_colluders=6)
+
+    def test_rejects_excess_compromise(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_compromised_pretrusted=10)
+
+    def test_rejects_compromise_without_collusion(self):
+        with pytest.raises(ValueError):
+            WorldConfig(collusion=CollusionKind.NONE, n_compromised_pretrusted=2)
+
+    def test_with_system(self):
+        cfg = WorldConfig(**SMALL)
+        out = cfg.with_system(SystemKind.EBAY)
+        assert out.system is SystemKind.EBAY
+        assert out.n_nodes == cfg.n_nodes
+
+    def test_system_kind_helpers(self):
+        assert SystemKind.EIGENTRUST_SOCIALTRUST.uses_socialtrust
+        assert not SystemKind.EBAY.uses_socialtrust
+        assert SystemKind.EBAY_SOCIALTRUST.base is SystemKind.EBAY
+
+
+class TestBuildWorld:
+    @pytest.mark.parametrize(
+        "collusion, expected",
+        [
+            (CollusionKind.NONE, NoCollusion),
+            (CollusionKind.PCM, PairwiseCollusion),
+            (CollusionKind.MCM, MultiNodeCollusion),
+            (CollusionKind.MMM, MutualMultiNodeCollusion),
+        ],
+    )
+    def test_schedule_kind(self, collusion, expected):
+        cfg = WorldConfig(collusion=collusion, mcm_n_boosted=2, **SMALL)
+        world = build_world(cfg)
+        assert isinstance(world.collusion, expected)
+
+    @pytest.mark.parametrize(
+        "system, base_type",
+        [
+            (SystemKind.EIGENTRUST, EigenTrust),
+            (SystemKind.EBAY, EBayModel),
+            (SystemKind.POWERTRUST, PowerTrust),
+        ],
+    )
+    def test_base_system_type(self, system, base_type):
+        cfg = WorldConfig(system=system, **SMALL)
+        assert isinstance(build_world(cfg).system, base_type)
+
+    def test_powertrust_socialtrust_stack(self):
+        cfg = WorldConfig(system=SystemKind.POWERTRUST_SOCIALTRUST, **SMALL)
+        world = build_world(cfg)
+        assert isinstance(world.system, SocialTrust)
+        assert isinstance(world.system.inner, PowerTrust)
+        world.simulation.run()
+        assert world.system.reputations.sum() == pytest.approx(1.0)
+
+    def test_socialtrust_wrapping(self):
+        cfg = WorldConfig(system=SystemKind.EIGENTRUST_SOCIALTRUST, **SMALL)
+        world = build_world(cfg)
+        assert isinstance(world.system, SocialTrust)
+        assert isinstance(world.system.inner, EigenTrust)
+
+    def test_colluders_at_unit_distance(self):
+        cfg = WorldConfig(**SMALL)
+        world = build_world(cfg)
+        cols = cfg.colluder_ids
+        assert world.social_network.distance(cols[0], cols[1]) == 1
+
+    def test_colluder_distance_override(self):
+        cfg = WorldConfig(colluder_distance=3, **SMALL)
+        world = build_world(cfg)
+        cols = cfg.colluder_ids
+        assert world.social_network.distance(cols[0], cols[-1]) == 3
+
+    def test_compromised_pretrusted_selected(self):
+        cfg = WorldConfig(n_compromised_pretrusted=2, **SMALL)
+        world = build_world(cfg)
+        assert len(world.compromised_pretrusted) == 2
+        assert set(world.compromised_pretrusted) <= set(cfg.pretrusted_ids)
+        assert isinstance(world.collusion, CompositeCollusion)
+
+    def test_compromised_pair_at_unit_distance(self):
+        cfg = WorldConfig(n_compromised_pretrusted=2, **SMALL)
+        world = build_world(cfg)
+        extra = world.collusion._schedules[1]  # noqa: SLF001
+        for pretrusted, colluder in extra.partners:
+            assert world.social_network.distance(pretrusted, colluder) == 1
+
+    def test_adversary_ids(self):
+        cfg = WorldConfig(n_compromised_pretrusted=1, **SMALL)
+        world = build_world(cfg)
+        assert set(world.adversary_ids) == set(cfg.colluder_ids) | set(
+            world.compromised_pretrusted
+        )
+
+    def test_colluding_pairs_low_interest_overlap(self):
+        cfg = WorldConfig(**SMALL)
+        world = build_world(cfg)
+        a, b = world.collusion.pairs[0]
+        assert not (world.profiles.declared(a) & world.profiles.declared(b))
+        # The population specs were rebuilt consistently.
+        assert world.population[a].interests == world.profiles.declared(a)
+
+    def test_low_overlap_can_be_disabled(self):
+        cfg = WorldConfig(colluder_low_interest_overlap=False, **SMALL)
+        world = build_world(cfg)  # just must not raise; overlap is by chance
+        assert world.population.n_nodes == cfg.n_nodes
+
+    def test_falsified_info_applied(self):
+        cfg = WorldConfig(falsified_social_info=True, **SMALL)
+        world = build_world(cfg)
+        schedule = world.collusion
+        a, b = schedule.pairs[0]
+        assert len(world.social_network.relationships(a, b)) == 1
+        assert world.profiles.declared(a) == world.profiles.declared(b)
+
+    def test_reproducible(self):
+        cfg = WorldConfig(**SMALL)
+        a = build_world(cfg, seed=4, run_index=1)
+        b = build_world(cfg, seed=4, run_index=1)
+        ra = a.simulation.run().final_reputations()
+        rb = b.simulation.run().final_reputations()
+        assert np.allclose(ra, rb)
+
+    def test_run_indices_differ(self):
+        cfg = WorldConfig(**SMALL)
+        a = build_world(cfg, seed=4, run_index=0)
+        b = build_world(cfg, seed=4, run_index=1)
+        assert not np.allclose(
+            a.simulation.run().final_reputations(),
+            b.simulation.run().final_reputations(),
+        )
+
+    def test_shared_ledgers_wired(self):
+        cfg = WorldConfig(system=SystemKind.EIGENTRUST_SOCIALTRUST, **SMALL)
+        world = build_world(cfg)
+        world.simulation.run()
+        # The SocialTrust stack reads the same interaction ledger the
+        # simulator writes.
+        assert world.interactions.counts_matrix().sum() > 0
+        assert world.system.last_detection is not None

@@ -1,0 +1,49 @@
+"""Smoke tests for the Table-1 reproduction at reduced scale."""
+
+import pytest
+
+from repro.experiments.setup import CollusionKind
+from repro.experiments.table1 import PAPER_TABLE1, TABLE1_ROWS, table1
+
+SMALL_WORLD = dict(
+    n_nodes=30,
+    n_pretrusted=3,
+    n_colluders=6,
+    n_interests=8,
+    interests_per_node=(1, 4),
+    query_cycles=5,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1(
+        n_runs=1,
+        simulation_cycles=3,
+        models=(CollusionKind.PCM,),
+        b_values=(0.6,),
+        overrides=SMALL_WORLD,
+    )
+
+
+class TestTable1:
+    def test_all_rows_present(self, result):
+        labels = {key.split("/")[-1] for key in result.series}
+        assert labels == {label for label, _, _ in TABLE1_ROWS}
+
+    def test_fractions_are_probabilities(self, result):
+        for stats in result.series.values():
+            assert 0.0 <= stats.mean[0] <= 1.0
+
+    def test_paper_values_attached(self, result):
+        paper = result.meta["paper"]
+        assert paper["pcm/B=0.6/EigenTrust"] == 0.24
+
+    def test_paper_reference_complete(self):
+        # 3 models x 2 B x 6 rows.
+        assert len(PAPER_TABLE1) == 36
+        assert all(0.0 < v <= 1.0 for v in PAPER_TABLE1.values())
+
+    def test_compromised_rows_clamped_to_available_pretrusted(self, result):
+        # With only 3 pre-trusted peers the (Pre) rows still run.
+        assert "pcm/B=0.6/EigenTrust (Pre)" in result.series

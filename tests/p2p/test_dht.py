@@ -1,0 +1,105 @@
+"""Tests for the Chord-style DHT."""
+
+import pytest
+
+from repro.p2p.dht import ChordRing
+
+
+@pytest.fixture
+def ring():
+    return ChordRing(range(8), bits=16)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ChordRing([])
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            ChordRing([0], bits=4)
+
+    def test_managers_sorted_by_position(self, ring):
+        positions = [ring.position_of(m) for m in ring.managers]
+        assert positions == sorted(positions)
+
+    def test_deterministic_placement(self):
+        a = ChordRing(range(5), bits=16)
+        b = ChordRing(range(5), bits=16)
+        assert [a.position_of(m) for m in range(5)] == [
+            b.position_of(m) for m in range(5)
+        ]
+
+    def test_salt_changes_placement(self):
+        a = ChordRing(range(5), bits=16, salt="a")
+        b = ChordRing(range(5), bits=16, salt="b")
+        assert any(a.position_of(m) != b.position_of(m) for m in range(5))
+
+
+class TestResponsibility:
+    def test_manager_for_is_stable(self, ring):
+        assert ring.manager_for(42) == ring.manager_for(42)
+
+    def test_assignment_covers_all_nodes(self, ring):
+        assignment = ring.assignment(100)
+        assert len(assignment) == 100
+        assert set(assignment) <= set(ring.managers)
+
+    def test_assignment_roughly_balanced(self):
+        ring = ChordRing(range(16), bits=32)
+        assignment = ring.assignment(2000)
+        counts = {m: assignment.count(m) for m in ring.managers}
+        # Consistent hashing without virtual nodes is lumpy but no single
+        # manager should own the vast majority.
+        assert max(counts.values()) < 2000 * 0.6
+
+    def test_single_manager_owns_everything(self):
+        ring = ChordRing([7], bits=16)
+        assert set(ring.assignment(50)) == {7}
+
+    def test_removal_only_moves_affected_keys(self):
+        """The consistent-hashing property: dropping one manager only
+        reassigns the keys it owned."""
+        full = ChordRing(range(8), bits=32)
+        reduced = ChordRing([m for m in range(8) if m != 3], bits=32)
+        before = full.assignment(500)
+        after = reduced.assignment(500)
+        for node, (b, a) in enumerate(zip(before, after)):
+            if b != 3:
+                assert a == b, node
+
+
+class TestLookup:
+    def test_route_starts_and_ends_correctly(self, ring):
+        for node in (0, 13, 99):
+            for origin in ring.managers[:3]:
+                route = ring.lookup(origin, node)
+                assert route[0] == origin
+                assert route[-1] == ring.manager_for(node)
+
+    def test_route_has_no_cycles(self, ring):
+        for node in range(20):
+            route = ring.lookup(ring.managers[0], node)
+            assert len(route) == len(set(route))
+
+    def test_self_lookup_single_entry(self, ring):
+        node = 5
+        target = ring.manager_for(node)
+        assert ring.lookup(target, node) == [target]
+
+    def test_unknown_origin_rejected(self, ring):
+        with pytest.raises(KeyError):
+            ring.lookup(999, 0)
+
+    def test_hops_logarithmic(self):
+        ring = ChordRing(range(64), bits=32)
+        mean = ring.mean_lookup_hops(100)
+        # log2(64) = 6; greedy finger routing stays in that ballpark.
+        assert mean <= 8.0
+
+    def test_two_managers_route(self):
+        ring = ChordRing([0, 1], bits=16)
+        for node in range(10):
+            route = ring.lookup(0, node)
+            assert route[-1] == ring.manager_for(node)
+            assert len(route) <= 2

@@ -1,0 +1,113 @@
+"""Tests for the metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.p2p.metrics import MetricsCollector
+
+
+class TestRouting:
+    def test_record_request(self):
+        m = MetricsCollector(4)
+        m.record_request(0, 1)
+        m.record_request(2, 1)
+        assert m.total_requests == 2
+        assert m.total_served == 2
+        assert m.served_by([1]) == 2
+
+    def test_unserved(self):
+        m = MetricsCollector(4)
+        m.record_unserved(0)
+        assert m.total_requests == 1
+        assert m.total_served == 0
+        assert m.unserved == 1
+
+    def test_fraction_served_by(self):
+        m = MetricsCollector(4)
+        m.record_request(0, 1)
+        m.record_request(0, 2)
+        m.record_request(0, 2)
+        m.record_request(3, 1)
+        assert m.fraction_served_by([2]) == pytest.approx(0.5)
+
+    def test_fraction_zero_when_no_requests(self):
+        assert MetricsCollector(3).fraction_served_by([0]) == 0.0
+
+    def test_served_by_empty_group(self):
+        m = MetricsCollector(3)
+        m.record_request(0, 1)
+        assert m.served_by([]) == 0
+
+
+class TestSnapshots:
+    def test_history_shape(self):
+        m = MetricsCollector(3)
+        m.snapshot(np.array([0.2, 0.3, 0.5]))
+        m.snapshot(np.array([0.1, 0.4, 0.5]))
+        assert m.reputation_history().shape == (2, 3)
+        assert m.n_snapshots == 2
+
+    def test_final_reputations(self):
+        m = MetricsCollector(2)
+        m.snapshot(np.array([0.5, 0.5]))
+        m.snapshot(np.array([0.9, 0.1]))
+        assert np.allclose(m.final_reputations(), [0.9, 0.1])
+
+    def test_empty_history(self):
+        m = MetricsCollector(2)
+        assert m.reputation_history().shape == (0, 2)
+        assert np.all(m.final_reputations() == 0.0)
+
+    def test_snapshot_copies(self):
+        m = MetricsCollector(2)
+        reps = np.array([0.5, 0.5])
+        m.snapshot(reps)
+        reps[0] = 0.0
+        assert m.final_reputations()[0] == 0.5
+
+    def test_rejects_wrong_shape(self):
+        m = MetricsCollector(2)
+        with pytest.raises(ValueError):
+            m.snapshot(np.zeros(3))
+
+
+class TestConvergence:
+    def _collector(self, series):
+        m = MetricsCollector(2)
+        for value in series:
+            m.snapshot(np.array([value, 0.0]))
+        return m
+
+    def test_converged_from_start(self):
+        m = self._collector([0.0001, 0.0002, 0.0001])
+        assert m.cycles_until_below([0], 0.001) == 1
+
+    def test_converges_midway(self):
+        m = self._collector([0.5, 0.2, 0.0005, 0.0004])
+        assert m.cycles_until_below([0], 0.001) == 3
+
+    def test_relapse_counts_from_last_failure(self):
+        m = self._collector([0.0001, 0.5, 0.0001, 0.0002])
+        assert m.cycles_until_below([0], 0.001) == 3
+
+    def test_never_converges(self):
+        m = self._collector([0.5, 0.5, 0.5])
+        assert m.cycles_until_below([0], 0.001) is None
+
+    def test_fails_on_final_cycle(self):
+        m = self._collector([0.0001, 0.0001, 0.5])
+        assert m.cycles_until_below([0], 0.001) is None
+
+    def test_no_history(self):
+        m = MetricsCollector(2)
+        assert m.cycles_until_below([0], 0.001) is None
+
+    def test_requires_nodes(self):
+        m = self._collector([0.1])
+        with pytest.raises(ValueError):
+            m.cycles_until_below([], 0.001)
+
+    def test_all_nodes_must_converge(self):
+        m = MetricsCollector(2)
+        m.snapshot(np.array([0.0001, 0.5]))
+        assert m.cycles_until_below([0, 1], 0.001) is None

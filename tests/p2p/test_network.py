@@ -1,0 +1,73 @@
+"""Tests for the interest-based overlay."""
+
+import numpy as np
+import pytest
+
+from repro.p2p.network import InterestOverlay
+
+
+@pytest.fixture
+def overlay():
+    sets = [
+        frozenset({0, 1}),
+        frozenset({1, 2}),
+        frozenset({3}),
+        frozenset({0, 3}),
+    ]
+    return InterestOverlay(sets, 4)
+
+
+class TestNeighbors:
+    def test_shared_interest_connects(self, overlay):
+        assert overlay.shares_interest(0, 1)  # share 1
+        assert overlay.shares_interest(2, 3)  # share 3
+
+    def test_disjoint_not_connected(self, overlay):
+        assert not overlay.shares_interest(0, 2)
+
+    def test_no_self_neighbor(self, overlay):
+        assert 0 not in overlay.neighbors(0)
+
+    def test_neighbor_lists(self, overlay):
+        assert set(overlay.neighbors(0)) == {1, 3}
+        assert set(overlay.neighbors(2)) == {3}
+
+
+class TestProviders:
+    def test_providers_of_interest(self, overlay):
+        assert set(overlay.providers(0)) == {0, 3}
+        assert set(overlay.providers(3)) == {2, 3}
+
+    def test_empty_interest(self):
+        overlay = InterestOverlay([frozenset({0})], 2)
+        assert overlay.providers(1).size == 0
+
+    def test_candidate_servers_exclude_self(self, overlay):
+        assert set(overlay.candidate_servers(0, 0)) == {3}
+        assert set(overlay.candidate_servers(3, 0)) == {0}
+
+    def test_candidate_servers_empty_when_sole_provider(self):
+        overlay = InterestOverlay([frozenset({0}), frozenset({1})], 2)
+        assert overlay.candidate_servers(0, 0).size == 0
+
+
+class TestValidation:
+    def test_rejects_empty_interest_set(self):
+        with pytest.raises(ValueError):
+            InterestOverlay([frozenset()], 3)
+
+    def test_rejects_out_of_range_interest(self):
+        with pytest.raises(ValueError):
+            InterestOverlay([frozenset({5})], 3)
+
+    def test_rejects_no_nodes(self):
+        with pytest.raises(ValueError):
+            InterestOverlay([], 3)
+
+    def test_membership_read_only(self, overlay):
+        with pytest.raises(ValueError):
+            overlay.interest_membership()[0, 0] = False
+
+    def test_sizes(self, overlay):
+        assert overlay.n_nodes == 4
+        assert overlay.n_interests == 4

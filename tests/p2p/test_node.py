@@ -1,0 +1,125 @@
+"""Tests for the peer behaviour models."""
+
+import numpy as np
+import pytest
+
+from repro.p2p.node import NodeKind, NodeSpec, Population
+from repro.utils.rng import spawn_rng
+
+
+def spec(node_id=0, **kw):
+    defaults = dict(
+        kind=NodeKind.NORMAL,
+        authentic_prob=0.8,
+        capacity=50,
+        activity=0.7,
+        interests=frozenset({1}),
+    )
+    defaults.update(kw)
+    return NodeSpec(node_id=node_id, **defaults)
+
+
+class TestNodeSpec:
+    def test_valid(self):
+        s = spec()
+        assert s.kind is NodeKind.NORMAL
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            spec(authentic_prob=1.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            spec(capacity=0)
+
+    def test_rejects_empty_interests(self):
+        with pytest.raises(ValueError):
+            spec(interests=frozenset())
+
+
+class TestPopulation:
+    def test_dense_ids_required(self):
+        with pytest.raises(ValueError):
+            Population([spec(node_id=1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Population([])
+
+    def test_indexing_and_iteration(self):
+        pop = Population([spec(0), spec(1, activity=0.9)])
+        assert pop[1].activity == 0.9
+        assert len(list(pop)) == 2
+        assert len(pop) == 2
+
+
+class TestBuild:
+    @pytest.fixture
+    def pop(self):
+        return Population.build(
+            30,
+            spawn_rng(5, 0),
+            pretrusted_ids=[0, 1],
+            malicious_ids=[2, 3, 4],
+            n_interests=10,
+            malicious_authentic_prob=0.2,
+        )
+
+    def test_kinds_assigned(self, pop):
+        assert pop.ids_of_kind(NodeKind.PRETRUSTED) == (0, 1)
+        assert pop.ids_of_kind(NodeKind.MALICIOUS) == (2, 3, 4)
+        assert len(pop.ids_of_kind(NodeKind.NORMAL)) == 25
+
+    def test_pretrusted_always_authentic(self, pop):
+        assert all(pop[i].authentic_prob == 1.0 for i in (0, 1))
+
+    def test_normal_probability(self, pop):
+        assert pop[10].authentic_prob == 0.8
+
+    def test_malicious_scalar_b(self, pop):
+        assert all(pop[i].authentic_prob == 0.2 for i in (2, 3, 4))
+
+    def test_malicious_range_b(self):
+        pop = Population.build(
+            30,
+            spawn_rng(5, 0),
+            malicious_ids=range(10),
+            malicious_authentic_prob=(0.2, 0.6),
+        )
+        probs = [pop[i].authentic_prob for i in range(10)]
+        assert all(0.2 <= p <= 0.6 for p in probs)
+        assert len(set(probs)) > 1
+
+    def test_activity_in_range(self, pop):
+        assert np.all(pop.activity_probs >= 0.5)
+        assert np.all(pop.activity_probs <= 1.0)
+
+    def test_interest_count_in_range(self, pop):
+        sizes = [len(pop[i].interests) for i in range(30)]
+        assert all(1 <= s <= 10 for s in sizes)
+
+    def test_kind_mask(self, pop):
+        mask = pop.kind_mask(NodeKind.MALICIOUS)
+        assert mask.sum() == 3
+        assert mask[2]
+
+    def test_overlapping_roles_rejected(self):
+        with pytest.raises(ValueError):
+            Population.build(
+                10, spawn_rng(0, 0), pretrusted_ids=[0], malicious_ids=[0]
+            )
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Population.build(5, spawn_rng(0, 0), malicious_ids=[9])
+
+    def test_bad_interest_range_rejected(self):
+        with pytest.raises(ValueError):
+            Population.build(
+                5, spawn_rng(0, 0), n_interests=4, interests_per_node=(1, 10)
+            )
+
+    def test_deterministic(self):
+        a = Population.build(20, spawn_rng(3, 0), malicious_ids=[1])
+        b = Population.build(20, spawn_rng(3, 0), malicious_ids=[1])
+        assert all(x.interests == y.interests for x, y in zip(a, b))

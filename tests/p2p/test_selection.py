@@ -1,0 +1,128 @@
+"""Tests for reputation-guided server selection."""
+
+import numpy as np
+import pytest
+
+from repro.p2p.selection import SelectionPolicy, select_server
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture
+def rng():
+    return spawn_rng(21, 0)
+
+
+def pick_many(rng, n=400, **kw):
+    picks = [select_server(rng=rng, **kw) for _ in range(n)]
+    return [p for p in picks if p is not None]
+
+
+class TestCapacityFiltering:
+    def test_no_candidates(self, rng):
+        out = select_server(
+            np.array([], dtype=np.int64), np.zeros(3), np.ones(3), rng
+        )
+        assert out is None
+
+    def test_all_exhausted(self, rng):
+        out = select_server(
+            np.array([0, 1]), np.zeros(3), np.zeros(3, dtype=np.int64), rng
+        )
+        assert out is None
+
+    def test_only_available_chosen(self, rng):
+        capacity = np.array([0, 5, 0])
+        for _ in range(20):
+            assert (
+                select_server(np.array([0, 1, 2]), np.zeros(3), capacity, rng) == 1
+            )
+
+
+class TestPolicies:
+    def test_random_ignores_reputation(self, rng):
+        reps = np.array([0.0, 0.99, 0.0])
+        picks = pick_many(
+            rng,
+            candidates=np.array([0, 1, 2]),
+            reputations=reps,
+            remaining_capacity=np.ones(3, dtype=np.int64),
+            policy=SelectionPolicy.RANDOM,
+        )
+        counts = np.bincount(picks, minlength=3)
+        assert counts.min() > 60  # roughly uniform
+
+    def test_threshold_random_prefers_qualified(self, rng):
+        reps = np.array([0.005, 0.5, 0.6])
+        picks = pick_many(
+            rng,
+            candidates=np.array([0, 1, 2]),
+            reputations=reps,
+            remaining_capacity=np.ones(3, dtype=np.int64),
+            policy=SelectionPolicy.THRESHOLD_RANDOM,
+            threshold=0.01,
+        )
+        assert 0 not in picks
+        counts = np.bincount(picks, minlength=3)
+        # Uniform among qualified, not reputation-proportional.
+        assert abs(counts[1] - counts[2]) < 80
+
+    def test_threshold_fallback_when_none_qualify(self, rng):
+        reps = np.zeros(3)
+        picks = pick_many(
+            rng,
+            candidates=np.array([0, 1, 2]),
+            reputations=reps,
+            remaining_capacity=np.ones(3, dtype=np.int64),
+            policy=SelectionPolicy.THRESHOLD_RANDOM,
+        )
+        assert set(picks) == {0, 1, 2}
+
+    def test_reputation_weighted_proportional(self, rng):
+        reps = np.array([0.0, 0.1, 0.4])
+        picks = pick_many(
+            rng,
+            candidates=np.array([0, 1, 2]),
+            reputations=reps,
+            remaining_capacity=np.ones(3, dtype=np.int64),
+            policy=SelectionPolicy.REPUTATION_WEIGHTED,
+            threshold=0.01,
+        )
+        counts = np.bincount(picks, minlength=3)
+        assert counts[0] == 0
+        assert counts[2] > 2 * counts[1]
+
+    def test_exploration_feeds_unqualified(self, rng):
+        reps = np.array([0.0, 0.5])
+        picks = pick_many(
+            rng,
+            candidates=np.array([0, 1]),
+            reputations=reps,
+            remaining_capacity=np.ones(2, dtype=np.int64),
+            policy=SelectionPolicy.THRESHOLD_RANDOM,
+            exploration=0.5,
+        )
+        counts = np.bincount(picks, minlength=2)
+        # Node 0 only reachable through exploration: ~25% of picks.
+        assert 40 < counts[0] < 170
+
+    def test_zero_exploration_starves_unqualified(self, rng):
+        reps = np.array([0.0, 0.5])
+        picks = pick_many(
+            rng,
+            candidates=np.array([0, 1]),
+            reputations=reps,
+            remaining_capacity=np.ones(2, dtype=np.int64),
+            policy=SelectionPolicy.THRESHOLD_RANDOM,
+            exploration=0.0,
+        )
+        assert set(picks) == {1}
+
+    def test_rejects_bad_exploration(self, rng):
+        with pytest.raises(ValueError):
+            select_server(
+                np.array([0]),
+                np.zeros(1),
+                np.ones(1, dtype=np.int64),
+                rng,
+                exploration=1.5,
+            )

@@ -1,0 +1,168 @@
+"""Tests for the discrete-cycle simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.collusion import PairwiseCollusion
+from repro.p2p import (
+    InterestOverlay,
+    Population,
+    Simulation,
+    SimulationConfig,
+)
+from repro.reputation import EBayModel, EigenTrust
+from repro.social import InteractionLedger, InterestProfiles
+from repro.utils.rng import spawn_rng
+
+N = 20
+N_INTERESTS = 6
+
+
+def build_sim(seed=3, collusion=None, cycles=2, system=None, **cfg_kw):
+    rng = spawn_rng(seed, 0)
+    pop = Population.build(
+        N,
+        rng,
+        pretrusted_ids=[0],
+        malicious_ids=[1, 2],
+        n_interests=N_INTERESTS,
+        interests_per_node=(1, 3),
+        capacity=10,
+        malicious_authentic_prob=0.2,
+    )
+    overlay = InterestOverlay([s.interests for s in pop], N_INTERESTS)
+    system = system or EigenTrust(N, [0])
+    config = SimulationConfig(
+        simulation_cycles=cycles,
+        query_cycles_per_simulation_cycle=5,
+        **cfg_kw,
+    )
+    sim = Simulation(pop, overlay, system, rng, config=config, collusion=collusion)
+    return sim, system
+
+
+class TestConstruction:
+    def test_profiles_autobuilt_from_population(self):
+        sim, _ = build_sim()
+        assert sim.profiles.declared(0) == sim.population[0].interests
+
+    def test_size_mismatch_rejected(self):
+        rng = spawn_rng(3, 0)
+        pop = Population.build(
+            N, rng, n_interests=N_INTERESTS, interests_per_node=(1, 3)
+        )
+        overlay = InterestOverlay([s.interests for s in pop], N_INTERESTS)
+        with pytest.raises(ValueError):
+            Simulation(pop, overlay, EigenTrust(N + 1), rng)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(simulation_cycles=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(query_cycles_per_simulation_cycle=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(selection_exploration=2.0)
+
+
+class TestRun:
+    def test_cycles_counted(self):
+        sim, _ = build_sim(cycles=3)
+        sim.run()
+        assert sim.cycles_run == 3
+        assert sim.metrics.n_snapshots == 3
+
+    def test_run_override(self):
+        sim, _ = build_sim(cycles=5)
+        sim.run(2)
+        assert sim.cycles_run == 2
+
+    def test_run_rejects_zero(self):
+        sim, _ = build_sim()
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_requests_recorded(self):
+        sim, _ = build_sim()
+        sim.run()
+        assert sim.metrics.total_requests > 0
+
+    def test_interactions_track_requests(self):
+        sim, _ = build_sim()
+        sim.run()
+        assert sim.interactions.counts_matrix().sum() == sim.metrics.total_served
+
+    def test_profiles_track_requests(self):
+        sim, _ = build_sim()
+        sim.run()
+        assert sim.profiles.summary()["total_requests"] == sim.metrics.total_served
+
+    def test_reputations_updated_per_cycle(self):
+        sim, system = build_sim(cycles=1)
+        sim.run()
+        assert system.reputations.sum() == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a, _ = build_sim(seed=9)
+        b, _ = build_sim(seed=9)
+        ra = a.run().final_reputations()
+        rb = b.run().final_reputations()
+        assert np.allclose(ra, rb)
+
+    def test_different_seeds_differ(self):
+        a, _ = build_sim(seed=9)
+        b, _ = build_sim(seed=10)
+        assert not np.allclose(
+            a.run().final_reputations(), b.run().final_reputations()
+        )
+
+
+class TestCollusionIntegration:
+    def _interests(self, seed=3):
+        rng = spawn_rng(seed, 0)
+        pop = Population.build(
+            N,
+            rng,
+            pretrusted_ids=[0],
+            malicious_ids=[1, 2],
+            n_interests=N_INTERESTS,
+            interests_per_node=(1, 3),
+            capacity=10,
+            malicious_authentic_prob=0.2,
+        )
+        return [s.interests for s in pop]
+
+    def test_bursts_reach_ledgers(self):
+        schedule = PairwiseCollusion(
+            [1, 2], self._interests(), ratings_per_cycle=7
+        )
+        sim, _ = build_sim(collusion=schedule, cycles=1)
+        sim.run()
+        # 5 query cycles x 7 ratings in each direction.
+        assert sim.interactions.frequency(1, 2) >= 35
+
+    def test_bursts_do_not_count_as_requests(self):
+        schedule = PairwiseCollusion(
+            [1, 2], self._interests(), ratings_per_cycle=7
+        )
+        sim, _ = build_sim(collusion=schedule, cycles=1)
+        sim.run()
+        # Request counters only track genuine service requests.
+        assert sim.profiles.summary()["total_requests"] == sim.metrics.total_served
+
+    def test_collusion_boosts_under_plain_eigentrust(self):
+        interests = self._interests()
+        plain_sim, _ = build_sim(cycles=4)
+        plain = plain_sim.run().final_reputations()
+        colluding_sim, _ = build_sim(
+            collusion=PairwiseCollusion([1, 2], interests, ratings_per_cycle=20),
+            cycles=4,
+        )
+        colluding = colluding_sim.run().final_reputations()
+        assert colluding[[1, 2]].sum() > plain[[1, 2]].sum()
+
+
+class TestEBaySimulation:
+    def test_runs_with_ebay(self):
+        sim, system = build_sim(system=EBayModel(N), cycles=2)
+        sim.run()
+        assert system.intervals_seen == 2

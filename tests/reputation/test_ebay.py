@@ -1,0 +1,118 @@
+"""Tests for the eBay reputation model."""
+
+import numpy as np
+import pytest
+
+from repro.reputation.base import IntervalRatings, Rating
+from repro.reputation.ebay import EBayModel
+
+
+def interval(n, ratings):
+    iv = IntervalRatings(n)
+    for i, j, v in ratings:
+        iv.add(Rating(i, j, v))
+    return iv
+
+
+class TestCountedRatings:
+    def test_unanimous_positive_is_one(self):
+        iv = interval(3, [(0, 1, 1.0)] * 5)
+        counted = EBayModel.counted_ratings(iv)
+        assert counted[0, 1] == 1.0
+
+    def test_unanimous_negative_is_minus_one(self):
+        iv = interval(3, [(0, 1, -1.0)] * 3)
+        assert EBayModel.counted_ratings(iv)[0, 1] == -1.0
+
+    def test_mixed_takes_mean(self):
+        iv = interval(3, [(0, 1, 1.0), (0, 1, 1.0), (0, 1, -1.0), (0, 1, -1.0)])
+        assert EBayModel.counted_ratings(iv)[0, 1] == 0.0
+
+    def test_no_ratings_zero(self):
+        assert EBayModel.counted_ratings(IntervalRatings(2))[0, 1] == 0.0
+
+    def test_damped_ratings_carry_through(self):
+        """A SocialTrust-scaled rating stream contributes a counted rating
+        near zero instead of snapping back to +1."""
+        iv = interval(2, [(0, 1, 1.0)] * 10)
+        scaled = iv.scaled(np.full((2, 2), 0.05))
+        counted = EBayModel.counted_ratings(scaled)
+        assert counted[0, 1] == pytest.approx(0.05)
+
+
+class TestPerRaterSum:
+    def test_dedup_within_interval(self):
+        """20 ratings from one rater count as one (the paper's eBay rule)."""
+        model = EBayModel(3)
+        model.update(interval(3, [(0, 2, 1.0)] * 20 + [(1, 2, 1.0)]))
+        assert model.raw_scores[2] == pytest.approx(2.0)
+
+    def test_distinct_raters_accumulate(self):
+        model = EBayModel(4)
+        model.update(interval(4, [(0, 3, 1.0), (1, 3, 1.0), (2, 3, -1.0)]))
+        assert model.raw_scores[3] == pytest.approx(1.0)
+
+    def test_across_intervals_accumulate(self):
+        model = EBayModel(3)
+        model.update(interval(3, [(0, 2, 1.0)]))
+        model.update(interval(3, [(0, 2, 1.0)]))
+        assert model.raw_scores[2] == pytest.approx(2.0)
+        assert model.intervals_seen == 2
+
+
+class TestNodeSign:
+    def test_sign_caps_interval_gain(self):
+        model = EBayModel(4, cycle_aggregation="node_sign")
+        model.update(interval(4, [(0, 3, 1.0), (1, 3, 1.0), (2, 3, 1.0)]))
+        assert model.raw_scores[3] == 1.0
+
+    def test_net_negative_interval(self):
+        model = EBayModel(4, cycle_aggregation="node_sign")
+        model.update(interval(4, [(0, 3, -1.0), (1, 3, -1.0), (2, 3, 1.0)]))
+        assert model.raw_scores[3] == -1.0
+
+    def test_unrated_node_zero(self):
+        model = EBayModel(3, cycle_aggregation="node_sign")
+        model.update(interval(3, [(0, 1, 1.0)]))
+        assert model.raw_scores[2] == 0.0
+
+    def test_rejects_unknown_aggregation(self):
+        with pytest.raises(ValueError):
+            EBayModel(3, cycle_aggregation="bogus")
+
+
+class TestReputations:
+    def test_normalised_to_one(self):
+        model = EBayModel(3)
+        model.update(interval(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]))
+        assert model.reputations.sum() == pytest.approx(1.0)
+
+    def test_negative_scores_clipped(self):
+        model = EBayModel(3)
+        model.update(interval(3, [(0, 1, -1.0), (0, 2, 1.0)]))
+        reps = model.reputations
+        assert reps[1] == 0.0
+        assert reps[2] == pytest.approx(1.0)
+
+    def test_all_zero_before_updates(self):
+        assert np.all(EBayModel(3).reputations == 0.0)
+
+    def test_reset(self):
+        model = EBayModel(3)
+        model.update(interval(3, [(0, 1, 1.0)]))
+        model.reset()
+        assert np.all(model.raw_scores == 0.0)
+        assert model.intervals_seen == 0
+
+    def test_raw_scores_read_only(self):
+        model = EBayModel(3)
+        with pytest.raises(ValueError):
+            model.raw_scores[0] = 5.0
+
+    def test_size_mismatch_rejected(self):
+        model = EBayModel(3)
+        with pytest.raises(ValueError):
+            model.update(IntervalRatings(2))
+
+    def test_name(self):
+        assert EBayModel(2).name == "eBay"

@@ -1,0 +1,107 @@
+"""Tests for GossipTrust push-sum aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.reputation.base import IntervalRatings, Rating
+from repro.reputation.gossip import GossipTrust
+
+N = 8
+
+
+def interval(ratings, n=N):
+    iv = IntervalRatings(n)
+    for i, j, v in ratings:
+        iv.add(Rating(i, j, v))
+    return iv
+
+
+class TestConstruction:
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            GossipTrust(4, rounds=0)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            GossipTrust(4, convergence_tolerance=0)
+
+    def test_name(self):
+        assert GossipTrust(3).name == "GossipTrust"
+
+
+class TestConvergence:
+    def test_consensus_matches_centralised_average(self):
+        """Push-sum must converge to the column means of the row-stochastic
+        local trust — the same aggregate a coordinator would compute."""
+        gossip = GossipTrust(N, rounds=200, convergence_tolerance=1e-10)
+        ratings = [(i, (i + 1) % N, 1.0) for i in range(N)]
+        ratings += [(i, 5, 1.0) for i in range(4)]
+        reps = gossip.update(interval(ratings))
+        # Centralised reference.
+        local = np.zeros((N, N))
+        for i, j, v in ratings:
+            local[i, j] += v
+        rows = local.sum(axis=1, keepdims=True)
+        c = np.divide(local, rows, out=np.zeros_like(local), where=rows > 0)
+        expected = c.mean(axis=0)
+        expected = expected / expected.sum()
+        assert np.allclose(reps, expected, atol=1e-6)
+
+    def test_early_stopping(self):
+        gossip = GossipTrust(N, rounds=500, convergence_tolerance=1e-4)
+        gossip.update(interval([(0, 1, 1.0)]))
+        assert gossip.last_rounds < 500
+        assert gossip.last_disagreement < 1e-3
+
+    def test_more_rounds_tighter_consensus(self):
+        ratings = [(i, (i + 3) % N, 1.0) for i in range(N)]
+        coarse = GossipTrust(N, rounds=5, convergence_tolerance=1e-15)
+        fine = GossipTrust(N, rounds=120, convergence_tolerance=1e-15)
+        coarse.update(interval(ratings))
+        fine.update(interval(ratings))
+        assert fine.last_disagreement <= coarse.last_disagreement
+
+    def test_deterministic_per_seed(self):
+        a = GossipTrust(N, seed=5)
+        b = GossipTrust(N, seed=5)
+        ratings = [(0, 1, 1.0), (2, 3, -1.0), (4, 5, 1.0)]
+        assert np.allclose(a.update(interval(ratings)), b.update(interval(ratings)))
+
+
+class TestReputationInterface:
+    def test_distribution(self):
+        gossip = GossipTrust(N)
+        reps = gossip.update(interval([(0, 1, 1.0), (2, 3, 1.0)]))
+        assert np.all(reps >= 0)
+        assert reps.sum() == pytest.approx(1.0)
+
+    def test_well_rated_node_rises(self):
+        gossip = GossipTrust(N, rounds=150)
+        ratings = [(i, 7, 1.0) for i in range(6)] + [(6, 0, 1.0)]
+        reps = gossip.update(interval(ratings))
+        assert reps[7] == reps.max()
+
+    def test_reset(self):
+        gossip = GossipTrust(N)
+        gossip.update(interval([(0, 1, 1.0)]))
+        gossip.reset()
+        assert np.all(gossip.reputations == 0.0)
+
+    def test_wrappable_by_socialtrust(self):
+        from repro.core import SocialTrust
+        from repro.social import InteractionLedger, InterestProfiles
+        from repro.social.generators import paper_social_network
+        from repro.utils.rng import spawn_rng
+
+        rng = spawn_rng(2, 0)
+        network = paper_social_network(N, [0, 1], rng)
+        interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 4)
+        for i in range(N):
+            profiles.set_declared(i, {i % 4})
+        st = SocialTrust(GossipTrust(N), network, interactions, profiles)
+        assert st.name == "GossipTrust+SocialTrust"
+        iv = interval([(0, 1, 1.0), (2, 3, 1.0)])
+        interactions.record(0, 1)
+        interactions.record(2, 3)
+        assert st.update(iv).sum() == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Tests for the per-interval rating ledger."""
+
+import pytest
+
+from repro.reputation.base import Rating
+from repro.reputation.ledger import RatingLedger
+
+
+class TestRatingLedger:
+    def test_record_and_drain(self):
+        ledger = RatingLedger(3)
+        ledger.record(Rating(0, 1, 1.0))
+        interval = ledger.drain()
+        assert interval.value_sum[0, 1] == 1.0
+
+    def test_drain_resets(self):
+        ledger = RatingLedger(3)
+        ledger.record(Rating(0, 1, 1.0))
+        ledger.drain()
+        second = ledger.drain()
+        assert second.value_sum.sum() == 0.0
+
+    def test_total_recorded_survives_drain(self):
+        ledger = RatingLedger(3)
+        ledger.record(Rating(0, 1, 1.0))
+        ledger.drain()
+        ledger.record(Rating(1, 2, -1.0))
+        assert ledger.total_recorded == 2
+
+    def test_record_batch(self):
+        ledger = RatingLedger(3)
+        ledger.record_batch(0, 1, 1.0, 20)
+        interval = ledger.drain()
+        assert interval.value_sum[0, 1] == 20.0
+        assert interval.pos_counts[0, 1] == 20
+
+    def test_record_batch_negative(self):
+        ledger = RatingLedger(3)
+        ledger.record_batch(0, 1, -1.0, 5)
+        interval = ledger.drain()
+        assert interval.neg_counts[0, 1] == 5
+
+    def test_batch_equals_loop(self):
+        a = RatingLedger(3)
+        b = RatingLedger(3)
+        a.record_batch(0, 2, 1.0, 7)
+        for _ in range(7):
+            b.record(Rating(0, 2, 1.0))
+        ia, ib = a.drain(), b.drain()
+        assert (ia.value_sum == ib.value_sum).all()
+        assert (ia.pos_counts == ib.pos_counts).all()
+
+    def test_peek_does_not_drain(self):
+        ledger = RatingLedger(3)
+        ledger.record(Rating(0, 1, 1.0))
+        assert ledger.peek().value_sum[0, 1] == 1.0
+        assert ledger.drain().value_sum[0, 1] == 1.0
+
+    def test_peek_returns_copy(self):
+        ledger = RatingLedger(3)
+        ledger.record(Rating(0, 1, 1.0))
+        peeked = ledger.peek()
+        peeked.value_sum[0, 1] = 42.0
+        assert ledger.drain().value_sum[0, 1] == 1.0
+
+    def test_rejects_out_of_range(self):
+        ledger = RatingLedger(2)
+        with pytest.raises(IndexError):
+            ledger.record(Rating(0, 5, 1.0))
+        with pytest.raises(IndexError):
+            ledger.record_batch(0, 5, 1.0, 1)
+
+    def test_batch_rejects_self(self):
+        ledger = RatingLedger(3)
+        with pytest.raises(ValueError):
+            ledger.record_batch(1, 1, 1.0, 2)
+
+    def test_batch_rejects_zero_count(self):
+        ledger = RatingLedger(3)
+        with pytest.raises(ValueError):
+            ledger.record_batch(0, 1, 1.0, 0)

@@ -1,0 +1,76 @@
+"""Tests for fading-memory reputation (TrustGuard-style recency weighting)."""
+
+import numpy as np
+import pytest
+
+from repro.reputation.base import IntervalRatings, Rating
+from repro.reputation.ebay import EBayModel
+from repro.reputation.eigentrust import EigenTrust
+
+N = 5
+
+
+def interval(ratings, n=N):
+    iv = IntervalRatings(n)
+    for i, j, v in ratings:
+        iv.add(Rating(i, j, v))
+    return iv
+
+
+class TestEigenTrustDecay:
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            EigenTrust(N, memory_decay=0.0)
+        with pytest.raises(ValueError):
+            EigenTrust(N, memory_decay=1.5)
+
+    def test_default_infinite_memory(self):
+        et = EigenTrust(N, [0])
+        et.update(interval([(0, 1, 1.0)]))
+        et.update(IntervalRatings(N))
+        assert et.local_trust[0, 1] == 1.0
+
+    def test_decay_fades_history(self):
+        et = EigenTrust(N, [0], memory_decay=0.5)
+        et.update(interval([(0, 1, 1.0)]))
+        et.update(IntervalRatings(N))
+        et.update(IntervalRatings(N))
+        assert et.local_trust[0, 1] == pytest.approx(0.25)
+
+    def test_recent_behaviour_dominates(self):
+        """A reformed node regains standing faster with fading memory."""
+        history = [(1, 2, -1.0)] * 1  # old bad behaviour toward node 2
+        recent = [(1, 2, 1.0)]
+        fading = EigenTrust(N, [0], memory_decay=0.5)
+        lifetime = EigenTrust(N, [0], memory_decay=1.0)
+        for system in (fading, lifetime):
+            for _ in range(4):
+                system.update(interval(history))
+            for _ in range(2):
+                system.update(interval(recent))
+        # Fading memory has mostly forgotten the -1s: local trust higher.
+        assert fading.local_trust[1, 2] > lifetime.local_trust[1, 2]
+
+
+class TestEBayDecay:
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            EBayModel(N, memory_decay=0.0)
+
+    def test_decay_fades_scores(self):
+        model = EBayModel(N, memory_decay=0.5)
+        model.update(interval([(0, 1, 1.0)]))
+        model.update(IntervalRatings(N))
+        assert model.raw_scores[1] == pytest.approx(0.5)
+
+    def test_whitewashed_reputation_fades_naturally(self):
+        """With fading memory, an inactive node's standing erodes — the
+        flip side is that a bad record also erodes, which is why lifetime
+        memory remains the default."""
+        model = EBayModel(N, memory_decay=0.8)
+        for _ in range(3):
+            model.update(interval([(0, 1, 1.0), (2, 1, 1.0)]))
+        peak = model.raw_scores[1]
+        for _ in range(10):
+            model.update(IntervalRatings(N))
+        assert model.raw_scores[1] < 0.2 * peak

@@ -1,0 +1,106 @@
+"""Tests for the simplified PowerTrust implementation."""
+
+import numpy as np
+import pytest
+
+from repro.reputation.base import IntervalRatings, Rating
+from repro.reputation.powertrust import PowerTrust
+
+
+def interval(n, ratings):
+    iv = IntervalRatings(n)
+    for i, j, v in ratings:
+        iv.add(Rating(i, j, v))
+    return iv
+
+
+class TestConstruction:
+    def test_rejects_bad_power_count(self):
+        with pytest.raises(ValueError):
+            PowerTrust(5, n_power_nodes=0)
+        with pytest.raises(ValueError):
+            PowerTrust(5, n_power_nodes=6)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            PowerTrust(5, power_weight=1.0)
+
+    def test_initial_uniform(self):
+        pt = PowerTrust(4, n_power_nodes=2)
+        assert np.allclose(pt.reputations, 0.25)
+
+    def test_name(self):
+        assert PowerTrust(3, n_power_nodes=1).name == "PowerTrust"
+
+
+class TestDynamics:
+    def test_power_nodes_elected_from_top(self):
+        pt = PowerTrust(6, n_power_nodes=2, power_weight=0.1)
+        ratings = [(i, 5, 1.0) for i in range(5)] + [(i, 4, 1.0) for i in range(4)]
+        pt.update(interval(6, ratings))
+        pt.update(interval(6, ratings))
+        assert set(pt.power_nodes) == {4, 5}
+
+    def test_well_rated_node_rises(self):
+        pt = PowerTrust(6, n_power_nodes=2)
+        ratings = [(i, 5, 1.0) for i in range(5)]
+        reps = pt.update(interval(6, ratings))
+        assert reps[5] == reps.max()
+
+    def test_reputations_normalised(self):
+        pt = PowerTrust(5, n_power_nodes=2)
+        reps = pt.update(interval(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]))
+        assert reps.sum() == pytest.approx(1.0)
+        assert np.all(reps >= 0)
+
+    def test_power_set_adapts(self):
+        """Unlike EigenTrust's fixed pre-trusted peers, the anchor set moves
+        with the reputations."""
+        pt = PowerTrust(6, n_power_nodes=1, power_weight=0.1)
+        pt.update(interval(6, [(i, 5, 1.0) for i in range(5)]))
+        pt.update(interval(6, [(i, 5, 1.0) for i in range(5)]))
+        first = pt.power_nodes
+        # Shift all praise to node 0 for several rounds (node 0 also
+        # re-rates, so its earlier endorsement of node 5 dilutes away).
+        for _ in range(8):
+            pt.update(
+                interval(6, [(i, 0, 5.0) for i in range(1, 6)] + [(0, 1, 5.0)])
+            )
+        assert pt.power_nodes != first
+
+    def test_reset(self):
+        pt = PowerTrust(4, n_power_nodes=1)
+        pt.update(interval(4, [(0, 1, 1.0)]))
+        pt.reset()
+        assert np.allclose(pt.reputations, 0.25)
+        assert pt.power_nodes == ()
+
+    def test_size_mismatch_rejected(self):
+        pt = PowerTrust(4, n_power_nodes=1)
+        with pytest.raises(ValueError):
+            pt.update(IntervalRatings(5))
+
+
+class TestSocialTrustCompatibility:
+    def test_wrappable(self):
+        from repro.core import SocialTrust
+        from repro.social import InteractionLedger, InterestProfiles
+        from repro.social.generators import paper_social_network
+        from repro.utils.rng import spawn_rng
+
+        n = 10
+        rng = spawn_rng(3, 0)
+        network = paper_social_network(n, [0, 1], rng)
+        interactions = InteractionLedger(n)
+        profiles = InterestProfiles(n, 4)
+        for i in range(n):
+            profiles.set_declared(i, {i % 4})
+        st = SocialTrust(
+            PowerTrust(n, n_power_nodes=2), network, interactions, profiles
+        )
+        assert st.name == "PowerTrust+SocialTrust"
+        iv = interval(n, [(0, 1, 1.0), (2, 3, 1.0)])
+        for i, j in ((0, 1), (2, 3)):
+            interactions.record(i, j)
+        reps = st.update(iv)
+        assert reps.sum() == pytest.approx(1.0)

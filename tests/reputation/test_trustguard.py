@@ -1,0 +1,102 @@
+"""Tests for the TrustGuard-like similarity-weighted model."""
+
+import numpy as np
+import pytest
+
+from repro.reputation.base import IntervalRatings, Rating
+from repro.reputation.trustguard import SimilarityWeightedModel
+
+N = 6
+
+
+def interval(ratings, n=N):
+    iv = IntervalRatings(n)
+    for i, j, v in ratings:
+        iv.add(Rating(i, j, v))
+    return iv
+
+
+class TestConstruction:
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            SimilarityWeightedModel(4, deviation_scale=0.0)
+
+    def test_initial_zero(self):
+        assert np.all(SimilarityWeightedModel(4).reputations == 0.0)
+
+    def test_name(self):
+        assert SimilarityWeightedModel(3).name == "TrustGuard-like"
+
+
+class TestCredibility:
+    def test_consensus_rater_keeps_credibility(self):
+        model = SimilarityWeightedModel(N)
+        # Everyone agrees node 5 is good.
+        model.update(interval([(i, 5, 1.0) for i in range(5)]))
+        cred = model.credibilities()
+        assert np.allclose(cred[:5], 1.0)
+
+    def test_dissenter_loses_credibility(self):
+        model = SimilarityWeightedModel(N)
+        ratings = [(i, 5, 1.0) for i in range(4)] + [(4, 5, -1.0)]
+        model.update(interval(ratings))
+        cred = model.credibilities()
+        assert cred[4] < cred[0]
+
+    def test_no_history_full_credibility(self):
+        model = SimilarityWeightedModel(N)
+        model.update(interval([(0, 1, 1.0)]))
+        assert model.credibilities()[3] == 1.0
+
+    def test_clique_against_consensus_devalued(self):
+        """The TrustGuard story: praising inside the clique while everyone
+        else reports bad service costs the clique credibility."""
+        model = SimilarityWeightedModel(N)
+        ratings = [(0, 1, 1.0), (1, 0, 1.0)]  # clique praise
+        ratings += [(i, 0, -1.0) for i in range(2, 6)]  # world disagrees
+        ratings += [(i, 1, -1.0) for i in range(2, 6)]
+        ratings += [(i, 5, 1.0) for i in range(2, 5)]  # honest baseline
+        model.update(interval(ratings))
+        cred = model.credibilities()
+        assert cred[0] < cred[2]
+        assert cred[1] < cred[2]
+
+
+class TestReputations:
+    def test_weighted_aggregation_suppresses_clique(self):
+        model = SimilarityWeightedModel(N)
+        ratings = [(0, 1, 1.0), (1, 0, 1.0)]
+        ratings += [(i, 0, -1.0) for i in range(2, 6)]
+        ratings += [(i, 1, -1.0) for i in range(2, 6)]
+        ratings += [(i, 5, 1.0) for i in range(2, 5)]
+        reps = model.update(interval(ratings))
+        assert reps[5] > reps[0]
+        assert reps[5] > reps[1]
+
+    def test_blind_spot_unrated_clique_target(self):
+        """When nobody outside the clique rates the boosted node, consensus
+        IS the clique's praise — the blind spot motivating SocialTrust."""
+        model = SimilarityWeightedModel(N)
+        ratings = [(0, 1, 1.0)] * 1 + [(2, 1, 1.0)]
+        # No outside information about node 1 at all.
+        ratings += [(3, 5, 1.0), (4, 5, 1.0)]
+        reps = model.update(interval(ratings))
+        assert reps[1] > 0  # the boost stands
+
+    def test_normalised(self):
+        model = SimilarityWeightedModel(N)
+        reps = model.update(interval([(0, 1, 1.0), (2, 3, 1.0)]))
+        assert reps.sum() == pytest.approx(1.0)
+
+    def test_reset(self):
+        model = SimilarityWeightedModel(N)
+        model.update(interval([(0, 1, 1.0)]))
+        model.reset()
+        assert np.all(model.reputations == 0.0)
+
+    def test_accumulates_across_intervals(self):
+        model = SimilarityWeightedModel(N)
+        model.update(interval([(0, 1, 1.0)]))
+        model.update(interval([(2, 1, 1.0)]))
+        assert model.mean_ratings()[0, 1] == 1.0
+        assert model.mean_ratings()[2, 1] == 1.0

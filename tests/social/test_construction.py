@@ -1,0 +1,118 @@
+"""Tests for the incremental social-network construction plugin."""
+
+import numpy as np
+import pytest
+
+from repro.reputation import EigenTrust
+from repro.social.construction import SocialNetworkBuilder
+from repro.social.graph import Relationship
+
+
+@pytest.fixture
+def builder():
+    b = SocialNetworkBuilder(6, initial_capacity=4)
+    for interests in ({0, 1}, {1, 2}, {3}, {0, 3}):
+        b.register_user(interests)
+    return b
+
+
+class TestRegistration:
+    def test_sequential_ids(self):
+        b = SocialNetworkBuilder(4)
+        assert b.register_user({0}) == 0
+        assert b.register_user({1}) == 1
+        assert b.n_users == 2
+
+    def test_declared_interests_stored(self, builder):
+        assert builder.profiles.declared(1) == frozenset({1, 2})
+
+    def test_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            SocialNetworkBuilder(0)
+
+    def test_unknown_user_rejected(self, builder):
+        with pytest.raises(IndexError):
+            builder.add_friendship(0, 9)
+        with pytest.raises(IndexError):
+            builder.record_request(9, 0, 0)
+        with pytest.raises(IndexError):
+            builder.record_rating(9, 0, 1.0)
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        b = SocialNetworkBuilder(4, initial_capacity=2)
+        for _ in range(10):
+            b.register_user({0})
+        assert b.n_users == 10
+
+    def test_growth_preserves_state(self):
+        b = SocialNetworkBuilder(4, initial_capacity=2)
+        a = b.register_user({0, 1})
+        c = b.register_user({2})
+        b.add_friendship(a, c, [Relationship("kin", 2.0)])
+        b.record_request(a, c, 0)
+        b.record_rating(a, c, 1.0)
+        # Trigger growth.
+        for _ in range(5):
+            b.register_user({3})
+        assert b.graph.are_adjacent(a, c)
+        assert b.graph.relationships(a, c)[0].kind == "kin"
+        assert b.interactions.frequency(a, c) == 2.0  # request + rating
+        assert b.profiles.request_weights(a)[0] == 1.0
+        interval = b.drain_interval()
+        assert interval.value_sum[a, c] == 1.0
+
+
+class TestEvents:
+    def test_request_feeds_both_ledgers(self, builder):
+        builder.record_request(0, 1, 1)
+        assert builder.interactions.frequency(0, 1) == 1.0
+        assert builder.profiles.behavioural_interests(0) == frozenset({1})
+
+    def test_rating_counts_as_interaction(self, builder):
+        builder.record_rating(0, 1, -1.0)
+        assert builder.interactions.frequency(0, 1) == 1.0
+
+    def test_drain_interval_resets(self, builder):
+        builder.record_rating(0, 1, 1.0)
+        first = builder.drain_interval()
+        second = builder.drain_interval()
+        assert first.value_sum[0, 1] == 1.0
+        assert second.value_sum.sum() == 0.0
+
+
+class TestBuildSocialTrust:
+    def test_wraps_base_system(self, builder):
+        system = builder.build_socialtrust(EigenTrust(4, [0]))
+        builder.add_friendship(0, 1)
+        builder.record_request(0, 1, 1)
+        builder.record_rating(0, 1, 1.0)
+        reps = system.update(builder.drain_interval())
+        assert reps.sum() == pytest.approx(1.0)
+        assert system.name == "EigenTrust+SocialTrust"
+
+    def test_size_mismatch_rejected(self, builder):
+        with pytest.raises(ValueError, match="n_nodes"):
+            builder.build_socialtrust(EigenTrust(3, [0]))
+
+    def test_end_to_end_collusion_detection(self):
+        """A colluding pair flooding ratings through the plugin is flagged."""
+        b = SocialNetworkBuilder(6, initial_capacity=12)
+        for i in range(12):
+            b.register_user({i % 6})
+        b.add_friendship(0, 1, [Relationship()] * 4)
+        system = b.build_socialtrust(EigenTrust(12, [2]))
+        for interval_index in range(3):
+            for i in range(12):
+                for step in (1, 2, 3):
+                    j = (i + step) % 12
+                    b.record_request(i, j, j % 6)
+                    b.record_rating(i, j, 1.0)
+            for _ in range(50):
+                b.record_rating(0, 1, 1.0)
+                b.record_rating(1, 0, 1.0)
+            system.update(b.drain_interval())
+        assert system.last_detection is not None
+        flagged = {(f.rater, f.ratee) for f in system.last_detection.findings}
+        assert (0, 1) in flagged

@@ -1,0 +1,247 @@
+"""Tests for SocialGraph / AssignedSocialNetwork / relationship factors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.social.graph import (
+    UNREACHABLE,
+    AssignedSocialNetwork,
+    Relationship,
+    SocialGraph,
+    SocialView,
+    relationship_factor,
+)
+
+
+class TestRelationship:
+    def test_defaults(self):
+        r = Relationship()
+        assert r.kind == "friend"
+        assert r.weight == 1.0
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            Relationship(weight=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Relationship().weight = 2.0  # type: ignore[misc]
+
+
+class TestRelationshipFactor:
+    def test_plain_counts_relationships(self):
+        rels = [Relationship(), Relationship("colleague", 2.0)]
+        assert relationship_factor(rels, hardened=False, lambda_scaling=0.75) == 2.0
+
+    def test_empty_is_zero(self):
+        assert relationship_factor([], hardened=True, lambda_scaling=0.75) == 0.0
+
+    def test_hardened_discounts_by_rank(self):
+        rels = [Relationship(weight=1.0)] * 3
+        value = relationship_factor(rels, hardened=True, lambda_scaling=0.5)
+        assert value == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_hardened_sorts_weights_descending(self):
+        rels = [Relationship(weight=0.1), Relationship(weight=2.0)]
+        value = relationship_factor(rels, hardened=True, lambda_scaling=0.5)
+        # 2.0 gets full weight, 0.1 scaled.
+        assert value == pytest.approx(2.0 + 0.5 * 0.1)
+
+    def test_hardened_caps_cheap_tie_inflation(self):
+        """Adding many low-weight ties gains less than linearly (Section 4.4)."""
+        one = relationship_factor(
+            [Relationship(weight=1.0)], hardened=True, lambda_scaling=0.5
+        )
+        ten = relationship_factor(
+            [Relationship(weight=1.0)] * 10, hardened=True, lambda_scaling=0.5
+        )
+        assert ten < 2.0 * one  # geometric series bound: < 2 with lambda=0.5
+
+    @given(n=st.integers(min_value=1, max_value=20))
+    def test_hardened_below_plain(self, n):
+        rels = [Relationship(weight=1.0)] * n
+        hardened = relationship_factor(rels, hardened=True, lambda_scaling=0.75)
+        plain = relationship_factor(rels, hardened=False, lambda_scaling=0.75)
+        assert hardened <= plain + 1e-12
+
+
+class TestSocialGraph:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SocialGraph(0)
+
+    def test_add_friendship_symmetric(self):
+        g = SocialGraph(4)
+        g.add_friendship(0, 2)
+        assert g.are_adjacent(0, 2)
+        assert g.are_adjacent(2, 0)
+        assert 2 in g.friends(0)
+        assert 0 in g.friends(2)
+
+    def test_default_relationship_attached(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1)
+        assert len(g.relationships(0, 1)) == 1
+
+    def test_add_relationships_accumulate(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1, [Relationship("kin", 3.0)])
+        g.add_friendship(0, 1, [Relationship("colleague", 1.5)])
+        assert len(g.relationships(0, 1)) == 2
+
+    def test_repeat_add_without_relationships_is_noop(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1, [Relationship("kin", 3.0)])
+        g.add_friendship(0, 1)
+        assert len(g.relationships(0, 1)) == 1
+
+    def test_relationship_order_independent_of_pair_order(self):
+        g = SocialGraph(3)
+        g.add_friendship(1, 0, [Relationship("kin", 3.0)])
+        assert g.relationships(0, 1) == g.relationships(1, 0)
+
+    def test_self_edge_rejected(self):
+        g = SocialGraph(3)
+        with pytest.raises(ValueError):
+            g.add_friendship(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = SocialGraph(3)
+        with pytest.raises(IndexError):
+            g.add_friendship(0, 3)
+
+    def test_remove_friendship(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1)
+        g.remove_friendship(0, 1)
+        assert not g.are_adjacent(0, 1)
+        assert g.n_edges == 0
+
+    def test_remove_missing_raises(self):
+        g = SocialGraph(3)
+        with pytest.raises(KeyError):
+            g.remove_friendship(0, 1)
+
+    def test_distance_path_chain(self):
+        g = SocialGraph(5)
+        for i in range(4):
+            g.add_friendship(i, i + 1)
+        assert g.distance(0, 4) == 4
+        assert g.path(0, 4) == [0, 1, 2, 3, 4]
+
+    def test_distance_self_zero(self):
+        g = SocialGraph(3)
+        assert g.distance(1, 1) == 0
+
+    def test_distance_unreachable(self):
+        g = SocialGraph(4)
+        g.add_friendship(0, 1)
+        assert g.distance(0, 3) == UNREACHABLE
+        assert g.path(0, 3) == []
+
+    def test_path_is_shortest(self):
+        g = SocialGraph(5)
+        # Two routes 0-1-4 and 0-2-3-4.
+        g.add_friendship(0, 1)
+        g.add_friendship(1, 4)
+        g.add_friendship(0, 2)
+        g.add_friendship(2, 3)
+        g.add_friendship(3, 4)
+        assert len(g.path(0, 4)) == 3
+
+    def test_degree(self):
+        g = SocialGraph(4)
+        g.add_friendship(0, 1)
+        g.add_friendship(0, 2)
+        assert g.degree(0) == 2
+        assert g.degree(3) == 0
+
+    def test_numpy_adjacency_matches_edges(self):
+        g = SocialGraph(4)
+        g.add_friendship(0, 3)
+        adj = g.to_numpy_adjacency()
+        assert adj[0, 3] and adj[3, 0]
+        assert adj.sum() == 2
+
+    def test_satisfies_social_view_protocol(self):
+        assert isinstance(SocialGraph(2), SocialView)
+
+
+def _distance_matrix(n, pairs):
+    d = np.full((n, n), 2, dtype=np.int64)
+    np.fill_diagonal(d, 0)
+    for i, j in pairs:
+        d[i, j] = d[j, i] = 1
+    return d
+
+
+class TestAssignedSocialNetwork:
+    def test_adjacency_from_distance_one(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1)]))
+        assert net.are_adjacent(0, 1)
+        assert not net.are_adjacent(0, 2)
+        assert net.friends(0) == frozenset({1})
+
+    def test_rejects_asymmetric(self):
+        d = _distance_matrix(3, [])
+        d[0, 1] = 3
+        with pytest.raises(ValueError):
+            AssignedSocialNetwork(d)
+
+    def test_rejects_nonzero_diagonal(self):
+        d = _distance_matrix(3, [])
+        d[1, 1] = 1
+        with pytest.raises(ValueError):
+            AssignedSocialNetwork(d)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            AssignedSocialNetwork(np.zeros((2, 3)))
+
+    def test_distance_returns_assigned(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(1, 2)]))
+        assert net.distance(0, 3) == 2
+        assert net.distance(1, 2) == 1
+
+    def test_relationships_default_single(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1)]))
+        assert len(net.relationships(0, 1)) == 1
+
+    def test_set_relationships(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1)]))
+        net.set_relationships(0, 1, [Relationship()] * 3)
+        assert len(net.relationships(0, 1)) == 3
+
+    def test_set_relationships_requires_adjacency(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1)]))
+        with pytest.raises(ValueError, match="distance"):
+            net.set_relationships(0, 2, [Relationship()])
+
+    def test_set_relationships_rejects_empty(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1)]))
+        with pytest.raises(ValueError):
+            net.set_relationships(0, 1, [])
+
+    def test_non_adjacent_relationships_empty(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1)]))
+        assert net.relationships(0, 2) == ()
+
+    def test_path_over_adjacency(self):
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1), (1, 2)]))
+        assert net.path(0, 2) == [0, 1, 2]
+
+    def test_path_missing_is_empty(self):
+        # Distance-2 everywhere means adjacency graph only has the one edge.
+        net = AssignedSocialNetwork(_distance_matrix(4, [(0, 1)]))
+        assert net.path(0, 3) == []
+
+    def test_distance_matrix_read_only(self):
+        net = AssignedSocialNetwork(_distance_matrix(3, []))
+        with pytest.raises(ValueError):
+            net.distance_matrix[0, 1] = 5
+
+    def test_satisfies_social_view_protocol(self):
+        net = AssignedSocialNetwork(_distance_matrix(3, []))
+        assert isinstance(net, SocialView)

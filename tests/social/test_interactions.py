@@ -1,0 +1,98 @@
+"""Tests for the interaction-frequency ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.social.interactions import InteractionLedger
+
+
+class TestInteractionLedger:
+    def test_initial_empty(self):
+        ledger = InteractionLedger(3)
+        assert ledger.frequency(0, 1) == 0.0
+        assert ledger.total_out(0) == 0.0
+        assert ledger.share(0, 1) == 0.0
+
+    def test_record_accumulates(self):
+        ledger = InteractionLedger(3)
+        ledger.record(0, 1)
+        ledger.record(0, 1, 2.0)
+        assert ledger.frequency(0, 1) == 3.0
+
+    def test_directed(self):
+        ledger = InteractionLedger(3)
+        ledger.record(0, 1, 5.0)
+        assert ledger.frequency(1, 0) == 0.0
+
+    def test_share_normalises_by_row(self):
+        ledger = InteractionLedger(3)
+        ledger.record(0, 1, 3.0)
+        ledger.record(0, 2, 1.0)
+        assert ledger.share(0, 1) == pytest.approx(0.75)
+        assert ledger.share(0, 2) == pytest.approx(0.25)
+
+    def test_share_invariant_pumping_one_dilutes_others(self):
+        """The Eq. (2) anti-gaming property: raising f(i,j) lowers every
+        other partner's share."""
+        ledger = InteractionLedger(4)
+        ledger.record(0, 1, 5.0)
+        ledger.record(0, 2, 5.0)
+        before = ledger.share(0, 2)
+        ledger.record(0, 1, 100.0)
+        assert ledger.share(0, 2) < before
+
+    def test_share_matrix_rows_sum_to_one_or_zero(self):
+        ledger = InteractionLedger(4)
+        ledger.record(0, 1, 2.0)
+        ledger.record(2, 3, 1.0)
+        rows = ledger.share_matrix().sum(axis=1)
+        assert rows[0] == pytest.approx(1.0)
+        assert rows[1] == 0.0
+        assert rows[2] == pytest.approx(1.0)
+
+    def test_rejects_self_interaction(self):
+        ledger = InteractionLedger(3)
+        with pytest.raises(ValueError):
+            ledger.record(1, 1)
+
+    def test_rejects_non_positive_count(self):
+        ledger = InteractionLedger(3)
+        with pytest.raises(ValueError):
+            ledger.record(0, 1, 0.0)
+
+    def test_counts_matrix_read_only(self):
+        ledger = InteractionLedger(3)
+        with pytest.raises(ValueError):
+            ledger.counts_matrix()[0, 1] = 1.0
+
+    def test_reset(self):
+        ledger = InteractionLedger(3)
+        ledger.record(0, 1)
+        ledger.reset()
+        assert ledger.total_out(0) == 0.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            InteractionLedger(0)
+
+    @given(
+        counts=st.lists(
+            st.tuples(
+                st.integers(0, 4), st.integers(0, 4), st.floats(0.1, 10.0)
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_shares_are_probabilities(self, counts):
+        ledger = InteractionLedger(5)
+        for i, j, c in counts:
+            if i != j:
+                ledger.record(i, j, c)
+        m = ledger.share_matrix()
+        assert np.all(m >= 0)
+        assert np.all(m <= 1 + 1e-12)
+        row_sums = m.sum(axis=1)
+        assert np.all((np.abs(row_sums - 1) < 1e-9) | (row_sums == 0))

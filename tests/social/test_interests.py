@@ -1,0 +1,96 @@
+"""Tests for interest profiles (declared vs behavioural)."""
+
+import numpy as np
+import pytest
+
+from repro.social.interests import InterestProfiles
+
+
+@pytest.fixture
+def profiles():
+    p = InterestProfiles(4, 6)
+    p.set_declared(0, {0, 1, 2})
+    p.set_declared(1, {2, 3})
+    p.set_declared(2, {4})
+    p.set_declared(3, {0, 5})
+    return p
+
+
+class TestDeclared:
+    def test_set_and_get(self, profiles):
+        assert profiles.declared(0) == frozenset({0, 1, 2})
+
+    def test_replaces_previous(self, profiles):
+        profiles.set_declared(0, {5})
+        assert profiles.declared(0) == frozenset({5})
+
+    def test_rejects_empty(self, profiles):
+        with pytest.raises(ValueError):
+            profiles.set_declared(0, [])
+
+    def test_rejects_out_of_range(self, profiles):
+        with pytest.raises(ValueError):
+            profiles.set_declared(0, {6})
+
+    def test_declared_matrix(self, profiles):
+        m = profiles.declared_matrix()
+        assert m.shape == (4, 6)
+        assert m[1, 2] and m[1, 3]
+        assert m[1].sum() == 2
+
+
+class TestRequests:
+    def test_record_and_weights(self, profiles):
+        profiles.record_request(0, 1, 3.0)
+        profiles.record_request(0, 2, 1.0)
+        w = profiles.request_weights(0)
+        assert w[1] == pytest.approx(0.75)
+        assert w[2] == pytest.approx(0.25)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_no_requests_zero_weights(self, profiles):
+        assert np.all(profiles.request_weights(0) == 0.0)
+
+    def test_rejects_bad_interest(self, profiles):
+        with pytest.raises(ValueError):
+            profiles.record_request(0, 6)
+
+    def test_rejects_non_positive_count(self, profiles):
+        with pytest.raises(ValueError):
+            profiles.record_request(0, 1, 0)
+
+    def test_behavioural_interests(self, profiles):
+        profiles.record_request(0, 5)
+        assert profiles.behavioural_interests(0) == frozenset({5})
+
+    def test_behavioural_can_diverge_from_declared(self, profiles):
+        """Falsified profiles cannot hide real request behaviour."""
+        profiles.set_declared(0, {0})
+        profiles.record_request(0, 3, 10.0)
+        assert 3 in profiles.behavioural_interests(0)
+        assert 3 not in profiles.declared(0)
+
+    def test_weight_matrix_rows(self, profiles):
+        profiles.record_request(1, 2, 2.0)
+        m = profiles.request_weight_matrix()
+        assert m[1, 2] == pytest.approx(1.0)
+        assert m[0].sum() == 0.0
+
+    def test_request_counts_copy(self, profiles):
+        profiles.record_request(0, 0)
+        counts = profiles.request_counts(0)
+        counts[0] = 99
+        assert profiles.request_counts(0)[0] == 1.0
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            InterestProfiles(0, 5)
+        with pytest.raises(ValueError):
+            InterestProfiles(5, 0)
+
+    def test_summary(self, profiles):
+        s = profiles.summary()
+        assert s["mean_declared_size"] == pytest.approx((3 + 2 + 1 + 2) / 4)
+        assert s["total_requests"] == 0.0

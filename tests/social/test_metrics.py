@@ -1,0 +1,87 @@
+"""Tests for social-graph statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.social.generators import preferential_attachment_graph
+from repro.social.graph import SocialGraph
+from repro.social.metrics import (
+    clustering_coefficient,
+    degree_distribution,
+    mean_path_length,
+    summarize_graph,
+)
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    """0-1-2 triangle with a tail 2-3."""
+    g = SocialGraph(4)
+    g.add_friendship(0, 1)
+    g.add_friendship(1, 2)
+    g.add_friendship(0, 2)
+    g.add_friendship(2, 3)
+    return g
+
+
+class TestDegreeDistribution:
+    def test_counts(self, triangle_plus_tail):
+        assert degree_distribution(triangle_plus_tail).tolist() == [2, 2, 3, 1]
+
+    def test_empty_graph(self):
+        assert degree_distribution(SocialGraph(3)).tolist() == [0, 0, 0]
+
+
+class TestClustering:
+    def test_triangle_member(self, triangle_plus_tail):
+        assert clustering_coefficient(triangle_plus_tail, 0) == 1.0
+
+    def test_hub_with_partial_triangles(self, triangle_plus_tail):
+        # Node 2's friends {0, 1, 3}: only (0, 1) linked -> 1/3.
+        assert clustering_coefficient(triangle_plus_tail, 2) == pytest.approx(1 / 3)
+
+    def test_leaf_zero(self, triangle_plus_tail):
+        assert clustering_coefficient(triangle_plus_tail, 3) == 0.0
+
+
+class TestMeanPathLength:
+    def test_chain(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1)
+        g.add_friendship(1, 2)
+        # Distances: (0,1)=1 (0,2)=2 (1,2)=1, both directions -> mean 4/3.
+        assert mean_path_length(g) == pytest.approx(4 / 3)
+
+    def test_disconnected_is_nan(self):
+        assert math.isnan(mean_path_length(SocialGraph(3)))
+
+    def test_sampled_close_to_full(self):
+        g = preferential_attachment_graph(120, spawn_rng(4, 0), edges_per_node=2)
+        full = mean_path_length(g)
+        sampled = mean_path_length(g, sample_sources=40)
+        assert abs(full - sampled) < 0.4
+
+    def test_rejects_bad_sample(self):
+        g = SocialGraph(3)
+        with pytest.raises(ValueError):
+            mean_path_length(g, sample_sources=0)
+
+
+class TestSummary:
+    def test_fields(self, triangle_plus_tail):
+        summary = summarize_graph(triangle_plus_tail, path_sample_sources=None)
+        assert summary.n_nodes == 4
+        assert summary.n_edges == 4
+        assert summary.max_degree == 3
+        assert summary.mean_degree == pytest.approx(2.0)
+        assert 0.0 < summary.mean_clustering < 1.0
+
+    def test_scale_free_graph_properties(self):
+        g = preferential_attachment_graph(200, spawn_rng(9, 0), edges_per_node=2)
+        summary = summarize_graph(g)
+        # Small world: short paths, hubs far above the mean degree.
+        assert summary.mean_path_length < 5.0
+        assert summary.max_degree > 3 * summary.mean_degree

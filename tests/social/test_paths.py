@@ -1,0 +1,93 @@
+"""Tests for BFS helpers."""
+
+import numpy as np
+import pytest
+
+from repro.social.graph import UNREACHABLE, SocialGraph
+from repro.social.paths import (
+    bfs_distances,
+    common_friends,
+    distance_histogram,
+    pairwise_distance_matrix,
+    shortest_path,
+)
+
+
+@pytest.fixture
+def chain():
+    g = SocialGraph(6)
+    for i in range(5):
+        g.add_friendship(i, i + 1)
+    return g
+
+
+@pytest.fixture
+def star():
+    g = SocialGraph(5)
+    for leaf in range(1, 5):
+        g.add_friendship(0, leaf)
+    return g
+
+
+class TestBfsDistances:
+    def test_chain_distances(self, chain):
+        dist = bfs_distances(chain, 0)
+        assert dist == {i: i for i in range(6)}
+
+    def test_max_hops_cutoff(self, chain):
+        dist = bfs_distances(chain, 0, max_hops=2)
+        assert set(dist) == {0, 1, 2}
+
+    def test_isolated_source(self):
+        g = SocialGraph(3)
+        assert bfs_distances(g, 1) == {1: 0}
+
+
+class TestCommonFriends:
+    def test_star_leaves_share_hub(self, star):
+        assert common_friends(star, 1, 2) == frozenset({0})
+
+    def test_no_common(self, chain):
+        assert common_friends(chain, 0, 3) == frozenset()
+
+    def test_adjacent_nodes_can_share_friends(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1)
+        g.add_friendship(0, 2)
+        g.add_friendship(1, 2)
+        assert common_friends(g, 0, 1) == frozenset({2})
+
+
+class TestShortestPath:
+    def test_delegates_to_view(self, chain):
+        assert shortest_path(chain, 0, 3) == [0, 1, 2, 3]
+
+
+class TestDistanceHistogram:
+    def test_counts_buckets(self, chain):
+        hist = distance_histogram(chain, [(0, 1), (0, 2), (1, 3), (0, 5)])
+        assert hist == {1: 1, 2: 2, 5: 1}
+
+    def test_unreachable_bucket(self):
+        g = SocialGraph(4)
+        g.add_friendship(0, 1)
+        hist = distance_histogram(g, [(0, 3)])
+        assert hist == {UNREACHABLE: 1}
+
+
+class TestPairwiseDistanceMatrix:
+    def test_symmetric_and_zero_diagonal(self, star):
+        d = pairwise_distance_matrix(star)
+        assert np.array_equal(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_star_structure(self, star):
+        d = pairwise_distance_matrix(star)
+        assert d[1, 2] == 2
+        assert d[0, 4] == 1
+
+    def test_disconnected_marked(self):
+        g = SocialGraph(3)
+        g.add_friendship(0, 1)
+        d = pairwise_distance_matrix(g)
+        assert d[0, 2] == UNREACHABLE

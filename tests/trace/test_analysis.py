@@ -1,0 +1,159 @@
+"""Tests for the Section-3 analysis functions on hand-built traces."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import (
+    business_network_vs_reputation,
+    category_rank_distribution,
+    interest_similarity_cdf,
+    personal_network_vs_reputation,
+    rating_stats_by_distance,
+    transactions_vs_reputation,
+)
+from repro.trace.schema import Trace, TraceUser, Transaction
+
+
+def build_trace(users, transactions, n_categories=4):
+    return Trace(
+        users=users, transactions=transactions, n_categories=n_categories, n_months=1
+    )
+
+
+def tx(buyer, seller, category=0, rating=1.0, n_ratings=1):
+    return Transaction(
+        buyer=buyer,
+        seller=seller,
+        category=category,
+        rating=rating,
+        month=0,
+        n_ratings=n_ratings,
+    )
+
+
+@pytest.fixture
+def linear_trace():
+    """Reputation exactly proportional to business size for active users."""
+    users = []
+    for uid in range(6):
+        users.append(
+            TraceUser(
+                user_id=uid,
+                business_contacts=set(range(uid)),
+                reputation=float(2 * uid),
+                sell_categories=frozenset({0}),
+            )
+        )
+    transactions = [tx(buyer=0, seller=uid) for uid in range(1, 6)]
+    return build_trace(users, transactions)
+
+
+class TestCorrelations:
+    def test_perfectly_linear_business(self, linear_trace):
+        result = business_network_vs_reputation(linear_trace)
+        assert result.correlation == pytest.approx(1.0)
+
+    def test_inactive_users_excluded(self):
+        users = [
+            TraceUser(0, reputation=1.0, business_contacts={1}),
+            TraceUser(1, reputation=2.0, business_contacts={0}),
+            # Never traded; enormous values that would skew the fit.
+            TraceUser(2, reputation=999.0, business_contacts=set()),
+        ]
+        result = business_network_vs_reputation(
+            build_trace(users, [tx(0, 1)])
+        )
+        assert result.x.size == 2
+
+    def test_transactions_vs_reputation_counts_both_roles(self):
+        users = [TraceUser(0, reputation=2.0), TraceUser(1, reputation=2.0)]
+        result = transactions_vs_reputation(build_trace(users, [tx(0, 1)]))
+        assert np.array_equal(result.y, [1.0, 1.0])
+
+    def test_personal_network_uses_friends(self):
+        users = [
+            TraceUser(0, friends={1, 2}, reputation=1.0),
+            TraceUser(1, friends={0}, reputation=5.0),
+            TraceUser(2, friends={0}, reputation=3.0),
+        ]
+        result = personal_network_vs_reputation(
+            build_trace(users, [tx(0, 1), tx(1, 2), tx(2, 0)])
+        )
+        assert np.array_equal(result.y, [2, 1, 1])
+
+
+class TestDistanceStats:
+    def test_buckets_by_hop(self):
+        users = [
+            TraceUser(0, friends={1}),
+            TraceUser(1, friends={0, 2}),
+            TraceUser(2, friends={1}),
+            TraceUser(3),  # disconnected
+        ]
+        transactions = [
+            tx(0, 1, rating=2.0),       # hop 1
+            tx(0, 2, rating=1.0),       # hop 2
+            tx(0, 3, rating=-1.0),      # unreachable -> overflow bucket
+        ]
+        stats = rating_stats_by_distance(build_trace(users, transactions))
+        assert stats.mean_rating[0] == pytest.approx(2.0)
+        assert stats.mean_rating[1] == pytest.approx(1.0)
+        assert stats.mean_rating[3] == pytest.approx(-1.0)
+        assert stats.n_transactions.tolist() == [1, 1, 0, 1]
+
+    def test_frequency_weighted_mean(self):
+        users = [TraceUser(0, friends={1}), TraceUser(1, friends={0})]
+        transactions = [
+            tx(0, 1, rating=2.0, n_ratings=3),
+            tx(0, 1, rating=0.0, n_ratings=1),
+        ]
+        stats = rating_stats_by_distance(build_trace(users, transactions))
+        assert stats.mean_rating[0] == pytest.approx(6.0 / 4.0)
+        assert stats.mean_ratings_per_pair[0] == pytest.approx(4.0)
+
+    def test_rejects_bad_max_hops(self, linear_trace):
+        with pytest.raises(ValueError):
+            rating_stats_by_distance(linear_trace, max_hops=0)
+
+
+class TestCategoryRankCdf:
+    def test_single_category_buyer(self):
+        users = [TraceUser(0), TraceUser(1, sell_categories=frozenset({0}))]
+        transactions = [tx(0, 1, category=0)] * 4
+        cdf = category_rank_distribution(build_trace(users, transactions))
+        assert cdf[0] == pytest.approx(1.0)
+
+    def test_two_categories_split(self):
+        users = [TraceUser(0), TraceUser(1)]
+        transactions = [tx(0, 1, category=0)] * 3 + [tx(0, 1, category=1)]
+        cdf = category_rank_distribution(build_trace(users, transactions))
+        assert cdf[0] == pytest.approx(0.75)
+        assert cdf[1] == pytest.approx(1.0)
+
+    def test_no_purchases_rejected(self):
+        users = [TraceUser(0), TraceUser(1)]
+        with pytest.raises(ValueError):
+            category_rank_distribution(build_trace(users, []))
+
+
+class TestSimilarityCdf:
+    def test_identical_interests_high_similarity(self):
+        users = [
+            TraceUser(0),
+            TraceUser(1, sell_categories=frozenset({0})),
+        ]
+        transactions = [tx(0, 1, category=0)]
+        edges, cdf = interest_similarity_cdf(build_trace(users, transactions))
+        # Buyer's behavioural interest {0} vs seller's {0}: similarity 1.
+        assert cdf[-1] == pytest.approx(1.0)
+        assert cdf[0] == 0.0
+
+    def test_cdf_monotone(self):
+        users = [
+            TraceUser(0),
+            TraceUser(1, sell_categories=frozenset({0, 1})),
+            TraceUser(2, sell_categories=frozenset({3})),
+        ]
+        transactions = [tx(0, 1, category=0), tx(0, 2, category=3), tx(0, 1, category=1)]
+        _, cdf = interest_similarity_cdf(build_trace(users, transactions))
+        assert np.all(np.diff(cdf) >= -1e-12)

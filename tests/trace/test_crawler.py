@@ -1,0 +1,85 @@
+"""Tests for the BFS trace crawler."""
+
+import pytest
+
+from repro.trace.crawler import bfs_crawl
+from repro.trace.generator import MarketplaceConfig, generate_trace
+from repro.trace.schema import Trace, TraceUser, Transaction
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(MarketplaceConfig(n_users=300, n_months=6), seed=2)
+
+
+def hand_trace():
+    """0-1 friends; 1-2 business; 3 isolated."""
+    users = [
+        TraceUser(0, friends={1}),
+        TraceUser(1, friends={0}, business_contacts={2}),
+        TraceUser(2, business_contacts={1}),
+        TraceUser(3),
+    ]
+    transactions = [
+        Transaction(buyer=1, seller=2, category=0, rating=1.0, month=0),
+        Transaction(buyer=3, seller=0, category=0, rating=1.0, month=0),
+    ]
+    return Trace(users=users, transactions=transactions, n_categories=2, n_months=1)
+
+
+class TestBfsCrawl:
+    def test_follows_both_link_types(self):
+        sub = bfs_crawl(hand_trace(), 0)
+        assert sub.n_users == 3  # 0, 1 (friend), 2 (business via 1)
+
+    def test_isolated_node_not_reached(self):
+        sub = bfs_crawl(hand_trace(), 0)
+        # Node 3 had a transaction but no social/business link into the
+        # crawled component.
+        assert sub.n_transactions == 1
+
+    def test_ids_reindexed_densely(self):
+        sub = bfs_crawl(hand_trace(), 1)
+        assert [u.user_id for u in sub.users] == list(range(sub.n_users))
+
+    def test_links_remapped_consistently(self):
+        sub = bfs_crawl(hand_trace(), 0)
+        by_id = {u.user_id: u for u in sub.users}
+        # Seed is id 0; its friend must be a valid reindexed id.
+        for friend in by_id[0].friends:
+            assert friend in by_id
+
+    def test_transactions_endpoint_filtered(self):
+        sub = bfs_crawl(hand_trace(), 0)
+        for t in sub.transactions:
+            assert 0 <= t.buyer < sub.n_users
+            assert 0 <= t.seller < sub.n_users
+
+    def test_max_users_cap(self, trace):
+        sub = bfs_crawl(trace, 0, max_users=50)
+        assert sub.n_users <= 50
+
+    def test_full_crawl_of_connected_component(self, trace):
+        sub = bfs_crawl(trace, 0)
+        # Preferential-attachment friendships make the graph connected.
+        assert sub.n_users == trace.n_users
+
+    def test_crawl_preserves_reputation(self, trace):
+        sub = bfs_crawl(trace, 0, max_users=30)
+        # Reputation values are carried over (order may change).
+        original = sorted(u.reputation for u in trace.users)
+        crawled = [u.reputation for u in sub.users]
+        assert all(any(abs(c - o) < 1e-12 for o in original) for c in crawled[:5])
+
+    def test_bad_seed_rejected(self, trace):
+        with pytest.raises(IndexError):
+            bfs_crawl(trace, trace.n_users)
+
+    def test_bad_cap_rejected(self, trace):
+        with pytest.raises(ValueError):
+            bfs_crawl(trace, 0, max_users=0)
+
+    def test_seed_only_crawl(self):
+        sub = bfs_crawl(hand_trace(), 3, max_users=1)
+        assert sub.n_users == 1
+        assert sub.n_transactions == 0

@@ -1,0 +1,112 @@
+"""Calibration tests for the synthetic Overstock marketplace.
+
+These assert the paper's Section-3 aggregates hold on the default
+configuration — wide tolerances, because they are stochastic targets, but
+tight enough that a mis-calibration (the wrong mechanism, not just the
+wrong noise draw) fails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import (
+    business_network_vs_reputation,
+    category_rank_distribution,
+    interest_similarity_cdf,
+    personal_network_vs_reputation,
+    rating_stats_by_distance,
+)
+from repro.trace.generator import MarketplaceConfig, generate_trace
+from repro.trace.schema import RATING_MAX, RATING_MIN
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # Module-scoped: the generator run is the expensive part.
+    return generate_trace(MarketplaceConfig(n_users=1200, n_months=18), seed=5)
+
+
+class TestBasicShape:
+    def test_counts(self, trace):
+        assert trace.n_users == 1200
+        assert trace.n_transactions > 3000
+
+    def test_ratings_in_scale(self, trace):
+        for t in trace.transactions[:500]:
+            assert RATING_MIN <= t.rating <= RATING_MAX
+
+    def test_burst_mean_near_paper_frequency(self, trace):
+        """Mean per-pair rating frequency ~ 2.2/month (Overstock)."""
+        bursts = np.array([t.n_ratings for t in trace.transactions])
+        assert 1.6 <= bursts.mean() <= 3.0
+
+    def test_deterministic(self):
+        cfg = MarketplaceConfig(n_users=200, n_months=4)
+        a = generate_trace(cfg, seed=9)
+        b = generate_trace(cfg, seed=9)
+        assert a.n_transactions == b.n_transactions
+        assert a.transactions[0] == b.transactions[0]
+
+    def test_different_seeds_differ(self):
+        cfg = MarketplaceConfig(n_users=200, n_months=4)
+        a = generate_trace(cfg, seed=9)
+        b = generate_trace(cfg, seed=10)
+        assert a.transactions != b.transactions
+
+
+class TestPaperCalibration:
+    def test_o1_business_network_tracks_reputation(self, trace):
+        """Fig. 1(a): C ~ 0.996 in the paper; require a strong relationship."""
+        assert business_network_vs_reputation(trace).correlation > 0.85
+
+    def test_o2_personal_network_untracked(self, trace):
+        """Fig. 2: C ~ 0.092 in the paper; require a weak relationship."""
+        assert personal_network_vs_reputation(trace).correlation < 0.3
+
+    def test_o3_o4_ratings_decay_with_distance(self, trace):
+        stats = rating_stats_by_distance(trace)
+        means = stats.mean_rating
+        assert means[0] > means[1] > means[2] > means[3]
+        freq = stats.mean_ratings_per_pair
+        assert freq[0] > freq[3]
+
+    def test_o5_top3_categories_dominate(self, trace):
+        """Fig. 4(a): top 3 category ranks ~ 88% of purchases."""
+        cdf = category_rank_distribution(trace)
+        assert 0.8 <= cdf[2] <= 0.95
+
+    def test_rank_cdf_monotone_to_one(self, trace):
+        cdf = category_rank_distribution(trace)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] <= 1.0 + 1e-9
+
+    def test_o6_similar_peers_trade(self, trace):
+        """Fig. 4(b): <=20% similarity covers ~10% of transactions; >30%
+        similarity covers ~60%."""
+        edges, cdf = interest_similarity_cdf(trace)
+        below_02 = cdf[np.searchsorted(edges, 0.2)]
+        above_03 = 1.0 - cdf[np.searchsorted(edges, 0.3)]
+        assert below_02 <= 0.3
+        assert above_03 >= 0.45
+
+
+class TestConfigValidation:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            MarketplaceConfig(n_users=5)
+
+    def test_rejects_bad_social_fraction(self):
+        with pytest.raises(ValueError):
+            MarketplaceConfig(social_purchase_fraction=1.5)
+
+    def test_rejects_bad_hop_weights(self):
+        with pytest.raises(ValueError):
+            MarketplaceConfig(hop_weights=(0.5, 0.2, 0.2))
+
+    def test_rejects_category_overflow(self):
+        with pytest.raises(ValueError):
+            MarketplaceConfig(n_categories=5, buyer_interest_range=(4, 10))
+
+    def test_rejects_bad_burst_prob(self):
+        with pytest.raises(ValueError):
+            MarketplaceConfig(burst_continue_prob=1.0)

@@ -1,0 +1,95 @@
+"""Tests for trace serialisation."""
+
+import json
+
+import pytest
+
+from repro.trace.generator import MarketplaceConfig, generate_trace
+from repro.trace.io import (
+    FORMAT_VERSION,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.trace.schema import Trace, TraceUser, Transaction
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(MarketplaceConfig(n_users=150, n_months=4), seed=8)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, trace):
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.n_users == trace.n_users
+        assert restored.n_transactions == trace.n_transactions
+        assert restored.transactions == trace.transactions
+        for a, b in zip(restored.users, trace.users):
+            assert a.friends == b.friends
+            assert a.business_contacts == b.business_contacts
+            assert a.reputation == b.reputation
+            assert a.sell_categories == b.sell_categories
+            assert a.buy_preferences == b.buy_preferences
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert restored.transactions == trace.transactions
+
+    def test_file_is_valid_json(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == FORMAT_VERSION
+
+    def test_analyses_survive_round_trip(self, trace, tmp_path):
+        from repro.trace.analysis import business_network_vs_reputation
+
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        original = business_network_vs_reputation(trace).correlation
+        after = business_network_vs_reputation(restored).correlation
+        assert after == pytest.approx(original)
+
+
+class TestValidation:
+    def test_rejects_unknown_version(self, trace):
+        data = trace_to_dict(trace)
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            trace_from_dict(data)
+
+    def test_defaults_for_optional_fields(self):
+        data = {
+            "format_version": FORMAT_VERSION,
+            "n_categories": 2,
+            "n_months": 1,
+            "users": [
+                {
+                    "user_id": 0,
+                    "friends": [],
+                    "business_contacts": [1],
+                    "reputation": 1.0,
+                    "sell_categories": [0],
+                    "buy_preferences": [1],
+                },
+                {
+                    "user_id": 1,
+                    "friends": [],
+                    "business_contacts": [0],
+                    "reputation": 1.0,
+                    "sell_categories": [1],
+                    "buy_preferences": [0],
+                },
+            ],
+            "transactions": [
+                {"buyer": 0, "seller": 1, "category": 1, "rating": 2.0, "month": 0}
+            ],
+        }
+        restored = trace_from_dict(data)
+        assert restored.transactions[0].n_ratings == 1
+        assert restored.transactions[0].counter_rating == 0.0

@@ -1,0 +1,78 @@
+"""Tests for trace record types."""
+
+import numpy as np
+import pytest
+
+from repro.trace.schema import Trace, TraceUser, Transaction
+
+
+def user(uid, **kw):
+    return TraceUser(user_id=uid, **kw)
+
+
+def tx(buyer=0, seller=1, **kw):
+    defaults = dict(category=0, rating=1.0, month=0)
+    defaults.update(kw)
+    return Transaction(buyer=buyer, seller=seller, **defaults)
+
+
+class TestTransaction:
+    def test_valid(self):
+        t = tx(rating=-2.0, counter_rating=2.0, n_ratings=3)
+        assert t.rating == -2.0
+
+    def test_rejects_self_trade(self):
+        with pytest.raises(ValueError):
+            tx(buyer=1, seller=1)
+
+    def test_rejects_rating_out_of_scale(self):
+        with pytest.raises(ValueError):
+            tx(rating=2.5)
+        with pytest.raises(ValueError):
+            tx(rating=-2.5)
+
+    def test_rejects_counter_rating_out_of_scale(self):
+        with pytest.raises(ValueError):
+            tx(counter_rating=3.0)
+
+    def test_rejects_zero_ratings(self):
+        with pytest.raises(ValueError):
+            tx(n_ratings=0)
+
+    def test_rejects_negative_month(self):
+        with pytest.raises(ValueError):
+            tx(month=-1)
+
+
+class TestTrace:
+    @pytest.fixture
+    def trace(self):
+        users = [
+            user(0, friends={1}, business_contacts={1, 2}, reputation=5.0),
+            user(1, friends={0}, business_contacts={0}, reputation=2.0),
+            user(2, business_contacts={0}, reputation=1.0),
+        ]
+        transactions = [
+            tx(buyer=0, seller=1, category=0),
+            tx(buyer=0, seller=2, category=1),
+            tx(buyer=1, seller=0, category=0),
+        ]
+        return Trace(users=users, transactions=transactions, n_categories=3, n_months=2)
+
+    def test_sizes(self, trace):
+        assert trace.n_users == 3
+        assert trace.n_transactions == 3
+
+    def test_vectors(self, trace):
+        assert np.array_equal(trace.reputations(), [5.0, 2.0, 1.0])
+        assert np.array_equal(trace.personal_sizes(), [1, 1, 0])
+        assert np.array_equal(trace.business_sizes(), [2, 1, 1])
+
+    def test_transactions_received(self, trace):
+        assert np.array_equal(trace.transactions_received(), [1, 1, 1])
+
+    def test_purchase_counts(self, trace):
+        counts = trace.purchase_counts_by_category()
+        assert counts.shape == (3, 3)
+        assert counts[0, 0] == 1 and counts[0, 1] == 1
+        assert counts[1, 0] == 1

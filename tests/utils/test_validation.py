@@ -1,0 +1,78 @@
+"""Tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", value)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability("p", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_probability("p", math.inf)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability("p", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_probability("p", "0.5")
+
+    def test_returns_float(self):
+        assert isinstance(check_probability("p", 1), float)
+
+
+class TestCheckFraction:
+    def test_accepts_one(self):
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)
+
+
+class TestCheckPositive:
+    def test_accepts_small_positive(self):
+        assert check_positive("x", 1e-12) == 1e-12
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+    def test_error_message_contains_value(self):
+        with pytest.raises(ValueError, match="-3"):
+            check_non_negative("x", -3)

@@ -1,0 +1,103 @@
+"""Benchmark: SocialTrust degradation under injected faults.
+
+Not a paper figure — the robustness sweep the deployment north-star
+needs.  Exercises the full fault surface: peer churn, resource-manager
+crashes with Chord-successor failover, and lossy messaging with
+capped-backoff retries and the neutral-damping fallback.
+"""
+
+import numpy as np
+from bench_util import print_result, run_once
+from repro.experiments.faults import build_faulty_world, fault_tolerance
+from repro.faults import FaultConfig
+
+
+class TestFaultTolerance:
+    def test_fault_scenarios(self, benchmark, profile):
+        result = run_once(benchmark, fault_tolerance, **profile)
+        print_result(result)
+        totals = result.meta["fault_totals"]
+
+        # Fault-free: collusion is contained (colluders below normal mean)
+        # and no fault machinery ever fired.
+        ff = result.series["fault_free"].mean
+        assert ff[0] < ff[1], "colluders must stay below normal nodes"
+        assert ff[3] == 0.0, "fault-free error against itself must be zero"
+        assert totals["fault_free"]["losses"] == 0
+        assert totals["fault_free"]["fallbacks"] == 0
+
+        # 20% message loss: retries absorb it — losses and retries are
+        # observed, yet the reputation error stays (near) zero and the
+        # colluders stay contained.
+        l20 = result.series["loss_20"].mean
+        assert totals["loss_20"]["losses"] > 0
+        assert totals["loss_20"]["retries"] > 0
+        assert l20[0] < l20[1]
+        assert l20[3] <= 0.005, "capped-backoff retries should absorb 20% loss"
+
+        # 50% loss with a tight budget: timeouts and neutral-damping
+        # fallbacks appear, the run still completes, degradation is
+        # graceful (bounded error, pre-trusted still on top).
+        l50 = result.series["loss_50"].mean
+        assert totals["loss_50"]["timeouts"] > 0
+        assert totals["loss_50"]["fallbacks"] > 0
+        assert l50[2] > l50[1], "pre-trusted must stay above normal nodes"
+
+        # Churn: lifecycle events recorded, simulation completes, the
+        # detector still contains the colluders.
+        churn = result.series["churn_10"].mean
+        assert totals["churn_10"]["events"] > 0
+        assert churn[0] < churn[1]
+
+        # Combined crash + loss + churn: failover reassignments happen
+        # and the system degrades gracefully rather than crashing.
+        combined = result.series["crash_loss_churn"].mean
+        assert totals["crash_loss_churn"]["reassignments"] > 0
+        assert totals["crash_loss_churn"]["retries"] > 0
+        assert combined[0] < combined[1]
+        assert combined[2] > combined[1]
+
+    def test_degradation_series_populated(self, benchmark, profile):
+        """The per-cycle fault series is recorded alongside reputations."""
+
+        def run():
+            simulation = build_faulty_world(
+                FaultConfig(
+                    peer_leave_rate=0.05,
+                    peer_crash_rate=0.03,
+                    peer_rejoin_rate=0.30,
+                    manager_crash_rate=0.20,
+                    manager_recovery_rate=0.40,
+                    message_loss_rate=0.20,
+                    max_retries=3,
+                    timeout_budget=20.0,
+                ),
+                seed=3,
+                simulation_cycles=profile["simulation_cycles"],
+            )
+            return simulation.run()
+
+        metrics = run_once(benchmark, run)
+        series = metrics.faults.series()
+        assert len(series) == profile["simulation_cycles"]
+        assert len(series) == metrics.n_snapshots
+        last = series[-1]
+        # Cumulative columns are monotone and the fault machinery fired.
+        for column in ("retries", "events", "reassignments"):
+            values = [row[column] for row in series]
+            assert values == sorted(values)
+            assert last[column] > 0
+        assert last["losses"] > 0
+        # Churn actually took peers offline at some point.
+        assert min(row["peers_online"] for row in series) < metrics.n_nodes
+        # Reputation-error-vs-cycle series against the fault-free world.
+        reference = build_faulty_world(
+            FaultConfig(), seed=3, simulation_cycles=profile["simulation_cycles"]
+        ).run()
+        errors = metrics.reputation_error_series(reference.reputation_history())
+        assert errors.shape == (profile["simulation_cycles"],)
+        assert np.all(np.isfinite(errors))
+        print(
+            "\nfinal fault counters:", metrics.faults.summary(),
+            "\nmean reputation error by cycle:", np.round(errors, 5),
+        )

@@ -123,6 +123,13 @@ class SocialTrustConfig:
     #: single-interval treatment; a sustained rating campaign — the only
     #: way collusion pays — is driven to zero.  1.0 disables escalation.
     recidivism_decay: float = 0.5
+    #: Damping weight a distributed manager applies to a *suspected* pair
+    #: whose social information stayed unreachable after retries (manager
+    #: down with no live successor, or every ``info_request`` lost).  The
+    #: conservative middle ground: neither trusting the suspect rating at
+    #: full weight (1.0) nor erasing it on unverified suspicion (0.0).
+    #: Only the fault-injected execution path ever uses it.
+    neutral_damping: float = 0.5
     #: Lower bound on the Gaussian spread ``c`` to avoid division by zero
     #: when a band has max == min.
     spread_floor: float = 1e-3
@@ -166,6 +173,7 @@ class SocialTrustConfig:
             )
         if self.min_band_size < 1:
             raise ValueError(f"min_band_size must be >= 1, got {self.min_band_size}")
+        check_probability("neutral_damping", self.neutral_damping)
         check_fraction("spread_floor", self.spread_floor)
         check_fraction("recidivism_decay", self.recidivism_decay)
         if not (self.use_closeness or self.use_similarity):

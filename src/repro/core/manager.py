@@ -34,6 +34,8 @@ from repro.core.closeness import ClosenessComputer
 from repro.core.config import SocialTrustConfig
 from repro.core.detector import CollusionDetector, DetectionResult
 from repro.core.similarity import SimilarityComputer
+from repro.faults.injector import FaultInjector
+from repro.p2p.dht import ChordRing
 from repro.reputation.base import IntervalRatings, ReputationSystem
 from repro.social.graph import SocialView
 from repro.social.interactions import InteractionLedger
@@ -54,6 +56,11 @@ class ResourceManager:
     def record_message(self, kind: str, count: int = 1) -> None:
         if count < 0:
             raise ValueError("message count must be non-negative")
+        if count == 0:
+            # Recording zero messages must not materialise a zero-count
+            # Counter row — that would skew message-kind enumeration in
+            # reports built from ``messages_sent`` keys.
+            return
         self.messages_sent[kind] += count
 
     @property
@@ -79,6 +86,8 @@ class DistributedSocialTrust(ReputationSystem):
         *,
         n_managers: int = 4,
         assignment: Sequence[int] | None = None,
+        ring: "ChordRing | None" = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         super().__init__(inner.n_nodes)
         n = inner.n_nodes
@@ -96,7 +105,14 @@ class DistributedSocialTrust(ReputationSystem):
                 raise ValueError(f"n_managers must be >= 1, got {n_managers}")
             assign = np.arange(n, dtype=np.int64) % n_managers
         self._assignment = assign
-        manager_ids = sorted(set(int(m) for m in assign))
+        assigned_ids = set(int(m) for m in assign)
+        if ring is not None and not assigned_ids <= set(ring.managers):
+            missing = sorted(assigned_ids - set(ring.managers))
+            raise ValueError(f"assignment uses managers not on the ring: {missing}")
+        self._ring = ring
+        # Every ring participant gets a ResourceManager (possibly with no
+        # managed nodes) so failover targets can be charged for messages.
+        manager_ids = sorted(assigned_ids | set(ring.managers if ring else ()))
         self._managers = {
             m: ResourceManager(
                 manager_id=m,
@@ -104,6 +120,17 @@ class DistributedSocialTrust(ReputationSystem):
             )
             for m in manager_ids
         }
+        self._injector = injector
+        if injector is not None:
+            if injector.n_nodes != n:
+                raise ValueError(
+                    f"fault injector covers {injector.n_nodes} nodes, "
+                    f"system has {n}"
+                )
+            injector.register_managers(manager_ids)
+            if self._ring is None:
+                # Failover needs a ring to agree on crash successors.
+                self._ring = ChordRing(manager_ids)
         self._inner = inner
         self._config = config or SocialTrustConfig()
         self._closeness = ClosenessComputer(social_view, interactions, self._config)
@@ -135,32 +162,146 @@ class DistributedSocialTrust(ReputationSystem):
         return self._managers[int(self._assignment[node])]
 
     @property
+    def ring(self) -> "ChordRing | None":
+        return self._ring
+
+    @property
+    def injector(self) -> "FaultInjector | None":
+        return self._injector
+
+    def effective_manager_of(self, node: int) -> ResourceManager | None:
+        """The manager currently serving ``node`` — its home manager, or
+        the Chord-ring failover successor while the home manager is down;
+        ``None`` only when every manager is down."""
+        serving = self._serving_managers()
+        mid = serving[int(self._assignment[node])]
+        return self._managers[mid] if mid is not None else None
+
+    @property
     def total_messages(self) -> int:
         return sum(m.total_messages for m in self._managers.values())
 
-    def _account_messages(
-        self, interval: IntervalRatings, result: DetectionResult
+    def _serving_managers(self) -> dict[int, int | None]:
+        """home manager id → id of the manager currently serving its nodes.
+
+        Fault-free (no injector, or nothing down) this is the identity.
+        A down manager's nodes are re-assigned to its first live ring
+        successor — a deterministic, coordination-free rule every
+        surviving manager can evaluate locally.  ``None`` marks a home
+        whose entire ring is down.
+        """
+        if self._injector is None:
+            return {mid: mid for mid in self._managers}
+        down = self._injector.down_managers() & set(self._managers)
+        if not down:
+            return {mid: mid for mid in self._managers}
+        ring = self._ring
+        assert ring is not None  # always built when an injector is attached
+        serving: dict[int, int | None] = {}
+        for mid in self._managers:
+            if mid not in down:
+                serving[mid] = mid
+                continue
+            successor: int | None = mid
+            for _ in range(len(self._managers)):
+                successor = ring.successor_of(successor)
+                if successor not in down:
+                    break
+            else:
+                successor = None
+            serving[mid] = successor
+        return serving
+
+    def _account_rating_reports(
+        self, interval: IntervalRatings, serving: dict[int, int | None]
     ) -> None:
-        """Charge the protocol's message costs to the sending managers."""
-        assign = self._assignment
-        # Rating reports: the ratee's manager batches "your node n_i rated
-        # n_j k times (value v)" notices to each distinct rater-side manager.
+        """Charge the interval's batched rating reports to their senders.
+
+        The ratee's manager batches "your node n_i rated n_j k times
+        (value v)" notices to each distinct rater-side manager.  Reports
+        ride the lossy transport when a fault injector is attached; a lost
+        report is retried with backoff and — failing that — re-batched
+        into the next interval's report, so loss costs retries and
+        latency, never rating information (the emulation keeps the
+        information flow eventually consistent).
+        """
         rater_idx, ratee_idx = np.nonzero(interval.counts)
-        if rater_idx.size:
-            pair_managers = set(
-                zip(assign[ratee_idx].tolist(), assign[rater_idx].tolist())
-            )
-            for ratee_mgr, rater_mgr in pair_managers:
-                if ratee_mgr != rater_mgr:
-                    self._managers[ratee_mgr].record_message("rating_report")
-        # Info round trips: judging a suspected pair whose endpoints live
-        # under different managers needs the ratee-side social information.
+        if not rater_idx.size:
+            return
+        assign = self._assignment
+        transport = self._injector.transport if self._injector is not None else None
+        pair_managers = set(
+            zip(assign[ratee_idx].tolist(), assign[rater_idx].tolist())
+        )
+        for ratee_home, rater_home in pair_managers:
+            sender = serving[ratee_home]
+            receiver = serving[rater_home]
+            if sender is None or receiver is None or sender == receiver:
+                continue
+            self._managers[sender].record_message("rating_report")
+            if transport is not None:
+                transport.send("rating_report")
+
+    def _failover_weights(self, result: DetectionResult) -> np.ndarray:
+        """Compose the damping weights the managers actually apply.
+
+        Fault-free this reproduces the centralised weight matrix exactly:
+        each rater-side manager applies the detector's adjustment to its
+        own nodes' outgoing ratings, and the row slices compose the full
+        matrix.  Under faults:
+
+        * a down manager's rows are applied by its ring successor (same
+          numbers — the judgement is deterministic given the social
+          information), counted as reassignments;
+        * a suspected cross-manager pair needs an ``info_request`` /
+          ``info_response`` round trip for the ratee-side social
+          information; when the round trip fails after capped-backoff
+          retries (or no live manager holds the information), the pair
+          falls back to the conservative ``neutral_damping`` weight —
+          the rating is neither trusted at full weight nor erased on
+          unverified suspicion;
+        * with *every* manager down, nobody can fetch social information,
+          so every suspected pair gets the neutral fallback and all other
+          ratings pass through unadjusted.
+        """
+        serving = self._serving_managers()
+        weights = np.ones_like(result.weights)
+        injector = self._injector
+        metrics = injector.metrics if injector is not None else None
+        neutral = self._config.neutral_damping
+        all_down = all(mid is None for mid in serving.values())
+        if all_down:
+            for finding in result.findings:
+                weights[finding.rater, finding.ratee] = neutral
+                assert metrics is not None
+                metrics.record_fallback()
+            return weights
+        for home, manager in self._managers.items():
+            if not manager.managed:
+                continue
+            rows = sorted(manager.managed)
+            weights[rows, :] = result.weights[rows, :]
+            if serving[home] != home and metrics is not None:
+                metrics.record_reassignment(len(rows))
+        transport = injector.transport if injector is not None else None
         for finding in result.findings:
-            rater_mgr = int(assign[finding.rater])
-            ratee_mgr = int(assign[finding.ratee])
-            if rater_mgr != ratee_mgr:
-                self._managers[rater_mgr].record_message("info_request")
-                self._managers[ratee_mgr].record_message("info_response")
+            rater_mgr = serving[int(self._assignment[finding.rater])]
+            ratee_mgr = serving[int(self._assignment[finding.ratee])]
+            if rater_mgr == ratee_mgr and rater_mgr is not None:
+                continue  # social information is local to the manager
+            if rater_mgr is None or ratee_mgr is None:
+                weights[finding.rater, finding.ratee] = neutral
+                assert metrics is not None
+                metrics.record_fallback()
+                continue
+            if transport is not None and not transport.send("info_request").delivered:
+                weights[finding.rater, finding.ratee] = neutral
+                assert metrics is not None
+                metrics.record_fallback()
+                continue
+            self._managers[rater_mgr].record_message("info_request")
+            self._managers[ratee_mgr].record_message("info_response")
+        return weights
 
     def update(self, interval: IntervalRatings) -> np.ndarray:
         self._check_interval(interval)
@@ -168,18 +309,12 @@ class DistributedSocialTrust(ReputationSystem):
             interval, self._inner.reputations, self._rated_mask, self._flag_counts
         )
         self._last_result = result
-        self._account_messages(interval, result)
+        self._account_rating_reports(interval, self._serving_managers())
         self._rated_mask |= interval.counts > 0
         np.fill_diagonal(self._rated_mask, False)
         for finding in result.findings:
             self._flag_counts[finding.rater, finding.ratee] += 1
-        # Each rater-side manager applies the adjustment to its own nodes'
-        # outgoing ratings; composing the row slices reproduces the full
-        # weight matrix exactly.
-        weights = np.ones_like(result.weights)
-        for manager in self._managers.values():
-            rows = sorted(manager.managed)
-            weights[rows, :] = result.weights[rows, :]
+        weights = self._failover_weights(result)
         adjusted = interval.scaled(weights)
         return self._inner.update(adjusted)
 

@@ -74,8 +74,8 @@ class SimilarityComputer:
         wi = profiles.request_weights(i)
         wj = profiles.request_weights(j)
         total = 0.0
-        for l in shared:
-            total += wi[l] * wj[l]
+        for interest in shared:
+            total += wi[interest] * wj[interest]
         return total / min(len(vi), len(vj))
 
     def similarity_matrix(self) -> np.ndarray:

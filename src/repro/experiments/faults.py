@@ -1,0 +1,244 @@
+"""Robustness experiment: SocialTrust under injected faults.
+
+Not a paper figure — the paper evaluates a fault-free world — but the
+experiment the ROADMAP's deployment north-star needs: how does the
+*distributed* SocialTrust protocol degrade as peer churn, resource-manager
+crashes, and message loss grow?
+
+Each scenario runs the same PCM collusion workload through
+:class:`~repro.core.manager.DistributedSocialTrust` under a different
+:class:`~repro.faults.config.FaultConfig`.  Reported per scenario:
+
+* colluder / normal / pre-trusted mean reputations (is collusion still
+  contained?);
+* mean absolute reputation error against the fault-free run of the same
+  seed (the reputation-error-vs-fault-rate series);
+* the cumulative fault counters (losses, retries, timeouts,
+  neutral-damping fallbacks, failover reassignments).
+
+The fault-free scenario doubles as a regression anchor: it must match the
+centralised :class:`~repro.core.socialtrust.SocialTrust` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collusion import PairwiseCollusion
+from repro.core import DistributedSocialTrust, SocialTrust
+from repro.experiments.runner import ExperimentResult, RunStats
+from repro.faults import FaultConfig, FaultInjector
+from repro.p2p import (
+    ChordRing,
+    InterestOverlay,
+    Population,
+    Simulation,
+    SimulationConfig,
+)
+from repro.reputation import EigenTrust
+from repro.social import InteractionLedger, InterestProfiles
+from repro.social.generators import paper_social_network
+from repro.utils.rng import spawn_rng
+
+__all__ = ["FaultScenario", "FAULT_SCENARIOS", "build_faulty_world", "fault_tolerance"]
+
+#: World size of the robustness cells — smaller than the paper's 200-node
+#: grid so the scenario sweep stays benchmark-friendly.
+N_NODES = 60
+N_INTERESTS = 10
+N_MANAGERS = 6
+PRETRUSTED = tuple(range(3))
+COLLUDERS = tuple(range(3, 13))
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One named point on the fault-rate axis."""
+
+    name: str
+    faults: FaultConfig
+
+
+FAULT_SCENARIOS: tuple[FaultScenario, ...] = (
+    FaultScenario("fault_free", FaultConfig()),
+    FaultScenario(
+        "loss_20",
+        FaultConfig(message_loss_rate=0.20, max_retries=3, timeout_budget=30.0),
+    ),
+    FaultScenario(
+        "loss_50",
+        FaultConfig(message_loss_rate=0.50, max_retries=2, timeout_budget=8.0),
+    ),
+    FaultScenario(
+        "churn_10",
+        FaultConfig(
+            peer_leave_rate=0.07,
+            peer_crash_rate=0.03,
+            peer_rejoin_rate=0.30,
+        ),
+    ),
+    FaultScenario(
+        "crash_loss_churn",
+        FaultConfig(
+            peer_leave_rate=0.05,
+            peer_crash_rate=0.03,
+            peer_rejoin_rate=0.30,
+            manager_crash_rate=0.15,
+            manager_recovery_rate=0.40,
+            message_loss_rate=0.20,
+            max_retries=3,
+            timeout_budget=20.0,
+        ),
+    ),
+)
+
+
+def build_faulty_world(
+    faults: FaultConfig,
+    *,
+    seed: int = 0,
+    run_index: int = 0,
+    simulation_cycles: int = 15,
+    query_cycles: int = 15,
+    distributed: bool = True,
+) -> Simulation:
+    """One PCM-collusion world wired for fault injection.
+
+    ``distributed=False`` builds the centralised SocialTrust reference
+    over the identical RNG stream (used by the equivalence regression).
+    """
+    rng = spawn_rng(seed, run_index)
+    population = Population.build(
+        N_NODES,
+        rng,
+        pretrusted_ids=PRETRUSTED,
+        malicious_ids=COLLUDERS,
+        n_interests=N_INTERESTS,
+        interests_per_node=(1, 5),
+        malicious_authentic_prob=0.6,
+    )
+    overlay = InterestOverlay([s.interests for s in population], N_INTERESTS)
+    network = paper_social_network(N_NODES, COLLUDERS, rng)
+    interactions = InteractionLedger(N_NODES)
+    profiles = InterestProfiles(N_NODES, N_INTERESTS)
+    for spec in population:
+        profiles.set_declared(spec.node_id, spec.interests)
+    base = EigenTrust(N_NODES, PRETRUSTED, pretrust_weight=0.05)
+    injector: FaultInjector | None = None
+    if distributed:
+        ring = ChordRing(range(N_MANAGERS))
+        # The injector's stream is keyed separately from the world's, so
+        # fault draws never perturb the simulation randomness.
+        injector = FaultInjector(
+            N_NODES,
+            config=faults,
+            rng=spawn_rng(seed, run_index, 0xFA),
+        )
+        system = DistributedSocialTrust(
+            base,
+            network,
+            interactions,
+            profiles,
+            assignment=ring.assignment(N_NODES),
+            ring=ring,
+            injector=injector,
+        )
+    else:
+        system = SocialTrust(base, network, interactions, profiles)
+    attack = PairwiseCollusion(
+        COLLUDERS, [s.interests for s in population], ratings_per_cycle=15
+    )
+    return Simulation(
+        population,
+        overlay,
+        system,
+        rng,
+        config=SimulationConfig(
+            simulation_cycles=simulation_cycles,
+            query_cycles_per_simulation_cycle=query_cycles,
+        ),
+        collusion=attack,
+        interactions=interactions,
+        profiles=profiles,
+        fault_injector=injector,
+    )
+
+
+def fault_tolerance(
+    *,
+    n_runs: int = 2,
+    simulation_cycles: int = 15,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the fault-scenario sweep; returns per-scenario degradation data.
+
+    Per scenario the series holds ``[colluder_mean, normal_mean,
+    pretrusted_mean, mean_reputation_error]`` (error measured against the
+    fault-free run of the same seed/run pair); ``meta["fault_totals"]``
+    carries the summed fault counters.  The per-cycle degradation series
+    itself lives on each run's ``metrics.faults`` — re-run
+    :func:`build_faulty_world` to inspect it.
+    """
+    result = ExperimentResult(
+        experiment_id="fault_tolerance",
+        title="SocialTrust degradation under churn, manager crashes and "
+        "message loss",
+    )
+    normal_ids = [
+        i for i in range(N_NODES) if i not in PRETRUSTED and i not in COLLUDERS
+    ]
+    references: list[np.ndarray] = []
+    fault_totals: dict[str, dict[str, int]] = {}
+    for scenario in FAULT_SCENARIOS:
+        samples: list[np.ndarray] = []
+        totals: dict[str, int] = {}
+        for run_index in range(n_runs):
+            simulation = build_faulty_world(
+                scenario.faults,
+                seed=seed,
+                run_index=run_index,
+                simulation_cycles=simulation_cycles,
+            )
+            metrics = simulation.run()
+            final = metrics.final_reputations()
+            if scenario.name == "fault_free":
+                references.append(final)
+            error = float(np.abs(final - references[run_index]).mean())
+            samples.append(
+                np.array(
+                    [
+                        float(final[list(COLLUDERS)].mean()),
+                        float(final[normal_ids].mean()),
+                        float(final[list(PRETRUSTED)].mean()),
+                        error,
+                    ]
+                )
+            )
+            for key, value in metrics.faults.summary().items():
+                totals[key] = totals.get(key, 0) + value
+        result.series[scenario.name] = RunStats.from_samples(samples)
+        fault_totals[scenario.name] = totals
+    result.meta["series_components"] = (
+        "colluder_mean",
+        "normal_mean",
+        "pretrusted_mean",
+        "mean_reputation_error",
+    )
+    result.meta["fault_totals"] = fault_totals
+    result.meta["colluder_ids"] = COLLUDERS
+    result.meta["pretrusted_ids"] = PRETRUSTED
+    result.meta["scenarios"] = {
+        s.name: {
+            "peer_leave_rate": s.faults.peer_leave_rate,
+            "peer_crash_rate": s.faults.peer_crash_rate,
+            "peer_rejoin_rate": s.faults.peer_rejoin_rate,
+            "manager_crash_rate": s.faults.manager_crash_rate,
+            "manager_recovery_rate": s.faults.manager_recovery_rate,
+            "message_loss_rate": s.faults.message_loss_rate,
+            "max_retries": s.faults.max_retries,
+        }
+        for s in FAULT_SCENARIOS
+    }
+    return result

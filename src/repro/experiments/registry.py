@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.experiments import figures
+from repro.experiments.faults import fault_tolerance
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.table1 import table1
 
@@ -35,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig19": figures.fig19,
     "fig20": figures.fig20,
     "table1": table1,
+    "fault_tolerance": fault_tolerance,
 }
 
 

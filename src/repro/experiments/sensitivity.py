@@ -22,8 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-import numpy as np
-
 from repro.core import SocialTrust, SocialTrustConfig
 from repro.experiments.setup import (
     CollusionKind,

@@ -1,0 +1,36 @@
+"""Fault injection for the distributed SocialTrust protocol.
+
+The paper's resource-manager protocol (Section 4.3) is evaluated in a
+fault-free world; real P2P deployments are dominated by peer churn,
+manager failures, and lossy messaging.  This package injects exactly
+those faults — deterministically, from dedicated RNG streams — and gives
+every layer the observability to show *graceful degradation* instead of
+crashes:
+
+* :class:`FaultConfig` — all rates and the retry policy as explicit knobs;
+* :class:`FaultSchedule` / :class:`FaultEvent` — stochastic or scripted
+  lifecycle event streams;
+* :class:`FaultInjector` — shared liveness state (peers + managers) and
+  the faulty channel;
+* :class:`UnreliableTransport` — loss/delay with capped exponential
+  backoff under a timeout budget;
+* :class:`FaultMetrics` — event log, retry/timeout/fallback/reassignment
+  counters, and the per-cycle degradation series.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import FaultMetrics
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.transport import DeliveryReport, UnreliableTransport
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultMetrics",
+    "FaultSchedule",
+    "DeliveryReport",
+    "UnreliableTransport",
+]

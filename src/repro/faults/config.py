@@ -1,0 +1,113 @@
+"""Fault-model parameters.
+
+Every failure mode the injector can produce is an explicit knob here, so a
+robustness experiment is a :class:`FaultConfig` plus a seed:
+
+* **peer churn** — per-simulation-cycle departure (graceful leave or
+  abrupt crash) and rejoin probabilities;
+* **manager failures** — per-cycle crash and recovery probabilities for
+  the Section 4.3 resource managers;
+* **lossy messaging** — per-attempt loss probability, optional delivery
+  delay, and the retry policy (capped exponential backoff under a total
+  timeout budget) the managers use to survive it;
+* **state aging** — how fast a departed peer's interaction-ledger rows
+  decay while it is away, so a rejoining peer resumes with decayed state
+  rather than stale full-strength history.
+
+All rates default to zero: a default-constructed config is the fault-free
+world, and the injector built from it is provably inert (it draws from its
+own RNG stream and takes every fast path), which is what lets the
+zero-fault distributed execution stay bit-identical to the centralised
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_probability
+
+__all__ = ["FaultConfig"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and retry policy for one fault-injection scenario."""
+
+    #: Per-simulation-cycle probability that an online peer leaves
+    #: gracefully (stops issuing and serving queries).
+    peer_leave_rate: float = 0.0
+    #: Per-simulation-cycle probability that an online peer crashes.
+    #: Operationally identical to a leave at the protocol level we model;
+    #: kept distinct so event logs and metrics can tell them apart.
+    peer_crash_rate: float = 0.0
+    #: Per-simulation-cycle probability that an offline peer rejoins.
+    peer_rejoin_rate: float = 0.0
+    #: Per-simulation-cycle probability that an up resource manager crashes.
+    manager_crash_rate: float = 0.0
+    #: Per-simulation-cycle probability that a down manager recovers.
+    manager_recovery_rate: float = 0.0
+    #: Per-attempt probability that a protocol message is lost.
+    message_loss_rate: float = 0.0
+    #: Probability a *delivered* message is delayed.
+    message_delay_rate: float = 0.0
+    #: Mean of the exponential delay applied to delayed messages (in the
+    #: same abstract time units as the backoff/budget below).
+    mean_delay: float = 1.0
+    #: Maximum retransmissions after the first attempt.
+    max_retries: int = 3
+    #: First backoff interval; attempt ``k`` waits
+    #: ``min(backoff_cap, backoff_base * 2**(k-1))`` after a loss.
+    backoff_base: float = 1.0
+    #: Cap on any single backoff interval.
+    backoff_cap: float = 8.0
+    #: Total time (backoff + delay) a sender is willing to spend on one
+    #: message before giving up and falling back.
+    timeout_budget: float = 30.0
+    #: Per-cycle multiplicative decay applied to a departed peer's
+    #: interaction-ledger rows while it is offline.
+    offline_decay: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "peer_leave_rate",
+            "peer_crash_rate",
+            "peer_rejoin_rate",
+            "manager_crash_rate",
+            "manager_recovery_rate",
+            "message_loss_rate",
+            "message_delay_rate",
+            "offline_decay",
+        ):
+            check_probability(name, getattr(self, name))
+        if self.mean_delay < 0:
+            raise ValueError(f"mean_delay must be >= 0, got {self.mean_delay}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if self.timeout_budget <= 0:
+            raise ValueError(
+                f"timeout_budget must be positive, got {self.timeout_budget}"
+            )
+
+    @property
+    def fault_free(self) -> bool:
+        """True when no failure mode can ever fire."""
+        return (
+            self.peer_leave_rate == 0.0
+            and self.peer_crash_rate == 0.0
+            and self.manager_crash_rate == 0.0
+            and self.message_loss_rate == 0.0
+            and self.message_delay_rate == 0.0
+        )
+
+    @property
+    def churn_enabled(self) -> bool:
+        return self.peer_leave_rate > 0.0 or self.peer_crash_rate > 0.0
+
+    @property
+    def lossy(self) -> bool:
+        return self.message_loss_rate > 0.0 or self.message_delay_rate > 0.0

@@ -1,0 +1,173 @@
+"""The fault injector — liveness state plus the faulty channel.
+
+One :class:`FaultInjector` is shared by the :class:`~repro.p2p.simulator.
+Simulation` (peer churn) and the :class:`~repro.core.manager.
+DistributedSocialTrust` (manager failures, lossy messaging), so both
+layers see one consistent failure world:
+
+* it owns the boolean per-peer liveness mask and the per-manager up/down
+  map, advanced once per simulation cycle from a
+  :class:`~repro.faults.schedule.FaultSchedule`;
+* it owns the :class:`~repro.faults.transport.UnreliableTransport` the
+  managers send ``rating_report`` / ``info_request`` traffic through;
+* every lifecycle event, message loss, retry, timeout fallback and
+  reassignment lands in one shared
+  :class:`~repro.faults.metrics.FaultMetrics`.
+
+All RNG draws come from the injector's own stream, never the
+simulation's, so a zero-rate injector leaves a run bit-identical to one
+without any injector at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.faults.config import FaultConfig
+from repro.faults.metrics import FaultMetrics
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.transport import UnreliableTransport
+from repro.utils.rng import RngStream
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Tracks who is alive and injects faults into a distributed run."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        manager_ids: Iterable[int] = (),
+        *,
+        config: FaultConfig | None = None,
+        rng: RngStream | None = None,
+        schedule: FaultSchedule | None = None,
+        metrics: FaultMetrics | None = None,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if config is None:
+            config = schedule.config if schedule is not None else FaultConfig()
+        self._n = int(n_nodes)
+        self._config = config
+        self._metrics = metrics or FaultMetrics()
+        self._schedule = schedule or FaultSchedule(config, rng)
+        self._transport = UnreliableTransport(config, rng, metrics=self._metrics)
+        self._online = np.ones(self._n, dtype=bool)
+        self._managers: dict[int, bool] = {int(m): True for m in manager_ids}
+        self._cycle = 0
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def config(self) -> FaultConfig:
+        return self._config
+
+    @property
+    def metrics(self) -> FaultMetrics:
+        return self._metrics
+
+    @property
+    def transport(self) -> UnreliableTransport:
+        return self._transport
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def register_managers(self, manager_ids: Iterable[int]) -> None:
+        """Add managers (idempotent; new ones start up)."""
+        for manager_id in manager_ids:
+            self._managers.setdefault(int(manager_id), True)
+
+    # -- liveness queries -----------------------------------------------------
+
+    @property
+    def online_mask(self) -> np.ndarray:
+        """Read-only per-peer liveness mask."""
+        view = self._online.view()
+        view.flags.writeable = False
+        return view
+
+    def peer_online(self, node: int) -> bool:
+        return bool(self._online[node])
+
+    @property
+    def any_offline(self) -> bool:
+        return not self._online.all()
+
+    def offline_nodes(self) -> np.ndarray:
+        return np.flatnonzero(~self._online)
+
+    @property
+    def peers_online(self) -> int:
+        return int(self._online.sum())
+
+    def manager_up(self, manager_id: int) -> bool:
+        return self._managers.get(int(manager_id), False)
+
+    def down_managers(self) -> frozenset[int]:
+        return frozenset(m for m, up in self._managers.items() if not up)
+
+    @property
+    def managers_up_count(self) -> int:
+        return sum(1 for up in self._managers.values() if up)
+
+    # -- state transitions ------------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> bool:
+        """Apply one event; returns False for no-ops (already in state)."""
+        if event.kind.is_peer:
+            node = event.subject
+            if not 0 <= node < self._n:
+                raise IndexError(f"peer {node} out of range [0, {self._n})")
+            target = not event.kind.takes_down
+            if bool(self._online[node]) == target:
+                return False
+            self._online[node] = target
+            return True
+        manager_id = int(event.subject)
+        if manager_id not in self._managers:
+            raise KeyError(f"unknown manager {manager_id}")
+        target = event.kind is FaultKind.MANAGER_RECOVER
+        if self._managers[manager_id] == target:
+            return False
+        self._managers[manager_id] = target
+        return True
+
+    def advance(self) -> list[FaultEvent]:
+        """Advance one simulation cycle; returns the events that applied."""
+        drawn = self._schedule.draw(self._cycle, self._online, self._managers)
+        applied: list[FaultEvent] = []
+        for event in drawn:
+            if self._apply(event):
+                self._metrics.record_event(event)
+                applied.append(event)
+        self._cycle += 1
+        return applied
+
+    # -- manual controls (tests, examples, operational drills) -------------------
+
+    def _force(self, kind: FaultKind, subject: int) -> None:
+        event = FaultEvent(self._cycle, kind, subject)
+        if self._apply(event):
+            self._metrics.record_event(event)
+
+    def fail_peer(self, node: int, *, crash: bool = False) -> None:
+        self._force(FaultKind.PEER_CRASH if crash else FaultKind.PEER_LEAVE, node)
+
+    def restore_peer(self, node: int) -> None:
+        self._force(FaultKind.PEER_JOIN, node)
+
+    def fail_manager(self, manager_id: int) -> None:
+        self._force(FaultKind.MANAGER_CRASH, manager_id)
+
+    def restore_manager(self, manager_id: int) -> None:
+        self._force(FaultKind.MANAGER_RECOVER, manager_id)

@@ -1,0 +1,152 @@
+"""Fault observability.
+
+One :class:`FaultMetrics` instance is shared by every component of a
+faulty run — the injector logs lifecycle events into it, the transport
+logs message attempts/losses/retries/timeouts, the distributed manager
+layer logs reassignments and neutral-damping fallbacks, and the
+simulation snapshots the cumulative counters once per simulation cycle so
+the degradation *series* (how retries, timeouts, fallbacks and
+reassignments accumulate as the run progresses) is available next to the
+reputation history.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+__all__ = ["FaultMetrics"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.faults.schedule import FaultEvent
+
+
+class FaultMetrics:
+    """Counters, event log, and per-cycle series for one faulty run."""
+
+    def __init__(self) -> None:
+        #: Lifecycle events by :class:`FaultKind` value.
+        self.events: Counter = Counter()
+        #: Message send attempts by message kind.
+        self.attempts: Counter = Counter()
+        #: Lost attempts by message kind.
+        self.losses: Counter = Counter()
+        #: Delayed deliveries by message kind.
+        self.delays: Counter = Counter()
+        #: Messages abandoned after exhausting retries/budget, by kind.
+        self.timeouts: Counter = Counter()
+        self._retries = 0
+        self._fallbacks = 0
+        self._reassignments = 0
+        self._event_log: list["FaultEvent"] = []
+        self._series: list[dict[str, float]] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record_event(self, event: "FaultEvent") -> None:
+        self.events[event.kind.value] += 1
+        self._event_log.append(event)
+
+    def record_attempt(self, kind: str) -> None:
+        self.attempts[kind] += 1
+
+    def record_loss(self, kind: str) -> None:
+        self.losses[kind] += 1
+
+    def record_delay(self, kind: str) -> None:
+        self.delays[kind] += 1
+
+    def record_retries(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"retry count must be >= 0, got {count}")
+        self._retries += count
+
+    def record_timeout(self, kind: str) -> None:
+        self.timeouts[kind] += 1
+
+    def record_fallback(self) -> None:
+        """One suspected pair judged with the neutral damping weight
+        because its social information stayed unreachable."""
+        self._fallbacks += 1
+
+    def record_reassignment(self, n_nodes: int = 1) -> None:
+        """``n_nodes`` managed peers served by a failover manager this
+        update because their home manager is down."""
+        if n_nodes < 0:
+            raise ValueError(f"n_nodes must be >= 0, got {n_nodes}")
+        self._reassignments += n_nodes
+
+    # -- cumulative counters -------------------------------------------------
+
+    @property
+    def retries(self) -> int:
+        return self._retries
+
+    @property
+    def fallbacks(self) -> int:
+        return self._fallbacks
+
+    @property
+    def reassignments(self) -> int:
+        return self._reassignments
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(self.timeouts.values())
+
+    @property
+    def total_losses(self) -> int:
+        return sum(self.losses.values())
+
+    @property
+    def event_log(self) -> tuple["FaultEvent", ...]:
+        return tuple(self._event_log)
+
+    # -- per-cycle series -----------------------------------------------------
+
+    def snapshot_cycle(
+        self, cycle: int, *, peers_online: int, managers_up: int
+    ) -> None:
+        """Append one row of the degradation series (cumulative counters)."""
+        self._series.append(
+            {
+                "cycle": float(cycle),
+                "peers_online": float(peers_online),
+                "managers_up": float(managers_up),
+                "events": float(sum(self.events.values())),
+                "losses": float(self.total_losses),
+                "retries": float(self._retries),
+                "timeouts": float(self.total_timeouts),
+                "fallbacks": float(self._fallbacks),
+                "reassignments": float(self._reassignments),
+            }
+        )
+
+    def series(self) -> tuple[dict[str, float], ...]:
+        """The per-cycle rows recorded by :meth:`snapshot_cycle`."""
+        return tuple(self._series)
+
+    def summary(self) -> dict[str, int]:
+        """Flat cumulative totals, for reports and experiment metadata."""
+        return {
+            "events": sum(self.events.values()),
+            "attempts": sum(self.attempts.values()),
+            "losses": self.total_losses,
+            "delays": sum(self.delays.values()),
+            "retries": self._retries,
+            "timeouts": self.total_timeouts,
+            "fallbacks": self._fallbacks,
+            "reassignments": self._reassignments,
+        }
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.attempts.clear()
+        self.losses.clear()
+        self.delays.clear()
+        self.timeouts.clear()
+        self._retries = 0
+        self._fallbacks = 0
+        self._reassignments = 0
+        self._event_log.clear()
+        self._series.clear()

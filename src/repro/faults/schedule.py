@@ -1,0 +1,149 @@
+"""Fault event streams.
+
+A :class:`FaultSchedule` decides *which* faults happen in a given
+simulation cycle; the :class:`~repro.faults.injector.FaultInjector` owns
+the resulting liveness state.  Two flavours share one interface:
+
+* the **stochastic** schedule draws independent per-entity Bernoulli
+  events from a :class:`FaultConfig` and a dedicated RNG stream (so
+  enabling it never perturbs the simulation's own randomness);
+* the **scripted** schedule replays an explicit cycle → events mapping,
+  which is what deterministic failover tests and worked examples use
+  ("manager 2 crashes at cycle 3, recovers at cycle 6").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.faults.config import FaultConfig
+from repro.utils.rng import RngStream
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
+
+
+class FaultKind(enum.Enum):
+    """Lifecycle fault categories the schedule can emit."""
+
+    PEER_LEAVE = "peer_leave"
+    PEER_CRASH = "peer_crash"
+    PEER_JOIN = "peer_join"
+    MANAGER_CRASH = "manager_crash"
+    MANAGER_RECOVER = "manager_recover"
+
+    @property
+    def is_peer(self) -> bool:
+        return self in (FaultKind.PEER_LEAVE, FaultKind.PEER_CRASH, FaultKind.PEER_JOIN)
+
+    @property
+    def takes_down(self) -> bool:
+        """Whether the event removes its subject from service."""
+        return self in (
+            FaultKind.PEER_LEAVE,
+            FaultKind.PEER_CRASH,
+            FaultKind.MANAGER_CRASH,
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One lifecycle fault: *what* happened to *whom* at *which* cycle."""
+
+    cycle: int
+    kind: FaultKind
+    subject: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError(f"cycle must be >= 0, got {self.cycle}")
+
+
+class FaultSchedule:
+    """Produces the lifecycle fault events of each simulation cycle."""
+
+    def __init__(
+        self,
+        config: FaultConfig | None = None,
+        rng: RngStream | None = None,
+        *,
+        script: Mapping[int, Sequence[FaultEvent]] | None = None,
+    ) -> None:
+        self._config = config or FaultConfig()
+        self._rng = rng
+        self._script: dict[int, tuple[FaultEvent, ...]] | None = None
+        if script is not None:
+            self._script = {
+                int(cycle): tuple(events) for cycle, events in script.items()
+            }
+            for cycle, events in self._script.items():
+                for event in events:
+                    if event.cycle != cycle:
+                        raise ValueError(
+                            f"event {event} filed under cycle {cycle}"
+                        )
+        if self._script is None and rng is None and not self._config.fault_free:
+            raise ValueError("a stochastic schedule with non-zero rates needs an rng")
+
+    @classmethod
+    def scripted(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        """Build a deterministic schedule from a flat event list."""
+        by_cycle: dict[int, list[FaultEvent]] = {}
+        for event in events:
+            by_cycle.setdefault(event.cycle, []).append(event)
+        return cls(script={c: tuple(evts) for c, evts in by_cycle.items()})
+
+    @property
+    def config(self) -> FaultConfig:
+        return self._config
+
+    @property
+    def is_scripted(self) -> bool:
+        return self._script is not None
+
+    def draw(
+        self,
+        cycle: int,
+        online: np.ndarray,
+        managers_up: Mapping[int, bool],
+    ) -> list[FaultEvent]:
+        """Fault events for ``cycle`` given the current liveness state.
+
+        ``online`` is the boolean per-peer liveness mask; ``managers_up``
+        maps manager id → up.  Events for already-down (or already-up)
+        subjects are filtered by the injector, not here.
+        """
+        if self._script is not None:
+            return list(self._script.get(int(cycle), ()))
+        cfg = self._config
+        events: list[FaultEvent] = []
+        if cfg.peer_crash_rate or cfg.peer_leave_rate or cfg.peer_rejoin_rate:
+            rng = self._rng
+            assert rng is not None
+            draws = rng.random(online.size)
+            for node in range(online.size):
+                if online[node]:
+                    if draws[node] < cfg.peer_crash_rate:
+                        events.append(FaultEvent(cycle, FaultKind.PEER_CRASH, node))
+                    elif draws[node] < cfg.peer_crash_rate + cfg.peer_leave_rate:
+                        events.append(FaultEvent(cycle, FaultKind.PEER_LEAVE, node))
+                elif draws[node] < cfg.peer_rejoin_rate:
+                    events.append(FaultEvent(cycle, FaultKind.PEER_JOIN, node))
+        if cfg.manager_crash_rate or cfg.manager_recovery_rate:
+            rng = self._rng
+            assert rng is not None
+            for manager_id in sorted(managers_up):
+                draw = float(rng.random())
+                if managers_up[manager_id]:
+                    if draw < cfg.manager_crash_rate:
+                        events.append(
+                            FaultEvent(cycle, FaultKind.MANAGER_CRASH, manager_id)
+                        )
+                elif draw < cfg.manager_recovery_rate:
+                    events.append(
+                        FaultEvent(cycle, FaultKind.MANAGER_RECOVER, manager_id)
+                    )
+        return events

@@ -1,0 +1,105 @@
+"""Lossy message transport with retries.
+
+Models the only part of the network a Section 4.3 manager can see: a send
+either arrives (possibly delayed) or vanishes.  The sender retries lost
+messages with capped exponential backoff until either the retry cap or a
+total timeout budget is exhausted — the standard recipe for P2P RPC
+layers — and reports what happened so callers can fall back gracefully
+(the distributed SocialTrust layer substitutes a conservative neutral
+damping weight for pairs whose social information never arrives).
+
+The fault-free fast path performs no RNG draws at all, so attaching a
+transport with zero loss/delay rates is exactly equivalent to not having
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.config import FaultConfig
+from repro.faults.metrics import FaultMetrics
+from repro.utils.rng import RngStream
+
+__all__ = ["DeliveryReport", "UnreliableTransport"]
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Outcome of one logical send (including all retransmissions)."""
+
+    delivered: bool
+    #: Send attempts performed (1 = delivered first try).
+    attempts: int
+    #: Total time spent: delivery delays plus backoff waits.
+    latency: float
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+
+class UnreliableTransport:
+    """Message channel with loss, delay, and a retry policy."""
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        rng: RngStream | None = None,
+        *,
+        metrics: FaultMetrics | None = None,
+    ) -> None:
+        if config.lossy and rng is None:
+            raise ValueError("a lossy transport needs an rng")
+        self._config = config
+        self._rng = rng
+        self._metrics = metrics or FaultMetrics()
+
+    @property
+    def config(self) -> FaultConfig:
+        return self._config
+
+    @property
+    def metrics(self) -> FaultMetrics:
+        return self._metrics
+
+    def send(self, kind: str) -> DeliveryReport:
+        """Attempt delivery of one ``kind`` message, retrying on loss.
+
+        Retransmission ``k`` waits ``min(backoff_cap, backoff_base *
+        2**(k-1))`` first; the loop stops once the retry cap is hit or the
+        accumulated latency (backoff + delivery delay) would exceed the
+        timeout budget.
+        """
+        cfg = self._config
+        metrics = self._metrics
+        if not cfg.lossy:
+            metrics.record_attempt(kind)
+            return DeliveryReport(delivered=True, attempts=1, latency=0.0)
+        rng = self._rng
+        assert rng is not None
+        elapsed = 0.0
+        attempts = 0
+        while attempts <= cfg.max_retries:
+            attempts += 1
+            metrics.record_attempt(kind)
+            if rng.random() >= cfg.message_loss_rate:
+                delay = 0.0
+                if cfg.message_delay_rate and rng.random() < cfg.message_delay_rate:
+                    delay = float(rng.exponential(cfg.mean_delay))
+                    metrics.record_delay(kind)
+                elapsed += delay
+                if elapsed > cfg.timeout_budget:
+                    # Delivered, but after the sender stopped waiting — a
+                    # late response is a timeout from the caller's side.
+                    break
+                metrics.record_retries(attempts - 1)
+                return DeliveryReport(True, attempts, elapsed)
+            metrics.record_loss(kind)
+            backoff = min(cfg.backoff_cap, cfg.backoff_base * (2 ** (attempts - 1)))
+            elapsed += backoff
+            if elapsed > cfg.timeout_budget:
+                break
+        metrics.record_retries(attempts - 1)
+        metrics.record_timeout(kind)
+        return DeliveryReport(False, attempts, elapsed)

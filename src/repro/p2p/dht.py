@@ -94,6 +94,19 @@ class ChordRing:
             idx = 0
         return self._ring[idx][1]
 
+    def successor_of(self, manager_id: int) -> int:
+        """The next manager clockwise on the ring after ``manager_id`` —
+        the failover target that inherits a crashed manager's keys.
+
+        With a single manager on the ring, that manager is its own
+        successor.
+        """
+        position = self._positions[manager_id]
+        idx = bisect_right(self._ring_positions, position)
+        if idx == len(self._ring_positions):
+            idx = 0
+        return self._ring[idx][1]
+
     def _build_fingers(self, position: int) -> list[int]:
         fingers = []
         for k in range(self._bits):
@@ -107,9 +120,25 @@ class ChordRing:
         """Ring position of a P2P node's rating-storage key."""
         return _hash_to_ring(f"{self._salt}:key:{node}", self._bits)
 
-    def manager_for(self, node: int) -> int:
-        """The manager responsible for ``node``'s ratings."""
-        return self._successor(self.key_position(node))
+    def manager_for(self, node: int, *, exclude: frozenset[int] = frozenset()) -> int:
+        """The manager responsible for ``node``'s ratings.
+
+        ``exclude`` names managers currently considered down; consistent
+        hashing then hands the key to the next live ring successor — the
+        same answer every surviving manager computes independently, which
+        is what makes the failover coordination-free.  Raises
+        ``RuntimeError`` when every manager is excluded.
+        """
+        responsible = self._successor(self.key_position(node))
+        if not exclude:
+            return responsible
+        seen = 0
+        while responsible in exclude:
+            responsible = self.successor_of(responsible)
+            seen += 1
+            if seen > len(self._ring):
+                raise RuntimeError("no live manager on the ring")
+        return responsible
 
     def assignment(self, n_nodes: int) -> list[int]:
         """Node → manager mapping for a dense node-id range."""

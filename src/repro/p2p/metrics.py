@@ -7,7 +7,14 @@ Collects exactly what the evaluation section reports:
   served, and what share went to a designated group (Table 1 and
   Fig. 7(c));
 * convergence — the first simulation cycle after which every node of a
-  group stays below a reputation threshold (Fig. 19).
+  group stays below a reputation threshold (Fig. 19);
+* faults — when a :class:`~repro.faults.injector.FaultInjector` is
+  attached, its :class:`~repro.faults.metrics.FaultMetrics` (event log,
+  retry/timeout/fallback/reassignment counters, per-cycle degradation
+  series) is exposed here next to the reputation history, and
+  :meth:`MetricsCollector.reputation_error_series` turns the snapshots
+  into the reputation-error-vs-fault-rate curves the robustness
+  benchmarks plot.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+from repro.faults.metrics import FaultMetrics
 
 __all__ = ["MetricsCollector"]
 
@@ -30,10 +39,23 @@ class MetricsCollector:
         self._issued = np.zeros(n_nodes, dtype=np.int64)
         self._unserved = 0
         self._snapshots: list[np.ndarray] = []
+        self._faults = FaultMetrics()
 
     @property
     def n_nodes(self) -> int:
         return self._n
+
+    # -- fault observability ----------------------------------------------------
+
+    @property
+    def faults(self) -> FaultMetrics:
+        """Fault counters and series (empty unless an injector recorded)."""
+        return self._faults
+
+    def attach_faults(self, faults: FaultMetrics) -> None:
+        """Adopt an external fault-metrics sink (the injector's), so all
+        fault recording of one run lands in a single instance."""
+        self._faults = faults
 
     # -- request routing ------------------------------------------------------
 
@@ -92,6 +114,26 @@ class MetricsCollector:
         if not self._snapshots:
             return np.zeros(self._n)
         return self._snapshots[-1].copy()
+
+    def reputation_error_series(self, reference: np.ndarray) -> np.ndarray:
+        """Per-cycle mean absolute reputation error against ``reference``.
+
+        ``reference`` is either one vector (the converged fault-free
+        reputations) or a per-cycle ``(n_cycles, n_nodes)`` history; the
+        result is the L1 distance per node at each snapshot — the y-axis
+        of the reputation-error-vs-fault-rate degradation curves.
+        """
+        history = self.reputation_history()
+        ref = np.asarray(reference, dtype=np.float64)
+        if ref.ndim == 1:
+            if ref.shape != (self._n,):
+                raise ValueError(f"reference shape {ref.shape} != ({self._n},)")
+            return np.abs(history - ref[None, :]).mean(axis=1)
+        if ref.shape != history.shape:
+            raise ValueError(
+                f"reference history shape {ref.shape} != {history.shape}"
+            )
+        return np.abs(history - ref).mean(axis=1)
 
     def cycles_until_mean_below(
         self, nodes: Sequence[int], threshold: float

@@ -44,8 +44,8 @@ class InterestOverlay:
         np.fill_diagonal(shared, 0)
         self._neighbor_mask = shared > 0
         self._providers = [
-            np.flatnonzero(membership[:, l]).astype(np.int64)
-            for l in range(n_interests)
+            np.flatnonzero(membership[:, interest]).astype(np.int64)
+            for interest in range(n_interests)
         ]
         self._neighbors = [
             np.flatnonzero(self._neighbor_mask[i]).astype(np.int64) for i in range(n)

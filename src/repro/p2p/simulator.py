@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.collusion.models import CollusionSchedule, NoCollusion
+from repro.faults.injector import FaultInjector
 from repro.p2p.metrics import MetricsCollector
 from repro.p2p.network import InterestOverlay
 from repro.p2p.node import Population
@@ -82,18 +83,25 @@ class Simulation:
         collusion: CollusionSchedule | None = None,
         interactions: InteractionLedger | None = None,
         profiles: InterestProfiles | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         n = population.n_nodes
         if overlay.n_nodes != n:
             raise ValueError("overlay and population disagree on network size")
         if system.n_nodes != n:
             raise ValueError("reputation system and population disagree on size")
+        if fault_injector is not None and fault_injector.n_nodes != n:
+            raise ValueError(
+                f"fault injector covers {fault_injector.n_nodes} nodes, "
+                f"population has {n}"
+            )
         self._population = population
         self._overlay = overlay
         self._system = system
         self._rng = rng
         self._config = config or SimulationConfig()
         self._collusion = collusion or NoCollusion()
+        self._injector = fault_injector
         self._interactions = interactions or InteractionLedger(n)
         if profiles is None:
             profiles = InterestProfiles(n, overlay.n_interests)
@@ -102,7 +110,14 @@ class Simulation:
         self._profiles = profiles
         self._ledger = RatingLedger(n)
         self._metrics = MetricsCollector(n)
+        if fault_injector is not None:
+            # One shared fault-metrics sink: injector, transport, manager
+            # layer and simulation all record into the collector's series.
+            self._metrics.attach_faults(fault_injector.metrics)
         self._cycles_run = 0
+        # Scratch buffer for per-query-cycle remaining capacities; reset
+        # from the population's capacities at each query cycle.
+        self._remaining_capacity = np.empty_like(population.capacities)
         # Per-node Zipf weights over the node's own (sorted) interest list.
         s = self._config.interest_zipf_exponent
         self._interest_choices: list[np.ndarray] = []
@@ -138,6 +153,10 @@ class Simulation:
     def cycles_run(self) -> int:
         return self._cycles_run
 
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        return self._injector
+
     def _draw_interest(self, node: int) -> int:
         choices = self._interest_choices[node]
         if choices.size == 1:
@@ -150,12 +169,21 @@ class Simulation:
         reputations = self._system.reputations
         active_draw = rng.random(population.n_nodes)
         np.copyto(remaining_capacity, population.capacities)
+        # Departed peers neither issue nor serve queries.  The mask is
+        # only consulted when someone is actually offline, so a zero-rate
+        # injector leaves the run bit-identical to an injector-free one.
+        online = self._injector.online_mask if self._injector is not None else None
+        churned = online is not None and not online.all()
         for client in rng.permutation(population.n_nodes):
             client = int(client)
+            if churned and not online[client]:
+                continue
             if active_draw[client] >= population.activity_probs[client]:
                 continue
             interest = self._draw_interest(client)
             candidates = self._overlay.candidate_servers(client, interest)
+            if churned:
+                candidates = candidates[online[candidates]]
             server = select_server(
                 candidates,
                 reputations,
@@ -178,7 +206,10 @@ class Simulation:
             self._profiles.record_request(client, interest)
             self._metrics.record_request(client, server)
         # Collusion bursts: ratings + interactions, no genuine requests.
+        # Offline colluders cannot exchange ratings either.
         for burst in self._collusion.bursts(rng):
+            if churned and not (online[burst.rater] and online[burst.ratee]):
+                continue
             self._ledger.record_batch(
                 burst.rater, burst.ratee, burst.value, burst.count
             )
@@ -186,13 +217,27 @@ class Simulation:
 
     def run_simulation_cycle(self) -> np.ndarray:
         """Run one simulation cycle; returns the updated reputation vector."""
-        remaining_capacity = self._population.capacities.copy()
+        if self._injector is not None:
+            self._injector.advance()
+            offline = self._injector.offline_nodes()
+            if offline.size:
+                # Age out departed peers' interaction history so rejoiners
+                # resume with decayed — not stale full-strength — state.
+                self._interactions.decay_nodes(
+                    offline, self._injector.config.offline_decay
+                )
         for _ in range(self._config.query_cycles_per_simulation_cycle):
-            self._run_query_cycle(remaining_capacity)
+            self._run_query_cycle(self._remaining_capacity)
         interval = self._ledger.drain()
         reputations = self._system.update(interval)
         self._metrics.snapshot(reputations)
         self._cycles_run += 1
+        if self._injector is not None:
+            self._metrics.faults.snapshot_cycle(
+                self._cycles_run,
+                peers_online=self._injector.peers_online,
+                managers_up=self._injector.managers_up_count,
+            )
         return reputations
 
     def run(self, simulation_cycles: int | None = None) -> MetricsCollector:

@@ -23,7 +23,7 @@ Each adjacent pair carries a list of :class:`Relationship` records: the count
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np

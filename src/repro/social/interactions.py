@@ -71,5 +71,22 @@ class InteractionLedger:
         view.flags.writeable = False
         return view
 
+    def decay_nodes(self, nodes: np.ndarray, factor: float) -> None:
+        """Age out ``nodes``'s rows and columns by multiplying with ``factor``.
+
+        Used by the churn-aware simulation: a departed peer's interaction
+        history decays every cycle it stays offline, so a rejoining peer
+        resumes with correspondingly weakened closeness evidence rather
+        than stale full-strength history.  Pairs where *both* endpoints
+        are offline decay by ``factor**2`` (both sides' evidence is aging).
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"factor must be in [0, 1], got {factor}")
+        idx = np.asarray(nodes, dtype=np.int64)
+        if idx.size == 0 or factor == 1.0:
+            return
+        self._counts[idx, :] *= factor
+        self._counts[:, idx] *= factor
+
     def reset(self) -> None:
         self._counts[:] = 0.0

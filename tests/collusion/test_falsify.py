@@ -1,6 +1,5 @@
 """Tests for falsified static social information."""
 
-import numpy as np
 import pytest
 
 from repro.collusion.falsify import (

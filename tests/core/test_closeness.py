@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.closeness import ClosenessComputer
 from repro.core.config import CommonFriendAggregate, SocialTrustConfig
-from repro.social.graph import AssignedSocialNetwork, Relationship, SocialGraph
+from repro.social.graph import Relationship, SocialGraph
 from repro.social.interactions import InteractionLedger
 from repro.utils.rng import spawn_rng
 

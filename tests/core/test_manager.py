@@ -2,8 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import DistributedSocialTrust, SocialTrust
+from repro.core.manager import ResourceManager
+from repro.faults import FaultConfig, FaultInjector
+from repro.p2p import ChordRing
 from repro.reputation import EigenTrust
 from repro.reputation.base import IntervalRatings, Rating
 from repro.social import InteractionLedger, InterestProfiles
@@ -186,3 +191,272 @@ class TestMessageAccounting:
     def test_name(self):
         _, distributed, _ = build_pair()
         assert "distributed" in distributed.name
+
+
+class TestRecordMessage:
+    def test_zero_count_leaves_no_counter_row(self):
+        """Recording zero messages must not materialise a Counter key —
+        zero-count rows would skew message-kind enumeration in reports."""
+        manager = ResourceManager(manager_id=0, managed=frozenset({0}))
+        manager.record_message("rating_report", 0)
+        assert "rating_report" not in manager.messages_sent
+        assert manager.total_messages == 0
+
+    def test_negative_count_rejected(self):
+        manager = ResourceManager(manager_id=0, managed=frozenset({0}))
+        with pytest.raises(ValueError):
+            manager.record_message("rating_report", -1)
+
+    def test_positive_counts_accumulate(self):
+        manager = ResourceManager(manager_id=0, managed=frozenset({0}))
+        manager.record_message("info_request")
+        manager.record_message("info_request", 3)
+        assert manager.messages_sent["info_request"] == 4
+
+
+def random_interval(rng, interactions, n_ratings=120):
+    """A random rating interval (with matching interaction records)."""
+    iv = IntervalRatings(N)
+    raters = rng.integers(0, N, size=n_ratings)
+    ratees = rng.integers(0, N, size=n_ratings)
+    values = rng.random(n_ratings)
+    for rater, ratee, value in zip(raters, ratees, values):
+        if rater != ratee:
+            iv.add(Rating(int(rater), int(ratee), float(value)))
+            interactions.record(int(rater), int(ratee))
+    return iv
+
+
+class TestEquivalenceProperty:
+    """Satellite of the fault-injection PR: the distributed execution is
+    bit-identical to the centralised one for *any* seed and manager
+    count — including when a zero-rate fault injector is attached."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_managers=st.integers(min_value=1, max_value=8),
+    )
+    def test_identical_for_any_seed_and_manager_count(self, seed, n_managers):
+        rng = spawn_rng(seed, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        central_led = InteractionLedger(N)
+        dist_led = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, set(map(int, rng.integers(0, 5, size=2))))
+        central = SocialTrust(
+            EigenTrust(N, [2]), network, central_led, profiles
+        )
+        distributed = DistributedSocialTrust(
+            EigenTrust(N, [2]),
+            network,
+            dist_led,
+            profiles,
+            n_managers=n_managers,
+        )
+        interval_rng = spawn_rng(seed, 1)
+        for _ in range(2):
+            state = interval_rng.bit_generator.state
+            central.update(random_interval(interval_rng, central_led))
+            interval_rng.bit_generator.state = state
+            distributed.update(random_interval(interval_rng, dist_led))
+            assert np.array_equal(central.reputations, distributed.reputations)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_zero_rate_injector_is_bit_identical(self, seed):
+        """Attaching an inert injector must not move a single bit."""
+        rng = spawn_rng(seed, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        plain_led = InteractionLedger(N)
+        faulty_led = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, {0, 1})
+        ring = ChordRing(range(3))
+        plain = DistributedSocialTrust(
+            EigenTrust(N, [2]),
+            network,
+            plain_led,
+            profiles,
+            assignment=ring.assignment(N),
+        )
+        injector = FaultInjector(
+            N, config=FaultConfig(), rng=spawn_rng(seed, 99)
+        )
+        faulty = DistributedSocialTrust(
+            EigenTrust(N, [2]),
+            network,
+            faulty_led,
+            profiles,
+            assignment=ring.assignment(N),
+            ring=ring,
+            injector=injector,
+        )
+        interval_rng = spawn_rng(seed, 1)
+        for _ in range(2):
+            state = interval_rng.bit_generator.state
+            plain.update(random_interval(interval_rng, plain_led))
+            interval_rng.bit_generator.state = state
+            faulty.update(random_interval(interval_rng, faulty_led))
+        assert np.array_equal(plain.reputations, faulty.reputations)
+        assert injector.metrics.summary()["losses"] == 0
+        assert injector.metrics.fallbacks == 0
+
+
+def build_faulty(n_managers=3, faults=None, seed=11, assignment=None):
+    """A distributed system with an injector attached, plus its parts.
+
+    ``assignment=None`` uses the Chord-ring responsibility map; tests that
+    need specific nodes under specific managers pass one explicitly (it
+    must only use manager ids on the ring).
+    """
+    rng = spawn_rng(seed, 0)
+    network = paper_social_network(N, COLLUDERS, rng)
+    interactions = InteractionLedger(N)
+    profiles = InterestProfiles(N, 5)
+    profiles.set_declared(0, {0})
+    profiles.set_declared(1, {1})
+    for i in range(2, N):
+        profiles.set_declared(i, {2, 3, 4})
+        profiles.record_request(i, 2, 2.0)
+    ring = ChordRing(range(n_managers))
+    injector = FaultInjector(
+        N,
+        config=faults or FaultConfig(),
+        rng=spawn_rng(seed, 0xFA),
+    )
+    distributed = DistributedSocialTrust(
+        EigenTrust(N, [2]),
+        network,
+        interactions,
+        profiles,
+        assignment=ring.assignment(N) if assignment is None else assignment,
+        ring=ring,
+        injector=injector,
+    )
+    return distributed, injector, interactions, ring
+
+
+class TestFailover:
+    def test_crash_reassigns_to_ring_successor(self):
+        distributed, injector, interactions, ring = build_faulty(n_managers=4)
+        victim = distributed.manager_of(0).manager_id
+        assert distributed.effective_manager_of(0).manager_id == victim
+        injector.fail_manager(victim)
+        serving = distributed.effective_manager_of(0)
+        assert serving is not None
+        assert serving.manager_id != victim
+        # The failover target is the first *live* ring successor.
+        expected = ring.successor_of(victim)
+        while expected in injector.down_managers():
+            expected = ring.successor_of(expected)
+        assert serving.manager_id == expected
+
+    def test_update_under_crash_records_reassignments(self):
+        distributed, injector, interactions, _ = build_faulty(n_managers=4)
+        victim = distributed.manager_of(0).manager_id
+        injector.fail_manager(victim)
+        distributed.update(collusion_interval(interactions))
+        n_victim_nodes = len(distributed.manager_of(0).managed)
+        assert injector.metrics.reassignments >= n_victim_nodes
+
+    def test_recovery_restores_home_manager(self):
+        distributed, injector, _, _ = build_faulty(n_managers=4)
+        victim = distributed.manager_of(0).manager_id
+        injector.fail_manager(victim)
+        injector.restore_manager(victim)
+        assert distributed.effective_manager_of(0).manager_id == victim
+
+    def test_unreachable_info_falls_back_to_neutral_damping(self):
+        """A suspected cross-manager pair whose info round-trip fails gets
+        the conservative neutral weight, not full trust or erasure."""
+        lossy = FaultConfig(
+            message_loss_rate=1.0, max_retries=1, timeout_budget=100.0
+        )
+        distributed, injector, interactions, _ = build_faulty(
+            n_managers=2,
+            faults=lossy,
+            # Alternating assignment puts colluders 0 and 1 under
+            # different managers, forcing info round trips.
+            assignment=[i % 2 for i in range(N)],
+        )
+        for _ in range(3):
+            distributed.update(collusion_interval(interactions))
+        result = distributed.last_detection
+        assert result is not None and result.findings
+        cross = [
+            f
+            for f in result.findings
+            if distributed.manager_of(f.rater).manager_id
+            != distributed.manager_of(f.ratee).manager_id
+        ]
+        assert cross, "need at least one cross-manager finding"
+        assert injector.metrics.fallbacks >= len(cross)
+        assert injector.metrics.total_timeouts > 0
+
+    def test_all_managers_down_every_finding_neutral(self):
+        distributed, injector, interactions, _ = build_faulty(n_managers=2)
+        # Prime findings fault-free first.
+        distributed.update(collusion_interval(interactions))
+        for manager in distributed.managers:
+            injector.fail_manager(manager.manager_id)
+        assert distributed.effective_manager_of(0) is None
+        before = injector.metrics.fallbacks
+        distributed.update(collusion_interval(interactions))
+        result = distributed.last_detection
+        assert result is not None and result.findings
+        assert injector.metrics.fallbacks - before == len(result.findings)
+
+    def test_neutral_damping_dampens_but_keeps_ratings(self):
+        """Under total loss the colluders' mutual ratings are damped to the
+        neutral weight — reputations sit between the fault-free adjusted
+        run and a run with no detection at all."""
+        lossy = FaultConfig(
+            message_loss_rate=1.0, max_retries=0, timeout_budget=100.0
+        )
+        damped, _, led_damped, _ = build_faulty(n_managers=2, faults=lossy)
+        clean, _, led_clean, _ = build_faulty(n_managers=2)
+        for _ in range(2):
+            damped.update(collusion_interval(led_damped))
+            clean.update(collusion_interval(led_clean))
+        colluder_damped = damped.reputations[list(COLLUDERS)].sum()
+        colluder_clean = clean.reputations[list(COLLUDERS)].sum()
+        # Neutral damping (0.5) suppresses collusion less than the full
+        # detector weight but still applies the detector's row adjustments.
+        assert colluder_damped >= colluder_clean
+
+    def test_injector_size_mismatch_rejected(self):
+        rng = spawn_rng(11, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, {0})
+        with pytest.raises(ValueError):
+            DistributedSocialTrust(
+                EigenTrust(N, [2]),
+                network,
+                interactions,
+                profiles,
+                n_managers=2,
+                injector=FaultInjector(N + 1),
+            )
+
+    def test_ring_must_cover_assignment(self):
+        rng = spawn_rng(11, 0)
+        network = paper_social_network(N, COLLUDERS, rng)
+        interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for i in range(N):
+            profiles.set_declared(i, {0})
+        with pytest.raises(ValueError):
+            DistributedSocialTrust(
+                EigenTrust(N, [2]),
+                network,
+                interactions,
+                profiles,
+                assignment=[5] * N,
+                ring=ChordRing(range(3)),
+            )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import SocialTrust, SocialTrustConfig
+from repro.core import SocialTrust
 from repro.reputation import EBayModel, EigenTrust
 from repro.reputation.base import IntervalRatings, Rating
 from repro.social import InteractionLedger, InterestProfiles

@@ -22,9 +22,11 @@ FAST = dict(n_runs=1, simulation_cycles=3, overrides=SMALL_WORLD)
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
-        expected = {f"fig{i}" for i in (1, 2, 3, 4)} | {
-            f"fig{i}" for i in range(7, 21)
-        } | {"table1"}
+        expected = (
+            {f"fig{i}" for i in (1, 2, 3, 4)}
+            | {f"fig{i}" for i in range(7, 21)}
+            | {"table1", "fault_tolerance"}
+        )
         assert set(EXPERIMENTS) == expected
 
     def test_lookup(self):

@@ -1,0 +1,67 @@
+"""Tests for the fault-model parameters."""
+
+import pytest
+
+from repro.faults import FaultConfig
+
+
+class TestValidation:
+    def test_defaults_are_fault_free(self):
+        config = FaultConfig()
+        assert config.fault_free
+        assert not config.churn_enabled
+        assert not config.lossy
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "peer_leave_rate",
+            "peer_crash_rate",
+            "peer_rejoin_rate",
+            "manager_crash_rate",
+            "manager_recovery_rate",
+            "message_loss_rate",
+            "message_delay_rate",
+            "offline_decay",
+        ],
+    )
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: -0.1})
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            FaultConfig(max_retries=-1)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ValueError):
+            FaultConfig(backoff_base=4.0, backoff_cap=2.0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            FaultConfig(timeout_budget=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FaultConfig().message_loss_rate = 0.5
+
+
+class TestFlags:
+    def test_loss_makes_lossy(self):
+        assert FaultConfig(message_loss_rate=0.1).lossy
+        assert not FaultConfig(message_loss_rate=0.1).fault_free
+
+    def test_delay_alone_makes_lossy(self):
+        assert FaultConfig(message_delay_rate=0.1).lossy
+
+    def test_churn_flag(self):
+        assert FaultConfig(peer_leave_rate=0.1).churn_enabled
+        assert FaultConfig(peer_crash_rate=0.1).churn_enabled
+        # Rejoins alone cannot take anyone down.
+        assert not FaultConfig(peer_rejoin_rate=0.5).churn_enabled
+
+    def test_rejoin_rate_alone_keeps_fault_free(self):
+        """With nobody ever leaving, a rejoin rate can never fire."""
+        assert FaultConfig(peer_rejoin_rate=0.9).fault_free

@@ -1,0 +1,150 @@
+"""Tests for the fault injector's liveness bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+)
+from repro.utils.rng import spawn_rng
+
+N = 8
+
+
+def scripted_injector(events, manager_ids=(0, 1, 2)):
+    return FaultInjector(
+        N, manager_ids, schedule=FaultSchedule.scripted(events)
+    )
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            FaultInjector(0)
+
+    def test_everyone_starts_alive(self):
+        injector = FaultInjector(N, (0, 1))
+        assert injector.peers_online == N
+        assert not injector.any_offline
+        assert injector.managers_up_count == 2
+        assert injector.down_managers() == frozenset()
+
+    def test_config_inherited_from_schedule(self):
+        config = FaultConfig(offline_decay=0.5)
+        schedule = FaultSchedule(config)
+        assert FaultInjector(N, schedule=schedule).config is config
+
+    def test_register_managers_idempotent(self):
+        injector = FaultInjector(N, (0,))
+        injector.fail_manager(0)
+        injector.register_managers([0, 1])
+        assert not injector.manager_up(0)  # re-registering keeps state
+        assert injector.manager_up(1)
+
+    def test_online_mask_is_read_only(self):
+        injector = FaultInjector(N)
+        with pytest.raises(ValueError):
+            injector.online_mask[0] = False
+
+
+class TestAdvance:
+    def test_applies_scripted_events_in_order(self):
+        injector = scripted_injector(
+            [
+                FaultEvent(0, FaultKind.PEER_CRASH, 4),
+                FaultEvent(1, FaultKind.MANAGER_CRASH, 2),
+                FaultEvent(2, FaultKind.PEER_JOIN, 4),
+                FaultEvent(2, FaultKind.MANAGER_RECOVER, 2),
+            ]
+        )
+        assert [e.subject for e in injector.advance()] == [4]
+        assert not injector.peer_online(4)
+        assert injector.offline_nodes().tolist() == [4]
+        injector.advance()
+        assert injector.down_managers() == frozenset({2})
+        assert injector.managers_up_count == 2
+        injector.advance()
+        assert injector.peer_online(4)
+        assert injector.manager_up(2)
+        assert injector.cycle == 3
+
+    def test_noop_events_filtered(self):
+        """Redundant events (already in target state) neither apply nor log."""
+        injector = scripted_injector(
+            [
+                FaultEvent(0, FaultKind.PEER_JOIN, 1),  # already online
+                FaultEvent(0, FaultKind.MANAGER_RECOVER, 0),  # already up
+            ]
+        )
+        assert injector.advance() == []
+        assert injector.metrics.event_log == ()
+
+    def test_event_log_records_applied_events(self):
+        injector = scripted_injector([FaultEvent(0, FaultKind.PEER_LEAVE, 2)])
+        injector.advance()
+        log = injector.metrics.event_log
+        assert len(log) == 1
+        assert log[0].kind is FaultKind.PEER_LEAVE
+        assert injector.metrics.events["peer_leave"] == 1
+
+    def test_unknown_manager_rejected(self):
+        injector = scripted_injector([FaultEvent(0, FaultKind.MANAGER_CRASH, 9)])
+        with pytest.raises(KeyError):
+            injector.advance()
+
+    def test_peer_out_of_range_rejected(self):
+        injector = scripted_injector([FaultEvent(0, FaultKind.PEER_CRASH, N)])
+        with pytest.raises(IndexError):
+            injector.advance()
+
+
+class TestManualControls:
+    def test_fail_and_restore_peer(self):
+        injector = FaultInjector(N)
+        injector.fail_peer(3)
+        assert not injector.peer_online(3)
+        injector.restore_peer(3)
+        assert injector.peer_online(3)
+        kinds = [e.kind for e in injector.metrics.event_log]
+        assert kinds == [FaultKind.PEER_LEAVE, FaultKind.PEER_JOIN]
+
+    def test_crash_flag_changes_event_kind(self):
+        injector = FaultInjector(N)
+        injector.fail_peer(3, crash=True)
+        assert injector.metrics.event_log[0].kind is FaultKind.PEER_CRASH
+
+    def test_fail_and_restore_manager(self):
+        injector = FaultInjector(N, (0, 1))
+        injector.fail_manager(1)
+        assert injector.down_managers() == frozenset({1})
+        injector.restore_manager(1)
+        assert injector.down_managers() == frozenset()
+
+
+class TestStochasticLifecycle:
+    def test_churn_reaches_steady_state_not_extinction(self):
+        """With leave and rejoin balanced, the population oscillates
+        instead of draining to zero."""
+        injector = FaultInjector(
+            64,
+            config=FaultConfig(peer_leave_rate=0.2, peer_rejoin_rate=0.5),
+            rng=spawn_rng(5, 0),
+        )
+        counts = []
+        for _ in range(30):
+            injector.advance()
+            counts.append(injector.peers_online)
+        assert min(counts) > 0
+        assert min(counts) < 64  # churn actually happened
+
+    def test_zero_rate_advance_is_inert(self):
+        injector = FaultInjector(N, (0, 1), config=FaultConfig())
+        for _ in range(5):
+            assert injector.advance() == []
+        assert injector.peers_online == N
+        assert injector.managers_up_count == 2
+        assert np.array_equal(injector.online_mask, np.ones(N, dtype=bool))

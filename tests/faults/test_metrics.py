@@ -1,0 +1,84 @@
+"""Tests for the shared fault-metrics sink."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultMetrics
+
+
+class TestCounters:
+    def test_starts_empty(self):
+        metrics = FaultMetrics()
+        assert metrics.summary() == {
+            "events": 0,
+            "attempts": 0,
+            "losses": 0,
+            "delays": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "fallbacks": 0,
+            "reassignments": 0,
+        }
+
+    def test_records_by_kind(self):
+        metrics = FaultMetrics()
+        metrics.record_attempt("info_request")
+        metrics.record_attempt("info_request")
+        metrics.record_loss("info_request")
+        metrics.record_timeout("rating_report")
+        assert metrics.attempts["info_request"] == 2
+        assert metrics.total_losses == 1
+        assert metrics.timeouts["rating_report"] == 1
+
+    def test_retries_accumulate(self):
+        metrics = FaultMetrics()
+        metrics.record_retries(2)
+        metrics.record_retries(0)
+        metrics.record_retries(3)
+        assert metrics.retries == 5
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            FaultMetrics().record_retries(-1)
+
+    def test_reassignments_count_nodes(self):
+        metrics = FaultMetrics()
+        metrics.record_reassignment(7)
+        metrics.record_reassignment()
+        assert metrics.reassignments == 8
+        with pytest.raises(ValueError):
+            metrics.record_reassignment(-1)
+
+    def test_fallbacks(self):
+        metrics = FaultMetrics()
+        metrics.record_fallback()
+        assert metrics.fallbacks == 1
+
+
+class TestSeries:
+    def test_snapshot_rows_are_cumulative(self):
+        metrics = FaultMetrics()
+        metrics.record_loss("x")
+        metrics.snapshot_cycle(1, peers_online=10, managers_up=3)
+        metrics.record_loss("x")
+        metrics.record_fallback()
+        metrics.snapshot_cycle(2, peers_online=9, managers_up=2)
+        rows = metrics.series()
+        assert len(rows) == 2
+        assert rows[0]["losses"] == 1.0
+        assert rows[1]["losses"] == 2.0
+        assert rows[1]["fallbacks"] == 1.0
+        assert rows[1]["peers_online"] == 9.0
+        assert rows[1]["managers_up"] == 2.0
+
+    def test_reset_clears_everything(self):
+        metrics = FaultMetrics()
+        metrics.record_event(FaultEvent(0, FaultKind.PEER_LEAVE, 1))
+        metrics.record_loss("x")
+        metrics.record_retries(2)
+        metrics.record_fallback()
+        metrics.record_reassignment()
+        metrics.snapshot_cycle(1, peers_online=5, managers_up=1)
+        metrics.reset()
+        assert metrics.summary()["events"] == 0
+        assert metrics.series() == ()
+        assert metrics.event_log == ()

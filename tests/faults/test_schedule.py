@@ -1,0 +1,114 @@
+"""Tests for fault schedules (scripted and stochastic)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultEvent, FaultKind, FaultSchedule
+from repro.utils.rng import spawn_rng
+
+
+def liveness(n=6):
+    return np.ones(n, dtype=bool), {0: True, 1: True}
+
+
+class TestFaultKind:
+    def test_peer_kinds(self):
+        assert FaultKind.PEER_LEAVE.is_peer
+        assert FaultKind.PEER_CRASH.is_peer
+        assert FaultKind.PEER_JOIN.is_peer
+        assert not FaultKind.MANAGER_CRASH.is_peer
+
+    def test_takes_down(self):
+        assert FaultKind.PEER_LEAVE.takes_down
+        assert FaultKind.MANAGER_CRASH.takes_down
+        assert not FaultKind.PEER_JOIN.takes_down
+        assert not FaultKind.MANAGER_RECOVER.takes_down
+
+
+class TestFaultEvent:
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1, FaultKind.PEER_LEAVE, 0)
+
+
+class TestScripted:
+    def test_replays_events_at_their_cycle(self):
+        schedule = FaultSchedule.scripted(
+            [
+                FaultEvent(0, FaultKind.PEER_LEAVE, 3),
+                FaultEvent(2, FaultKind.MANAGER_CRASH, 1),
+                FaultEvent(2, FaultKind.PEER_JOIN, 3),
+            ]
+        )
+        online, managers = liveness()
+        assert schedule.is_scripted
+        assert [e.subject for e in schedule.draw(0, online, managers)] == [3]
+        assert schedule.draw(1, online, managers) == []
+        assert len(schedule.draw(2, online, managers)) == 2
+
+    def test_rejects_misfiled_event(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(script={5: [FaultEvent(0, FaultKind.PEER_LEAVE, 1)]})
+
+    def test_scripted_needs_no_rng(self):
+        schedule = FaultSchedule.scripted([FaultEvent(0, FaultKind.PEER_CRASH, 0)])
+        assert schedule.draw(0, *liveness())
+
+
+class TestStochastic:
+    def test_nonzero_rates_require_rng(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(FaultConfig(peer_leave_rate=0.5))
+
+    def test_fault_free_draws_nothing(self):
+        schedule = FaultSchedule(FaultConfig())
+        online, managers = liveness()
+        for cycle in range(5):
+            assert schedule.draw(cycle, online, managers) == []
+
+    def test_same_seed_same_events(self):
+        config = FaultConfig(
+            peer_leave_rate=0.3, peer_crash_rate=0.2, manager_crash_rate=0.4
+        )
+        a = FaultSchedule(config, spawn_rng(7, 0))
+        b = FaultSchedule(config, spawn_rng(7, 0))
+        online, managers = liveness()
+        for cycle in range(5):
+            assert a.draw(cycle, online, managers) == b.draw(
+                cycle, online, managers
+            )
+
+    def test_only_online_peers_leave(self):
+        config = FaultConfig(peer_leave_rate=1.0)
+        schedule = FaultSchedule(config, spawn_rng(7, 0))
+        online, managers = liveness()
+        online[2] = False
+        events = schedule.draw(0, online, managers)
+        assert all(e.subject != 2 for e in events)
+        assert len(events) == int(online.sum())
+
+    def test_only_offline_peers_rejoin(self):
+        config = FaultConfig(peer_rejoin_rate=1.0)
+        schedule = FaultSchedule(config, spawn_rng(7, 0))
+        online, managers = liveness()
+        online[:] = False
+        events = schedule.draw(0, online, managers)
+        assert {e.kind for e in events} == {FaultKind.PEER_JOIN}
+        assert len(events) == online.size
+
+    def test_down_managers_can_only_recover(self):
+        config = FaultConfig(manager_crash_rate=1.0, manager_recovery_rate=1.0)
+        schedule = FaultSchedule(config, spawn_rng(7, 0))
+        online, _ = liveness()
+        events = schedule.draw(0, online, {0: True, 1: False})
+        kinds = {e.subject: e.kind for e in events}
+        assert kinds[0] is FaultKind.MANAGER_CRASH
+        assert kinds[1] is FaultKind.MANAGER_RECOVER
+
+    def test_crash_takes_priority_over_leave_in_one_draw(self):
+        """One uniform draw per peer: crash band first, then leave band."""
+        config = FaultConfig(peer_crash_rate=1.0, peer_leave_rate=0.0)
+        schedule = FaultSchedule(config, spawn_rng(7, 0))
+        online, managers = liveness()
+        events = schedule.draw(0, online, managers)
+        assert {e.kind for e in events} == {FaultKind.PEER_CRASH}

@@ -1,0 +1,123 @@
+"""Tests for the lossy transport and its retry policy."""
+
+import pytest
+
+from repro.faults import DeliveryReport, FaultConfig, FaultMetrics, UnreliableTransport
+from repro.utils.rng import spawn_rng
+
+
+class TestFaultFreePath:
+    def test_no_rng_needed(self):
+        transport = UnreliableTransport(FaultConfig())
+        report = transport.send("rating_report")
+        assert report == DeliveryReport(delivered=True, attempts=1, latency=0.0)
+        assert report.retries == 0
+
+    def test_attempts_counted(self):
+        metrics = FaultMetrics()
+        transport = UnreliableTransport(FaultConfig(), metrics=metrics)
+        for _ in range(4):
+            transport.send("info_request")
+        assert metrics.attempts["info_request"] == 4
+        assert metrics.total_losses == 0
+        assert metrics.retries == 0
+
+    def test_lossy_requires_rng(self):
+        with pytest.raises(ValueError):
+            UnreliableTransport(FaultConfig(message_loss_rate=0.5))
+
+
+class TestLoss:
+    def test_certain_loss_times_out(self):
+        metrics = FaultMetrics()
+        transport = UnreliableTransport(
+            FaultConfig(message_loss_rate=1.0, max_retries=2, timeout_budget=100.0),
+            spawn_rng(3, 0),
+            metrics=metrics,
+        )
+        report = transport.send("info_request")
+        assert not report.delivered
+        assert report.attempts == 3  # 1 try + 2 retries
+        assert metrics.timeouts["info_request"] == 1
+        assert metrics.losses["info_request"] == 3
+        assert metrics.retries == 2
+
+    def test_backoff_schedule_capped(self):
+        transport = UnreliableTransport(
+            FaultConfig(
+                message_loss_rate=1.0,
+                max_retries=4,
+                backoff_base=1.0,
+                backoff_cap=4.0,
+                timeout_budget=1000.0,
+            ),
+            spawn_rng(3, 0),
+        )
+        report = transport.send("x")
+        # Backoffs: 1 + 2 + 4 + 4 + 4 (cap at 4 from attempt 3 on).
+        assert report.latency == pytest.approx(15.0)
+
+    def test_budget_stops_retrying_early(self):
+        transport = UnreliableTransport(
+            FaultConfig(
+                message_loss_rate=1.0,
+                max_retries=10,
+                backoff_base=2.0,
+                backoff_cap=2.0,
+                timeout_budget=5.0,
+            ),
+            spawn_rng(3, 0),
+        )
+        report = transport.send("x")
+        assert not report.delivered
+        # 2 + 2 = 4 <= 5 but 4 + 2 = 6 > 5: stops after the third attempt.
+        assert report.attempts == 3
+
+    def test_zero_loss_always_delivers(self):
+        transport = UnreliableTransport(
+            FaultConfig(message_loss_rate=0.0, message_delay_rate=0.5),
+            spawn_rng(3, 0),
+        )
+        assert all(transport.send("x").delivered for _ in range(50))
+
+    def test_moderate_loss_mostly_recovers(self):
+        metrics = FaultMetrics()
+        transport = UnreliableTransport(
+            FaultConfig(message_loss_rate=0.3, max_retries=5, timeout_budget=100.0),
+            spawn_rng(3, 0),
+            metrics=metrics,
+        )
+        delivered = sum(transport.send("x").delivered for _ in range(200))
+        assert delivered >= 195  # p(6 consecutive losses) = 0.3^6 ~ 7e-4
+        assert metrics.retries > 0
+
+
+class TestDelay:
+    def test_delay_recorded_and_latency_positive(self):
+        metrics = FaultMetrics()
+        transport = UnreliableTransport(
+            FaultConfig(message_delay_rate=1.0, mean_delay=2.0),
+            spawn_rng(3, 0),
+            metrics=metrics,
+        )
+        report = transport.send("x")
+        assert report.delivered
+        assert report.latency > 0.0
+        assert metrics.delays["x"] == 1
+
+    def test_late_delivery_is_a_timeout(self):
+        """A response arriving past the budget counts as a timeout."""
+        metrics = FaultMetrics()
+        transport = UnreliableTransport(
+            FaultConfig(
+                message_delay_rate=1.0,
+                mean_delay=100.0,
+                max_retries=0,
+                timeout_budget=0.001,
+            ),
+            spawn_rng(3, 0),
+            metrics=metrics,
+        )
+        report = transport.send("x")
+        assert not report.delivered
+        assert metrics.total_timeouts == 1

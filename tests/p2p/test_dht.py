@@ -103,3 +103,53 @@ class TestLookup:
             route = ring.lookup(0, node)
             assert route[-1] == ring.manager_for(node)
             assert len(route) <= 2
+
+
+class TestFailover:
+    def test_successors_form_the_full_cycle(self, ring):
+        """Following successor_of from any start visits every manager."""
+        start = ring.managers[0]
+        visited = [start]
+        current = start
+        for _ in range(len(ring.managers) - 1):
+            current = ring.successor_of(current)
+            visited.append(current)
+        assert sorted(visited) == sorted(ring.managers)
+        assert ring.successor_of(current) == start
+
+    def test_single_manager_is_own_successor(self):
+        ring = ChordRing([3], bits=16)
+        assert ring.successor_of(3) == 3
+
+    def test_unknown_manager_rejected(self, ring):
+        with pytest.raises(KeyError):
+            ring.successor_of(999)
+
+    def test_exclusion_moves_to_live_successor(self, ring):
+        for node in range(25):
+            home = ring.manager_for(node)
+            failover = ring.manager_for(node, exclude=frozenset({home}))
+            assert failover != home
+            # The failover target is home's first non-excluded successor.
+            expected = ring.successor_of(home)
+            while expected == home:
+                expected = ring.successor_of(expected)
+            assert failover == expected
+
+    def test_no_exclusion_is_identity(self, ring):
+        for node in range(10):
+            assert ring.manager_for(node, exclude=frozenset()) == ring.manager_for(
+                node
+            )
+
+    def test_unaffected_keys_keep_their_manager(self, ring):
+        """Excluding one manager only moves the keys it owned."""
+        down = ring.managers[2]
+        for node in range(50):
+            home = ring.manager_for(node)
+            if home != down:
+                assert ring.manager_for(node, exclude=frozenset({down})) == home
+
+    def test_all_excluded_raises(self, ring):
+        with pytest.raises(RuntimeError):
+            ring.manager_for(0, exclude=frozenset(ring.managers))

@@ -111,3 +111,57 @@ class TestConvergence:
         m = MetricsCollector(2)
         m.snapshot(np.array([0.0001, 0.5]))
         assert m.cycles_until_below([0, 1], 0.001) is None
+
+
+class TestFaultObservability:
+    def test_default_faults_empty(self):
+        m = MetricsCollector(3)
+        assert m.faults.summary()["events"] == 0
+        assert m.faults.series() == ()
+
+    def test_attach_faults_adopts_external_sink(self):
+        from repro.faults import FaultMetrics
+
+        m = MetricsCollector(3)
+        sink = FaultMetrics()
+        m.attach_faults(sink)
+        assert m.faults is sink
+        sink.record_fallback()
+        assert m.faults.fallbacks == 1
+
+
+class TestReputationErrorSeries:
+    def _collector(self, rows):
+        m = MetricsCollector(len(rows[0]))
+        for row in rows:
+            m.snapshot(np.array(row, dtype=float))
+        return m
+
+    def test_against_reference_vector(self):
+        m = self._collector([[0.5, 0.5], [0.3, 0.7]])
+        errors = m.reputation_error_series(np.array([0.5, 0.5]))
+        assert errors.shape == (2,)
+        assert errors[0] == pytest.approx(0.0)
+        assert errors[1] == pytest.approx(0.2)
+
+    def test_against_reference_history(self):
+        m = self._collector([[0.5, 0.5], [0.3, 0.7]])
+        reference = np.array([[0.5, 0.5], [0.4, 0.6]])
+        errors = m.reputation_error_series(reference)
+        assert errors[0] == pytest.approx(0.0)
+        assert errors[1] == pytest.approx(0.1)
+
+    def test_identical_history_is_zero(self):
+        m = self._collector([[0.2, 0.8], [0.6, 0.4]])
+        errors = m.reputation_error_series(m.reputation_history())
+        assert np.all(errors == 0.0)
+
+    def test_rejects_wrong_vector_shape(self):
+        m = self._collector([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            m.reputation_error_series(np.zeros(3))
+
+    def test_rejects_wrong_history_shape(self):
+        m = self._collector([[0.5, 0.5], [0.3, 0.7]])
+        with pytest.raises(ValueError):
+            m.reputation_error_series(np.zeros((3, 2)))

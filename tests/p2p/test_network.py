@@ -1,6 +1,5 @@
 """Tests for the interest-based overlay."""
 
-import numpy as np
 import pytest
 
 from repro.p2p.network import InterestOverlay

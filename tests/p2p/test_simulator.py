@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.collusion import PairwiseCollusion
+from repro.faults import FaultConfig, FaultInjector
 from repro.p2p import (
     InterestOverlay,
     Population,
@@ -11,14 +12,15 @@ from repro.p2p import (
     SimulationConfig,
 )
 from repro.reputation import EBayModel, EigenTrust
-from repro.social import InteractionLedger, InterestProfiles
 from repro.utils.rng import spawn_rng
 
 N = 20
 N_INTERESTS = 6
 
 
-def build_sim(seed=3, collusion=None, cycles=2, system=None, **cfg_kw):
+def build_sim(
+    seed=3, collusion=None, cycles=2, system=None, fault_injector=None, **cfg_kw
+):
     rng = spawn_rng(seed, 0)
     pop = Population.build(
         N,
@@ -37,7 +39,15 @@ def build_sim(seed=3, collusion=None, cycles=2, system=None, **cfg_kw):
         query_cycles_per_simulation_cycle=5,
         **cfg_kw,
     )
-    sim = Simulation(pop, overlay, system, rng, config=config, collusion=collusion)
+    sim = Simulation(
+        pop,
+        overlay,
+        system,
+        rng,
+        config=config,
+        collusion=collusion,
+        fault_injector=fault_injector,
+    )
     return sim, system
 
 
@@ -166,3 +176,89 @@ class TestEBaySimulation:
         sim, system = build_sim(system=EBayModel(N), cycles=2)
         sim.run()
         assert system.intervals_seen == 2
+
+
+class TestChurn:
+    def test_offline_peers_issue_and_serve_nothing(self):
+        injector = FaultInjector(N)
+        offline = [4, 5, 6]
+        for node in offline:
+            injector.fail_peer(node)
+        sim, _ = build_sim(fault_injector=injector, cycles=2)
+        sim.run()
+        assert sim.metrics.served_by(offline) == 0
+        # No outgoing interactions either: offline peers issue no requests
+        # (row sums of the interaction ledger stay zero).
+        for node in offline:
+            assert sim.interactions.total_out(node) == 0.0
+
+    def test_offline_colluders_stop_rating_bursts(self):
+        interests = [
+            sorted(spec.interests) for spec in build_sim()[0].population
+        ]
+        injector = FaultInjector(N)
+        injector.fail_peer(1)
+        sim, _ = build_sim(
+            collusion=PairwiseCollusion([1, 2], interests, ratings_per_cycle=7),
+            fault_injector=injector,
+            cycles=1,
+        )
+        sim.run()
+        assert sim.interactions.frequency(1, 2) == 0.0
+        assert sim.interactions.frequency(2, 1) == 0.0
+
+    def test_ledger_rows_age_out_while_offline(self):
+        injector = FaultInjector(
+            N, config=FaultConfig(offline_decay=0.5)
+        )
+        sim, _ = build_sim(fault_injector=injector, cycles=4)
+        sim.run_simulation_cycle()
+        node = int(np.argmax(sim.interactions.counts_matrix().sum(axis=1)))
+        before = sim.interactions.total_out(node)
+        assert before > 0
+        injector.fail_peer(node)
+        sim.run_simulation_cycle()
+        assert sim.interactions.total_out(node) == pytest.approx(before * 0.5)
+        sim.run_simulation_cycle()
+        assert sim.interactions.total_out(node) == pytest.approx(before * 0.25)
+
+    def test_rejoined_peer_participates_again(self):
+        injector = FaultInjector(N)
+        injector.fail_peer(3)
+        sim, _ = build_sim(fault_injector=injector, cycles=2)
+        sim.run_simulation_cycle()
+        served_while_away = sim.metrics.served_by([3])
+        injector.restore_peer(3)
+        for _ in range(3):
+            sim.run_simulation_cycle()
+        assert sim.metrics.served_by([3]) >= served_while_away
+
+    def test_zero_rate_injector_is_bit_identical(self):
+        """Wiring an inert injector must not perturb the simulation RNG."""
+        plain, _ = build_sim(cycles=3)
+        faulty, _ = build_sim(
+            cycles=3,
+            fault_injector=FaultInjector(
+                N, config=FaultConfig(), rng=spawn_rng(99, 0)
+            ),
+        )
+        a = plain.run().reputation_history()
+        b = faulty.run().reputation_history()
+        assert np.array_equal(a, b)
+
+    def test_fault_series_snapshot_per_cycle(self):
+        injector = FaultInjector(
+            N,
+            config=FaultConfig(peer_leave_rate=0.2, peer_rejoin_rate=0.3),
+            rng=spawn_rng(5, 0),
+        )
+        sim, _ = build_sim(fault_injector=injector, cycles=3)
+        metrics = sim.run()
+        series = metrics.faults.series()
+        assert len(series) == 3
+        assert [row["cycle"] for row in series] == [1.0, 2.0, 3.0]
+        assert min(row["peers_online"] for row in series) < N
+
+    def test_injector_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_sim(fault_injector=FaultInjector(N + 1))

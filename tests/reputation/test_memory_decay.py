@@ -1,6 +1,5 @@
 """Tests for fading-memory reputation (TrustGuard-style recency weighting)."""
 
-import numpy as np
 import pytest
 
 from repro.reputation.base import IntervalRatings, Rating

@@ -1,6 +1,5 @@
 """Tests for the incremental social-network construction plugin."""
 
-import numpy as np
 import pytest
 
 from repro.reputation import EigenTrust

@@ -96,3 +96,47 @@ class TestInteractionLedger:
         assert np.all(m <= 1 + 1e-12)
         row_sums = m.sum(axis=1)
         assert np.all((np.abs(row_sums - 1) < 1e-9) | (row_sums == 0))
+
+
+class TestDecayNodes:
+    def _ledger(self):
+        ledger = InteractionLedger(4)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    ledger.record(i, j, 8.0)
+        return ledger
+
+    def test_decays_rows_and_columns(self):
+        ledger = self._ledger()
+        ledger.decay_nodes(np.array([1]), 0.5)
+        assert ledger.frequency(1, 0) == pytest.approx(4.0)
+        assert ledger.frequency(0, 1) == pytest.approx(4.0)
+        # Pairs not touching node 1 are untouched.
+        assert ledger.frequency(2, 3) == pytest.approx(8.0)
+
+    def test_offline_offline_pairs_decay_squared(self):
+        ledger = self._ledger()
+        ledger.decay_nodes(np.array([1, 2]), 0.5)
+        assert ledger.frequency(1, 2) == pytest.approx(2.0)
+        assert ledger.frequency(2, 1) == pytest.approx(2.0)
+        assert ledger.frequency(1, 3) == pytest.approx(4.0)
+
+    def test_factor_one_is_noop(self):
+        ledger = self._ledger()
+        before = ledger.counts_matrix()
+        ledger.decay_nodes(np.array([0, 1]), 1.0)
+        assert np.array_equal(ledger.counts_matrix(), before)
+
+    def test_empty_nodes_is_noop(self):
+        ledger = self._ledger()
+        before = ledger.counts_matrix()
+        ledger.decay_nodes(np.array([], dtype=np.int64), 0.5)
+        assert np.array_equal(ledger.counts_matrix(), before)
+
+    def test_rejects_bad_factor(self):
+        ledger = self._ledger()
+        with pytest.raises(ValueError):
+            ledger.decay_nodes(np.array([0]), 1.5)
+        with pytest.raises(ValueError):
+            ledger.decay_nodes(np.array([0]), -0.1)

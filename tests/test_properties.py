@@ -10,7 +10,7 @@ from repro.core.closeness import ClosenessComputer
 from repro.core.detector import CollusionDetector
 from repro.core.similarity import SimilarityComputer
 from repro.reputation import EBayModel, EigenTrust, PowerTrust
-from repro.reputation.base import IntervalRatings, Rating
+from repro.reputation.base import IntervalRatings
 from repro.social.graph import SocialGraph
 from repro.social.interactions import InteractionLedger
 from repro.social.interests import InterestProfiles

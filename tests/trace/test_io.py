@@ -12,7 +12,6 @@ from repro.trace.io import (
     trace_from_dict,
     trace_to_dict,
 )
-from repro.trace.schema import Trace, TraceUser, Transaction
 
 
 @pytest.fixture(scope="module")

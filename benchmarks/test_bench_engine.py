@@ -1,0 +1,87 @@
+"""Scalar vs batched query-cycle engine: the tentpole speedup benchmark.
+
+Runs the same no-collusion world twice — once on the seed per-client
+scalar loop, once on the batched engine — asserts the reputation
+histories are **bit-identical**, and asserts the wall-clock speedup floor
+(>= 5x at the full profile).  Results land in ``BENCH_engine.json`` so CI
+can archive them.
+
+Profiles (``BENCH_ENGINE_PROFILE`` environment variable):
+
+* ``full`` (default) — n=1000 nodes, 50 simulation cycles, floor 5x;
+* ``smoke``          — n=120 nodes, 10 simulation cycles, floor 2x
+  (used by the CI smoke job; finishes in a few seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import CollusionKind, WorldConfig, build_world
+from repro.p2p import EngineMode
+
+PROFILES = {
+    "full": {"n_nodes": 1000, "simulation_cycles": 50, "min_speedup": 5.0},
+    "smoke": {"n_nodes": 120, "simulation_cycles": 10, "min_speedup": 2.0},
+}
+
+
+def _profile() -> tuple[str, dict]:
+    name = os.environ.get("BENCH_ENGINE_PROFILE", "full")
+    if name not in PROFILES:
+        raise ValueError(f"BENCH_ENGINE_PROFILE must be one of {sorted(PROFILES)}")
+    return name, PROFILES[name]
+
+
+def _run(engine: EngineMode, n_nodes: int, cycles: int) -> tuple[float, np.ndarray]:
+    """(wall-clock seconds, reputation history) for one engine."""
+    config = WorldConfig(
+        n_nodes=n_nodes,
+        collusion=CollusionKind.NONE,
+        simulation_cycles=cycles,
+        engine=engine,
+    )
+    world = build_world(config, seed=0)
+    start = time.perf_counter()
+    metrics = world.simulation.run()
+    return time.perf_counter() - start, metrics.reputation_history()
+
+
+def test_engine_speedup():
+    name, profile = _profile()
+    n_nodes = profile["n_nodes"]
+    cycles = profile["simulation_cycles"]
+    scalar_s, scalar_hist = _run(EngineMode.SCALAR, n_nodes, cycles)
+    batched_s, batched_hist = _run(EngineMode.BATCHED, n_nodes, cycles)
+    identical = bool(np.array_equal(batched_hist, scalar_hist))
+    speedup = scalar_s / batched_s
+    out = os.environ.get("BENCH_ENGINE_OUT", "BENCH_engine.json")
+    Path(out).write_text(
+        json.dumps(
+            {
+                "profile": name,
+                "n_nodes": n_nodes,
+                "simulation_cycles": cycles,
+                "scalar_seconds": round(scalar_s, 3),
+                "batched_seconds": round(batched_s, 3),
+                "speedup": round(speedup, 2),
+                "bit_identical": identical,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(
+        f"\n[{name}] n={n_nodes} cycles={cycles}: "
+        f"scalar={scalar_s:.2f}s batched={batched_s:.2f}s "
+        f"speedup={speedup:.1f}x identical={identical}"
+    )
+    assert identical, "batched engine diverged from the scalar reference"
+    assert speedup >= profile["min_speedup"], (
+        f"speedup {speedup:.2f}x below the {profile['min_speedup']}x floor"
+    )

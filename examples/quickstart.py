@@ -6,106 +6,59 @@ workload twice — once on plain EigenTrust, once on EigenTrust wrapped by
 SocialTrust — and prints the group reputations and the share of service
 requests the colluders manage to capture.
 
+The whole world (population, overlay, social network, ledgers, reputation
+stack, attack schedule, simulator) is assembled by one
+:func:`repro.api.build_scenario` call; see ``git log`` for the manual
+wiring this replaced.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.api import ScenarioResult, build_scenario
 
-from repro.collusion import PairwiseCollusion
-from repro.core import SocialTrust
-from repro.p2p import InterestOverlay, Population, Simulation, SimulationConfig
-from repro.p2p.selection import SelectionPolicy
-from repro.reputation import EigenTrust
-from repro.social import InteractionLedger, InterestProfiles
-from repro.social.generators import paper_social_network
-from repro.utils.rng import spawn_rng
-
-N_NODES = 100
-N_INTERESTS = 15
-PRETRUSTED = tuple(range(5))
-COLLUDERS = tuple(range(5, 25))
 SEED = 42
 
 
-def build_simulation(use_socialtrust: bool) -> tuple[Simulation, tuple[int, ...]]:
+def run_variant(use_socialtrust: bool) -> ScenarioResult:
     """One fully wired simulation; both variants share the same seed."""
-    rng = spawn_rng(SEED, 0)
-
-    # 1. Peers: pre-trusted always serve well, colluders serve well 60% of
-    #    the time, everyone else 80%.
-    population = Population.build(
-        N_NODES,
-        rng,
-        pretrusted_ids=PRETRUSTED,
-        malicious_ids=COLLUDERS,
-        n_interests=N_INTERESTS,
+    scenario = build_scenario(
+        # Peers: 5 pre-trusted (always serve well), 20 pair-wise colluders
+        # (serve well 60% of the time), everyone else 80%.
+        n_nodes=100,
+        n_pretrusted=5,
+        n_colluders=20,
+        n_interests=15,
         interests_per_node=(1, 6),
-        malicious_authentic_prob=0.6,
+        colluder_b=0.6,
+        # The attack: colluder pairs exchange 20 positive ratings per query
+        # cycle (the paper's PCM model), keeping their natural interests.
+        collusion="pcm",
+        pcm_ratings_per_cycle=20,
+        colluder_low_interest_overlap=False,
+        # Reputation stack: EigenTrust, optionally wrapped by SocialTrust.
+        system="EigenTrust",
+        use_socialtrust=use_socialtrust,
+        simulation_cycles=15,
+        query_cycles=20,
+        seed=SEED,
     )
-
-    # 2. Overlay: peers sharing an interest are neighbours.
-    overlay = InterestOverlay([s.interests for s in population], N_INTERESTS)
-
-    # 3. Social substrate: colluders form a distance-1 clique with extra
-    #    relationships; everyone else sits 1-3 hops apart.
-    network = paper_social_network(N_NODES, COLLUDERS, rng)
-    interactions = InteractionLedger(N_NODES)
-    profiles = InterestProfiles(N_NODES, N_INTERESTS)
-    for spec in population:
-        profiles.set_declared(spec.node_id, spec.interests)
-
-    # 4. Reputation stack: EigenTrust, optionally wrapped by SocialTrust.
-    base = EigenTrust(N_NODES, PRETRUSTED, pretrust_weight=0.05)
-    system = (
-        SocialTrust(base, network, interactions, profiles)
-        if use_socialtrust
-        else base
-    )
-
-    # 5. The attack: colluder pairs exchange 20 positive ratings per query
-    #    cycle (the paper's PCM model).
-    attack = PairwiseCollusion(
-        COLLUDERS, [s.interests for s in population], ratings_per_cycle=20
-    )
-
-    simulation = Simulation(
-        population,
-        overlay,
-        system,
-        rng,
-        config=SimulationConfig(
-            simulation_cycles=15,
-            query_cycles_per_simulation_cycle=20,
-            selection_policy=SelectionPolicy.THRESHOLD_RANDOM,
-            selection_exploration=0.2,
-        ),
-        collusion=attack,
-        interactions=interactions,
-        profiles=profiles,
-    )
-    return simulation, COLLUDERS
+    return scenario.run()
 
 
-def report(label: str, simulation: Simulation) -> None:
-    reps = simulation.metrics.final_reputations()
-    colluders = list(COLLUDERS)
-    normal = [i for i in range(N_NODES) if i not in COLLUDERS and i not in PRETRUSTED]
-    share = simulation.metrics.fraction_served_by(colluders)
+def report(label: str, result: ScenarioResult) -> None:
     print(f"\n=== {label} ===")
-    print(f"  colluder mean reputation : {reps[colluders].mean():.5f}")
-    print(f"  normal   mean reputation : {reps[np.array(normal)].mean():.5f}")
-    print(f"  pretrusted mean reputation: {reps[list(PRETRUSTED)].mean():.5f}")
-    print(f"  requests captured by colluders: {share:.1%}")
+    print(f"  colluder mean reputation : {result.colluder_mean:.5f}")
+    print(f"  normal   mean reputation : {result.normal_mean:.5f}")
+    print(f"  pretrusted mean reputation: {result.pretrusted_mean:.5f}")
+    print(f"  requests captured by colluders: {result.colluder_request_share:.1%}")
 
 
 def main() -> None:
     for use_socialtrust in (False, True):
         label = "EigenTrust + SocialTrust" if use_socialtrust else "Plain EigenTrust"
-        simulation, _ = build_simulation(use_socialtrust)
-        simulation.run()
-        report(label, simulation)
+        report(label, run_variant(use_socialtrust))
     print(
         "\nPlain EigenTrust lets the colluding pairs inflate each other; "
         "SocialTrust damps their mutual ratings (suspicious frequency at "

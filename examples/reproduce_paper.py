@@ -17,7 +17,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import get_experiment, list_experiments
+from repro.api import list_experiments, run_experiment
 
 TRACE_FIGURES = {"fig1", "fig2", "fig3", "fig4"}
 
@@ -41,12 +41,12 @@ def main(argv: list[str] | None = None) -> int:
         list_experiments() if args.experiments == ["all"] else args.experiments
     )
     for experiment_id in wanted:
-        func = get_experiment(experiment_id)
         start = time.time()
         if experiment_id in TRACE_FIGURES:
-            result = func(seed=args.seed)
+            result = run_experiment(experiment_id, seed=args.seed)
         else:
-            result = func(
+            result = run_experiment(
+                experiment_id,
                 n_runs=args.runs,
                 simulation_cycles=args.cycles,
                 seed=args.seed,

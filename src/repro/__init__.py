@@ -7,11 +7,30 @@ evaluation needs: the P2P simulator, EigenTrust/eBay (plus PowerTrust,
 GossipTrust and a TrustGuard-like baseline), the PCM/MCM/MMM collusion
 models, and a calibrated synthetic Overstock marketplace.
 
-Start at :mod:`repro.core` for the SocialTrust mechanism itself,
+Start at :mod:`repro.api` for the one-call facade
+(:func:`~repro.api.build_scenario` / :func:`~repro.api.run_scenario`),
+:mod:`repro.core` for the SocialTrust mechanism itself,
 :mod:`repro.experiments` for the table/figure reproductions, and the
 repository README for a guided tour.
 """
 
+from repro.api import (
+    Scenario,
+    ScenarioResult,
+    build_scenario,
+    list_experiments,
+    run_experiment,
+    run_scenario,
+)
+
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "Scenario",
+    "ScenarioResult",
+    "build_scenario",
+    "run_scenario",
+    "list_experiments",
+    "run_experiment",
+]

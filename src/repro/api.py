@@ -1,0 +1,282 @@
+"""Stable, keyword-driven facade over the simulation stack.
+
+Before this module existed, every entry point — ``examples/quickstart.py``,
+``examples/reproduce_paper.py``, the CLI — hand-wired the same dozen
+objects (population, overlay, social network, ledgers, reputation stack,
+collusion schedule, simulator).  The facade collapses that wiring into two
+calls:
+
+>>> from repro.api import build_scenario
+>>> scenario = build_scenario(
+...     n_nodes=100, n_colluders=20, collusion="pcm",
+...     system="EigenTrust+SocialTrust", simulation_cycles=15, seed=42,
+... )
+>>> result = scenario.run()
+>>> print(result.summary())            # doctest: +SKIP
+
+:func:`build_scenario` accepts every :class:`WorldConfig` field as a
+keyword (enums may be given as strings), :func:`run_scenario` builds and
+runs in one step, and :class:`ScenarioResult` bundles the reputations,
+history, metrics, and per-group summaries a caller typically prints.
+Registered table/figure experiments stay reachable through
+:func:`list_experiments` / :func:`run_experiment`, so the CLI and the
+reproduction script share one audited path.
+
+Old keyword spellings used by earlier example scripts keep working for one
+release through :func:`repro.utils.deprecation.deprecated_alias` shims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.setup import (
+    BuiltWorld,
+    CollusionKind,
+    SystemKind,
+    WorldConfig,
+    build_world,
+)
+from repro.p2p import MetricsCollector, Simulation
+from repro.utils.deprecation import deprecated_alias, deprecated_param
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "build_scenario",
+    "run_scenario",
+    "list_experiments",
+    "run_experiment",
+]
+
+#: The socialtrust-wrapped counterpart of each base reputation stack.
+_SOCIALTRUST_OF = {
+    SystemKind.EIGENTRUST: SystemKind.EIGENTRUST_SOCIALTRUST,
+    SystemKind.EBAY: SystemKind.EBAY_SOCIALTRUST,
+    SystemKind.POWERTRUST: SystemKind.POWERTRUST_SOCIALTRUST,
+}
+
+
+def _canon(label: str) -> str:
+    """Case/punctuation-insensitive key for enum lookup by string."""
+    return "".join(ch for ch in label.lower() if ch.isalnum())
+
+
+_SYSTEM_BY_NAME = {
+    _canon(label): kind
+    for kind in SystemKind
+    for label in (kind.value, kind.name)
+}
+_COLLUSION_BY_NAME = {
+    _canon(label): kind
+    for kind in CollusionKind
+    for label in (kind.value, kind.name)
+}
+
+
+def _resolve_system(
+    system: SystemKind | str, use_socialtrust: bool | None
+) -> SystemKind:
+    if isinstance(system, str):
+        try:
+            system = _SYSTEM_BY_NAME[_canon(system)]
+        except KeyError:
+            options = sorted({kind.value for kind in SystemKind})
+            raise ValueError(
+                f"unknown reputation system {system!r}; choose from {options}"
+            ) from None
+    if use_socialtrust is None:
+        return system
+    if use_socialtrust:
+        return _SOCIALTRUST_OF.get(system, system)
+    return system.base
+
+
+def _resolve_collusion(collusion: CollusionKind | str) -> CollusionKind:
+    if isinstance(collusion, str):
+        try:
+            return _COLLUSION_BY_NAME[_canon(collusion)]
+        except KeyError:
+            options = sorted({kind.value for kind in CollusionKind})
+            raise ValueError(
+                f"unknown collusion model {collusion!r}; choose from {options}"
+            ) from None
+    return collusion
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything a finished scenario run typically gets asked for.
+
+    Wraps the raw :class:`~repro.p2p.MetricsCollector` (still available as
+    :attr:`metrics`) with the final reputation vector, the per-interval
+    reputation history, and per-group convenience summaries.
+    """
+
+    config: WorldConfig
+    seed: int
+    run_index: int
+    world: BuiltWorld
+    metrics: MetricsCollector
+    #: Final reputation vector (one entry per node).
+    reputations: np.ndarray
+    #: Reputation snapshots, shape ``(n_intervals, n_nodes)``.
+    history: np.ndarray
+
+    @property
+    def colluder_ids(self) -> tuple[int, ...]:
+        return self.config.colluder_ids
+
+    @property
+    def pretrusted_ids(self) -> tuple[int, ...]:
+        return self.config.pretrusted_ids
+
+    @property
+    def normal_ids(self) -> tuple[int, ...]:
+        return self.config.normal_ids
+
+    def _group_mean(self, ids: tuple[int, ...]) -> float:
+        if not ids:
+            return float("nan")
+        return float(self.reputations[list(ids)].mean())
+
+    @property
+    def colluder_mean(self) -> float:
+        """Mean final reputation over the colluders (NaN when none)."""
+        return self._group_mean(self.colluder_ids)
+
+    @property
+    def pretrusted_mean(self) -> float:
+        """Mean final reputation over the pre-trusted nodes (NaN when none)."""
+        return self._group_mean(self.pretrusted_ids)
+
+    @property
+    def normal_mean(self) -> float:
+        """Mean final reputation over the normal nodes (NaN when none)."""
+        return self._group_mean(self.normal_ids)
+
+    @property
+    def colluder_request_share(self) -> float:
+        """Fraction of served requests captured by the colluders."""
+        return self.metrics.fraction_served_by(list(self.colluder_ids))
+
+    def summary(self) -> str:
+        """Printable multi-line digest of the run."""
+        cfg = self.config
+        lines = [
+            f"{cfg.system.value} | collusion={cfg.collusion.value} | "
+            f"n={cfg.n_nodes} | seed={self.seed} run={self.run_index}",
+            f"  cycles run               : {self.metrics.n_snapshots}",
+            f"  colluder mean reputation : {self.colluder_mean:.5f}",
+            f"  normal   mean reputation : {self.normal_mean:.5f}",
+            f"  pretrusted mean reputation: {self.pretrusted_mean:.5f}",
+            f"  requests captured by colluders: {self.colluder_request_share:.1%}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully wired, not-yet-run simulation world.
+
+    Produced by :func:`build_scenario`; call :meth:`run` to execute it.
+    The underlying :class:`~repro.experiments.setup.BuiltWorld` stays
+    reachable through :attr:`world` for callers that need the raw parts.
+    """
+
+    config: WorldConfig
+    seed: int
+    run_index: int
+    world: BuiltWorld
+
+    @property
+    def simulation(self) -> Simulation:
+        return self.world.simulation
+
+    def run(self, simulation_cycles: int | None = None) -> ScenarioResult:
+        """Run the simulation (optionally overriding the cycle count)."""
+        metrics = self.world.simulation.run(simulation_cycles)
+        return ScenarioResult(
+            config=self.config,
+            seed=self.seed,
+            run_index=self.run_index,
+            world=self.world,
+            metrics=metrics,
+            reputations=metrics.final_reputations(),
+            history=metrics.reputation_history(),
+        )
+
+
+_WORLD_FIELDS = frozenset(f.name for f in fields(WorldConfig))
+
+
+@deprecated_alias(
+    n_cycles="simulation_cycles",
+    cycles="simulation_cycles",
+    exploration="selection_exploration",
+    policy="selection_policy",
+    malicious_authentic_prob="colluder_b",
+    ratings_per_cycle="pcm_ratings_per_cycle",
+    query_cycles_per_simulation_cycle="query_cycles",
+)
+def build_scenario(
+    *,
+    seed: int = 0,
+    run_index: int = 0,
+    system: SystemKind | str = SystemKind.EIGENTRUST,
+    use_socialtrust: bool | None = None,
+    collusion: CollusionKind | str = CollusionKind.NONE,
+    **config_fields,
+) -> Scenario:
+    """Build one fully wired scenario from keyword arguments alone.
+
+    ``system`` and ``collusion`` accept the enum members or their string
+    names (``"EigenTrust+SocialTrust"``, ``"pcm"``, ...); setting
+    ``use_socialtrust`` swaps a base system for its SocialTrust-wrapped
+    variant (or back).  Every other keyword must be a
+    :class:`~repro.experiments.setup.WorldConfig` field and is forwarded
+    verbatim.  ``(seed, run_index)`` key the RNG streams exactly as
+    :func:`~repro.experiments.setup.build_world` does.
+    """
+    unknown = sorted(set(config_fields) - _WORLD_FIELDS)
+    if unknown:
+        raise TypeError(
+            f"build_scenario() got unknown keyword(s) {unknown}; valid "
+            f"keywords are the WorldConfig fields plus seed/run_index/"
+            f"system/use_socialtrust/collusion"
+        )
+    config = WorldConfig(
+        system=_resolve_system(system, use_socialtrust),
+        collusion=_resolve_collusion(collusion),
+        **config_fields,
+    )
+    world = build_world(config, seed=seed, run_index=run_index)
+    return Scenario(config=config, seed=seed, run_index=run_index, world=world)
+
+
+@deprecated_param(
+    "progress",
+    reason="the facade never rendered progress output; wrap the call at the "
+    "call site if you need it",
+)
+def run_scenario(**kwargs) -> ScenarioResult:
+    """Build and run a scenario in one call.
+
+    ``simulation_cycles`` (and every other keyword) is forwarded to
+    :func:`build_scenario`; the world is then run to completion.
+    """
+    return build_scenario(**kwargs).run()
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one registered table/figure experiment and return its result.
+
+    Thin wrapper over the :mod:`repro.experiments.registry` lookup so the
+    CLI and the reproduction script share a single audited entry point;
+    ``kwargs`` (``n_runs``, ``simulation_cycles``, ``seed``, ...) are
+    forwarded to the experiment callable.
+    """
+    return get_experiment(experiment_id)(**kwargs)

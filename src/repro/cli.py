@@ -4,8 +4,12 @@
 
 * ``list``        — show the experiment registry;
 * ``run <ids>``   — regenerate tables/figures, printing the series;
+* ``simulate``    — run one ad-hoc scenario through :mod:`repro.api`;
 * ``trace``       — generate a synthetic Overstock trace to a JSON file;
 * ``analyze``     — run the Section-3 analyses over a saved trace file.
+
+``list``/``run``/``simulate`` all go through the :mod:`repro.api` facade,
+so the CLI exercises the same audited path as the example scripts.
 """
 
 from __future__ import annotations
@@ -39,6 +43,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cycles", type=int, default=25)
     run.add_argument("--seed", type=int, default=0)
 
+    sim = sub.add_parser(
+        "simulate", help="run one ad-hoc scenario via the repro.api facade"
+    )
+    sim.add_argument("--nodes", type=int, default=200)
+    sim.add_argument("--pretrusted", type=int, default=9)
+    sim.add_argument("--colluders", type=int, default=30)
+    sim.add_argument(
+        "--system",
+        default="EigenTrust+SocialTrust",
+        help="reputation stack, e.g. EigenTrust or eBay+SocialTrust",
+    )
+    sim.add_argument(
+        "--collusion", default="pcm", choices=["none", "pcm", "mcm", "mmm"]
+    )
+    sim.add_argument(
+        "--colluder-b",
+        type=float,
+        default=0.2,
+        help="colluders' probability of good behaviour B",
+    )
+    sim.add_argument("--cycles", type=int, default=25)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--engine",
+        default="batched",
+        choices=["batched", "scalar"],
+        help="query-cycle engine (scalar is the reference implementation)",
+    )
+
     trace = sub.add_parser("trace", help="generate a synthetic trace file")
     trace.add_argument("output", type=Path, help="output JSON path")
     trace.add_argument("--users", type=int, default=2500)
@@ -51,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    from repro.experiments import list_experiments
+    from repro.api import list_experiments
 
     for name in list_experiments():
         print(name)
@@ -59,22 +92,44 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments import get_experiment, list_experiments
+    from repro.api import list_experiments, run_experiment
 
     wanted = (
         list_experiments() if args.experiments == ["all"] else args.experiments
     )
     for experiment_id in wanted:
-        func = get_experiment(experiment_id)
         start = time.time()
         if experiment_id in TRACE_EXPERIMENTS:
-            result = func(seed=args.seed)
+            result = run_experiment(experiment_id, seed=args.seed)
         else:
-            result = func(
-                n_runs=args.runs, simulation_cycles=args.cycles, seed=args.seed
+            result = run_experiment(
+                experiment_id,
+                n_runs=args.runs,
+                simulation_cycles=args.cycles,
+                seed=args.seed,
             )
         print(result.describe())
         print(f"  [{time.time() - start:.1f}s]\n")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.api import run_scenario
+
+    start = time.time()
+    result = run_scenario(
+        n_nodes=args.nodes,
+        n_pretrusted=args.pretrusted,
+        n_colluders=args.colluders,
+        system=args.system,
+        collusion=args.collusion,
+        colluder_b=args.colluder_b,
+        simulation_cycles=args.cycles,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(f"  [{time.time() - start:.1f}s]")
     return 0
 
 
@@ -134,6 +189,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "analyze":

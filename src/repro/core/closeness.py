@@ -31,6 +31,20 @@ Two evaluation paths are provided and tested to agree:
 The relationship-factor matrix is cached (relationship structure is static
 within an experiment); call :meth:`ClosenessComputer.invalidate_cache`
 after mutating relationships.
+
+The all-pairs matrix itself is cached too, keyed on the interaction
+ledger's mutation version.  When only a few rows' outgoing shares changed
+since the last evaluation (rating bursts, churn decay), the update is
+incremental: with ``A`` the adjacent-closeness matrix and ``F`` the float
+adjacency, the Eq. (3) terms are ``T1 = A@F`` (rows of dirty raters are
+recomputed exactly) and ``T2 = F@A`` (updated with the low-rank correction
+``F[:, D] @ ΔA[D]``).  When more than half the rows are dirty — the normal
+case between reputation intervals — the cache falls back to a full exact
+rebuild, which is both faster than the correction and bit-identical to the
+seed path.  :meth:`ClosenessComputer.rater_band` and
+:meth:`ClosenessComputer.global_band` read from the cached matrix, so they
+can never diverge from :meth:`ClosenessComputer.closeness_matrix` after
+``decay_nodes`` the way the per-pair scalar walk silently could.
 """
 
 from __future__ import annotations
@@ -64,6 +78,15 @@ class ClosenessComputer:
         self._config = config or SocialTrustConfig()
         self._rel_factors: np.ndarray | None = None
         self._adjacency: np.ndarray | None = None
+        self._adj_float: np.ndarray | None = None
+        self._common_counts: np.ndarray | None = None
+        self._fallback_pairs: np.ndarray | None = None
+        # Value cache keyed on the interaction ledger's mutation version.
+        self._cached_matrix: np.ndarray | None = None
+        self._cached_adj_close: np.ndarray | None = None
+        self._cached_t1: np.ndarray | None = None
+        self._cached_t2: np.ndarray | None = None
+        self._cached_version = -1
 
     @property
     def n_nodes(self) -> int:
@@ -73,6 +96,17 @@ class ClosenessComputer:
         """Drop cached relationship factors after mutating the social view."""
         self._rel_factors = None
         self._adjacency = None
+        self._adj_float = None
+        self._common_counts = None
+        self._fallback_pairs = None
+        self._drop_value_cache()
+
+    def _drop_value_cache(self) -> None:
+        self._cached_matrix = None
+        self._cached_adj_close = None
+        self._cached_t1 = None
+        self._cached_t2 = None
+        self._cached_version = -1
 
     def _structure(self) -> tuple[np.ndarray, np.ndarray]:
         """(relationship-factor matrix, boolean adjacency matrix), cached."""
@@ -137,20 +171,27 @@ class ClosenessComputer:
 
     # -- vectorised all-pairs path --------------------------------------------
 
-    def closeness_matrix(self) -> np.ndarray:
-        """All-pairs ``Ωc`` matrix (diagonal zero).
+    def _structure_extras(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(float adjacency, common-friend counts, fallback pairs) — all
+        static given the adjacency structure, so cached alongside it."""
+        if self._adj_float is None:
+            _, adjacency = self._structure()
+            adj_f = adjacency.astype(np.float64)
+            common_counts = adj_f @ adj_f
+            need_fallback = (~adjacency) & (common_counts == 0)
+            np.fill_diagonal(need_fallback, False)
+            self._adj_float = adj_f
+            self._common_counts = common_counts
+            self._fallback_pairs = np.argwhere(need_fallback)
+        return self._adj_float, self._common_counts, self._fallback_pairs
 
-        Agrees entry-wise with :meth:`closeness`; used by the detector so
-        each reputation-update interval costs O(n^2) NumPy work instead of
-        O(n^2) Python-level graph walks.
-        """
-        factors, adjacency = self._structure()
-        shares = self._interactions.share_matrix()
-        adj_close = factors * shares * adjacency
+    def _assemble(self) -> np.ndarray:
+        """Build the final matrix from the cached Eq. (3) terms."""
+        _, adjacency = self._structure()
+        adj_f, common_counts, fallback_pairs = self._structure_extras()
+        adj_close = self._cached_adj_close
         # Eq. (3): combine, over common friends, the mean of the two legs.
-        adj_f = adjacency.astype(np.float64)
-        common_sum = 0.5 * (adj_close @ adj_f + adj_f @ adj_close)
-        common_counts = adj_f @ adj_f
+        common_sum = 0.5 * (self._cached_t1 + self._cached_t2)
         if self._config.common_friend_aggregate is CommonFriendAggregate.MEAN:
             common_sum = np.divide(
                 common_sum,
@@ -161,27 +202,73 @@ class ClosenessComputer:
         out = np.where(adjacency, adj_close, np.where(common_counts > 0, common_sum, 0.0))
         np.fill_diagonal(out, 0.0)
         # Fallback: non-adjacent pairs with zero common friends but a path.
-        need_fallback = (~adjacency) & (common_counts == 0)
-        np.fill_diagonal(need_fallback, False)
-        if np.any(need_fallback):
-            # Interaction shares are directed, so each direction is walked
-            # separately; these pairs are rare in practice.
-            for i, j in np.argwhere(need_fallback):
-                out[i, j] = self._path_min(int(i), int(j))
+        # Interaction shares are directed, so each direction is walked
+        # separately; these pairs are rare in practice.
+        for i, j in fallback_pairs:
+            out[i, j] = self._path_min(int(i), int(j))
+        return out
+
+    def closeness_matrix(self) -> np.ndarray:
+        """All-pairs ``Ωc`` matrix (diagonal zero), cached incrementally.
+
+        Agrees entry-wise with :meth:`closeness`; used by the detector so
+        each reputation-update interval costs O(n^2) NumPy work instead of
+        O(n^2) Python-level graph walks.  The result is keyed on the
+        interaction ledger's version: unchanged ledger → cache hit; a few
+        dirty rows → row-wise update of the matmul terms; mostly-dirty
+        ledger → full exact rebuild (see the module docstring).  The
+        returned array is read-only (it is the live cache).
+        """
+        factors, adjacency = self._structure()
+        version = self._interactions.version
+        if self._cached_matrix is not None and self._cached_version == version:
+            return self._cached_matrix
+        adj_f, _, _ = self._structure_extras()
+        shares = self._interactions.share_matrix()
+        dirty = (
+            self._interactions.rows_changed_since(self._cached_version)
+            if self._cached_matrix is not None
+            else None
+        )
+        if dirty is None or dirty.size > self.n_nodes // 2:
+            adj_close = factors * shares * adjacency
+            self._cached_adj_close = adj_close
+            self._cached_t1 = adj_close @ adj_f
+            self._cached_t2 = adj_f @ adj_close
+        elif dirty.size:
+            new_rows = factors[dirty] * shares[dirty] * adjacency[dirty]
+            delta = new_rows - self._cached_adj_close[dirty]
+            self._cached_adj_close[dirty] = new_rows
+            # T1 rows only depend on the matching A rows: exact recompute.
+            self._cached_t1[dirty] = new_rows @ adj_f
+            # T2 takes the low-rank correction F[:, D] @ ΔA[D].
+            self._cached_t2 += adj_f[:, dirty] @ delta
+        out = self._assemble()
+        out.flags.writeable = False
+        self._cached_matrix = out
+        self._cached_version = version
         return out
 
     # -- band summaries ---------------------------------------------------------
 
     def rater_band(self, rater: int, rated: frozenset[int] | set[int]) -> RaterBand | None:
-        """Band over the rater's closeness to every node it has rated."""
-        values = [self.closeness(rater, j) for j in rated if j != rater]
+        """Band over the rater's closeness to every node it has rated.
+
+        Reads from :meth:`closeness_matrix`, so the band always reflects
+        the current ledger state (including ``decay_nodes`` aging) instead
+        of silently diverging from the matrix the detector sees.
+        """
+        matrix = self.closeness_matrix()
+        values = [float(matrix[rater, j]) for j in rated if j != rater]
         if not values:
             return None
         return RaterBand.from_values(values)
 
     def global_band(self, pairs: list[tuple[int, int]]) -> RaterBand | None:
-        """Band over the closeness of arbitrary transaction pairs."""
-        values = [self.closeness(i, j) for i, j in pairs if i != j]
+        """Band over the closeness of arbitrary transaction pairs (read from
+        the cached matrix, same consistency guarantee as :meth:`rater_band`)."""
+        matrix = self.closeness_matrix()
+        values = [float(matrix[i, j]) for i, j in pairs if i != j]
         if not values:
             return None
         return RaterBand.from_values(values)

@@ -305,7 +305,11 @@ class CollusionDetector:
             centers, spreads = _band_arrays(similarity, full_mask, observed_s, cfg)
             c = np.maximum(spreads, cfg.spread_floor)
             exponent += (similarity - centers) ** 2 / (2.0 * c * c)
-        damping = cfg.alpha * np.exp(-exponent)
+        # Clamp the exponent below the float64 underflow knee: a degenerate
+        # band (spread at the floor) with a large deviation would otherwise
+        # drive exp() to exactly 0.0 and annihilate the rating instead of
+        # damping it.
+        damping = cfg.alpha * np.exp(-np.minimum(exponent, 700.0))
         if cfg.cap_flagged_frequency:
             # A flagged pair contributes at most a normal-frequency pair's
             # rating mass: scale by T_t / observed frequency on the side

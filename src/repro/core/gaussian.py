@@ -65,7 +65,9 @@ def gaussian_weight(
     """
     c = max(float(band.spread), float(spread_floor))
     d = float(x) - float(band.center)
-    return float(alpha) * math.exp(-(d * d) / (2.0 * c * c))
+    # Clamp below the float64 underflow knee so a damped weight stays
+    # strictly positive (damping, not annihilation).
+    return float(alpha) * math.exp(-min((d * d) / (2.0 * c * c), 700.0))
 
 
 def combined_weight(
@@ -95,4 +97,4 @@ def combined_weight(
         exponent += (d * d) / (2.0 * c * c)
     if not used:
         raise ValueError("at least one coefficient dimension must be provided")
-    return float(alpha) * math.exp(-exponent)
+    return float(alpha) * math.exp(-min(exponent, 700.0))

@@ -48,6 +48,11 @@ class SimilarityComputer:
     ) -> None:
         self._profiles = profiles
         self._config = config or SocialTrustConfig()
+        # Value cache keyed on the profile store's declared/request epochs.
+        self._cached_matrix: np.ndarray | None = None
+        self._cached_numer: np.ndarray | None = None
+        self._cached_req_version = -1
+        self._cached_decl_version = -1
 
     @property
     def n_nodes(self) -> int:
@@ -87,36 +92,78 @@ class SimilarityComputer:
         request-weight rows (weights are zero outside a node's behavioural
         interests, so the product automatically restricts to shared
         interests) over the outer minimum of effective-set sizes.
+
+        The result is cached against the profile store's mutation epochs.
+        Plain mode only depends on the declared sets, so it survives any
+        amount of request traffic.  Hardened mode recomputes the
+        ``W @ W.T`` rows (and mirrored columns) of nodes whose request
+        counters changed when few rows are dirty, and falls back to a full
+        rebuild — bit-identical to the seed path — when most are.  The
+        returned array is read-only (it is the live cache).
         """
         profiles = self._profiles
         n = profiles.n_nodes
+        decl_version = profiles.declared_version
+        req_version = profiles.version
+        if self._cached_matrix is not None and self._cached_decl_version == decl_version:
+            if not self._config.hardened:
+                return self._cached_matrix
+            if self._cached_req_version == req_version:
+                return self._cached_matrix
         if not self._config.hardened:
             d = profiles.declared_matrix().astype(np.float64)
             inter = d @ d.T
             sizes = d.sum(axis=1)
             denom = np.minimum.outer(sizes, sizes)
             out = np.divide(inter, denom, out=np.zeros((n, n)), where=denom > 0)
+            self._cached_numer = None
         else:
             w = profiles.request_weight_matrix()
-            numer = w @ w.T
+            dirty = (
+                profiles.rows_changed_since(self._cached_req_version)
+                if self._cached_numer is not None
+                and self._cached_decl_version == decl_version
+                else None
+            )
+            if dirty is None or dirty.size > n // 2:
+                self._cached_numer = w @ w.T
+            elif dirty.size:
+                # Each numerator entry is a full dot product, so row-wise
+                # recomputation stays exact; symmetry mirrors the columns.
+                rows = w[dirty] @ w.T
+                self._cached_numer[dirty, :] = rows
+                self._cached_numer[:, dirty] = rows.T
+            numer = self._cached_numer
             sizes = np.array(
                 [len(self._effective_set(i)) for i in range(n)], dtype=np.float64
             )
             denom = np.minimum.outer(sizes, sizes)
             out = np.divide(numer, denom, out=np.zeros((n, n)), where=denom > 0)
         np.fill_diagonal(out, 0.0)
+        out.flags.writeable = False
+        self._cached_matrix = out
+        self._cached_decl_version = decl_version
+        self._cached_req_version = req_version
         return out
 
     def rater_band(self, rater: int, rated: frozenset[int] | set[int]) -> RaterBand | None:
-        """Band over the rater's similarity to every node it has rated."""
-        values = [self.similarity(rater, j) for j in rated if j != rater]
+        """Band over the rater's similarity to every node it has rated.
+
+        Reads from :meth:`similarity_matrix`, so the band always reflects
+        the same cached state the detector consumes.
+        """
+        matrix = self.similarity_matrix()
+        values = [float(matrix[rater, j]) for j in rated if j != rater]
         if not values:
             return None
         return RaterBand.from_values(values)
 
     def global_band(self, pairs: list[tuple[int, int]]) -> RaterBand | None:
-        """Band over the similarity of arbitrary transaction pairs."""
-        values = [self.similarity(i, j) for i, j in pairs if i != j]
+        """Band over the similarity of arbitrary transaction pairs (read
+        from the cached matrix, same consistency guarantee as
+        :meth:`rater_band`)."""
+        matrix = self.similarity_matrix()
+        values = [float(matrix[i, j]) for i, j in pairs if i != j]
         if not values:
             return None
         return RaterBand.from_values(values)

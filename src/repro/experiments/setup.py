@@ -31,6 +31,7 @@ from repro.collusion import (
 )
 from repro.core import SocialTrust, SocialTrustConfig
 from repro.p2p import (
+    EngineMode,
     InterestOverlay,
     Population,
     SelectionPolicy,
@@ -145,8 +146,13 @@ class WorldConfig:
     #: Reputation-blind exploration fraction of the selection rule.
     selection_exploration: float = 0.2
     socialtrust: SocialTrustConfig = field(default_factory=SocialTrustConfig)
+    #: Query-cycle execution engine (see :mod:`repro.p2p.engine`); accepts
+    #: the enum or its string value ("batched" / "scalar").
+    engine: EngineMode = EngineMode.BATCHED
 
     def __post_init__(self) -> None:
+        if not isinstance(self.engine, EngineMode):
+            object.__setattr__(self, "engine", EngineMode(self.engine))
         if self.n_pretrusted + self.n_colluders > self.n_nodes:
             raise ValueError("pre-trusted + colluders exceed network size")
         if self.n_compromised_pretrusted > self.n_pretrusted:
@@ -414,6 +420,7 @@ def build_world(config: WorldConfig, seed: int = 0, run_index: int = 0) -> Built
             query_cycles_per_simulation_cycle=config.query_cycles,
             selection_policy=config.selection_policy,
             selection_exploration=config.selection_exploration,
+            engine=config.engine,
         ),
         collusion=schedule,
         interactions=interactions,

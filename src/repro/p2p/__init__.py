@@ -10,6 +10,7 @@ next cycles' server selection.
 """
 
 from repro.p2p.dht import ChordRing
+from repro.p2p.engine import BatchedQueryEngine, EngineMode
 from repro.p2p.metrics import MetricsCollector
 from repro.p2p.network import InterestOverlay
 from repro.p2p.node import NodeKind, NodeSpec, Population
@@ -17,7 +18,9 @@ from repro.p2p.selection import SelectionPolicy, select_server
 from repro.p2p.simulator import Simulation, SimulationConfig
 
 __all__ = [
+    "BatchedQueryEngine",
     "ChordRing",
+    "EngineMode",
     "MetricsCollector",
     "InterestOverlay",
     "NodeKind",

@@ -1,0 +1,382 @@
+"""Batched query-cycle engine — the vectorised simulation hot path.
+
+The seed implementation of :meth:`repro.p2p.simulator.Simulation` walks a
+Python loop over all peers and, for every active client, pays for
+
+* one ``Generator.choice(interests, p=zipf)`` (~16 µs: numpy rebuilds the
+  cumulative distribution on every call), and
+* one :func:`repro.p2p.selection.select_server` (three boolean gathers plus
+  another ``choice``), and
+* four Python-level ledger/metric ``record`` calls.
+
+:class:`BatchedQueryEngine` removes all of that **without changing a single
+random draw**.  Three observations make this possible:
+
+1. ``Generator.choice`` is exactly replicable with cheaper primitives:
+   ``choice(a)`` consumes one bounded ``integers(0, a.size)`` draw, and
+   ``choice(a, p=p)`` computes ``cdf = p.cumsum(); cdf /= cdf[-1]`` and
+   inverts one ``random()`` draw with ``cdf.searchsorted(u, 'right')``.
+   Pre-computing the cumulative weights once (per node for the Zipf
+   interest choice, per interest group for reputation-weighted selection)
+   and inverting with :func:`bisect.bisect_right` yields the identical
+   server for the identical stream position at a fraction of the cost.
+
+2. Reputations only change at simulation-cycle boundaries, so the
+   available/qualified provider sets of every interest group are constant
+   within an interval — except for capacity exhaustion.
+   :meth:`BatchedQueryEngine.begin_interval` hoists those structures once
+   per simulation cycle.
+
+3. Capacity exhaustion is *monotone* within a query cycle (capacity never
+   replenishes mid-cycle), so instead of re-filtering candidates per
+   request, the engine removes a server from its interests' sorted
+   candidate lists the moment its capacity hits zero and rebuilds the
+   affected weighted cdfs from the surviving weights (``np.delete`` keeps
+   the exact doubles a fresh gather would produce).  Per-request selection
+   is then a couple of list lookups and one bisect, regardless of how
+   saturated the cycle gets.
+
+Outcomes are buffered per query cycle and flushed through the batched
+``record_many`` entry points of the rating/interaction/profile/metric
+ledgers (``np.add.at`` is unbuffered and the increments are exact
+``float64`` integers, so batching preserves bit-identity as well).
+
+The seed loop is kept verbatim behind :attr:`EngineMode.SCALAR` — it is
+the reference implementation the property tests and the engine benchmark
+compare against.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+
+from repro.collusion.models import CollusionSchedule
+from repro.faults.injector import FaultInjector
+from repro.p2p.metrics import MetricsCollector
+from repro.p2p.network import InterestOverlay
+from repro.p2p.node import Population
+from repro.p2p.selection import SelectionPolicy
+from repro.reputation.ledger import RatingLedger
+from repro.social.interactions import InteractionLedger
+from repro.social.interests import InterestProfiles
+from repro.utils.rng import RngStream
+
+__all__ = ["EngineMode", "BatchedQueryEngine"]
+
+
+class EngineMode(enum.Enum):
+    """Which query-cycle implementation a simulation runs.
+
+    ``SCALAR`` is the seed per-client loop (reference implementation);
+    ``BATCHED`` is the vectorised engine, bit-identical to it.
+    """
+
+    SCALAR = "scalar"
+    BATCHED = "batched"
+
+
+class BatchedQueryEngine:
+    """Drop-in replacement for ``Simulation._run_query_cycle``.
+
+    Consumes the simulation's :class:`~repro.utils.rng.RngStream` in
+    exactly the seed order; see the module docstring for why the streams
+    stay aligned.  :meth:`begin_interval` must be called once per
+    simulation cycle (after fault-injector advance/decay, before the first
+    query cycle) so the hoisted per-interest structures see the current
+    reputations and online mask.
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        overlay: InterestOverlay,
+        rng: RngStream,
+        *,
+        threshold: float,
+        policy: SelectionPolicy,
+        exploration: float,
+        interest_choices: list[np.ndarray],
+        interest_weights: list[np.ndarray],
+        ledger: RatingLedger,
+        interactions: InteractionLedger,
+        profiles: InterestProfiles,
+        metrics: MetricsCollector,
+        collusion: CollusionSchedule,
+        injector: FaultInjector | None,
+    ) -> None:
+        self._n = population.n_nodes
+        self._rng = rng
+        self._threshold = float(threshold)
+        self._policy = policy
+        self._exploration = float(exploration)
+        self._ledger = ledger
+        self._interactions = interactions
+        self._profiles = profiles
+        self._metrics = metrics
+        self._collusion = collusion
+        self._injector = injector
+
+        self._capacities = population.capacities
+        self._activity = population.activity_probs
+        self._authentic: list[float] = population.authentic_probs.tolist()
+
+        membership = overlay.interest_membership()
+        k = overlay.n_interests
+        self._k = k
+        self._all_providers = [np.flatnonzero(membership[:, li]) for li in range(k)]
+        self._node_interests: list[list[int]] = [
+            np.flatnonzero(membership[i]).tolist() for i in range(self._n)
+        ]
+
+        # Replicate ``choice(interests, p=weights)``: numpy's internal cdf
+        # is weights.cumsum() normalised by its last entry.
+        self._choice_lists: list[list[int]] = [c.tolist() for c in interest_choices]
+        self._cdf_lists: list[list[float]] = []
+        for w in interest_weights:
+            cdf = w.cumsum()
+            cdf /= cdf[-1]
+            self._cdf_lists.append(cdf.tolist())
+
+        # Interval masters, populated by begin_interval(); per-query-cycle
+        # working copies diverge from them only on capacity exhaustion and
+        # are restored lazily at the next cycle start.
+        self._churned = False
+        self._online: np.ndarray | None = None
+        self._q_list: list[bool] = []
+        self._q_mask: np.ndarray | None = None
+        self._m_avail: list[list[int]] = []
+        self._m_qual: list[list[int]] = []
+        self._m_qual_w: list[np.ndarray] = []
+        self._m_qual_total: list[float] = []
+        self._m_qual_cdf: list[list[float]] = []
+        self._avail: list[list[int]] = []
+        self._qual: list[list[int]] = []
+        self._qual_w: list[np.ndarray] = []
+        self._qual_total: list[float] = []
+        self._qual_cdf: list[list[float]] = []
+        self._modified: set[int] = set()
+
+    # -- per-interval precomputation -----------------------------------------
+
+    def begin_interval(self, reputations: np.ndarray) -> None:
+        """Hoist per-interest selection structures for one simulation cycle.
+
+        Reputations and the churn mask are constant between reputation
+        updates, so available, qualified and weighted-cdf structures are
+        built once here instead of once per request.
+        """
+        reps = np.asarray(reputations, dtype=np.float64)
+        online = self._injector.online_mask if self._injector is not None else None
+        self._online = online
+        self._churned = online is not None and not online.all()
+        q_mask = reps > self._threshold
+        self._q_mask = q_mask
+        self._q_list = q_mask.tolist()
+
+        weighted = self._policy is SelectionPolicy.REPUTATION_WEIGHTED
+        threshold_based = self._policy is not SelectionPolicy.RANDOM
+        self._m_avail = []
+        self._m_qual = []
+        self._m_qual_w = []
+        self._m_qual_total = []
+        self._m_qual_cdf = []
+        for prov in self._all_providers:
+            if self._churned:
+                prov = prov[online[prov]]
+            # Providers whose total capacity is zero can never clear the
+            # seed's remaining-capacity filter; exclude them outright.
+            avail = prov[self._capacities[prov] > 0]
+            self._m_avail.append(avail.tolist())
+            if not threshold_based:
+                continue
+            qual = avail[q_mask[avail]]
+            self._m_qual.append(qual.tolist())
+            if not weighted:
+                continue
+            w = reps[qual]
+            total = float(w.sum())
+            self._m_qual_w.append(w)
+            self._m_qual_total.append(total)
+            if qual.size and total > 0:
+                # Same float sequence as select_server + Generator.choice:
+                # p = w / total; cdf = p.cumsum(); cdf /= cdf[-1].
+                cdf = (w / total).cumsum()
+                cdf /= cdf[-1]
+                self._m_qual_cdf.append(cdf.tolist())
+            else:
+                self._m_qual_cdf.append([])
+        self._avail = [list(x) for x in self._m_avail]
+        self._qual = [list(x) for x in self._m_qual]
+        self._qual_w = list(self._m_qual_w)
+        self._qual_total = list(self._m_qual_total)
+        self._qual_cdf = list(self._m_qual_cdf)
+        self._modified = set()
+
+    def _restore_modified(self) -> None:
+        """Reset the working candidate structures of interests touched by
+        capacity exhaustion back to the interval masters."""
+        threshold_based = self._policy is not SelectionPolicy.RANDOM
+        weighted = self._policy is SelectionPolicy.REPUTATION_WEIGHTED
+        for li in self._modified:
+            self._avail[li] = list(self._m_avail[li])
+            if threshold_based:
+                self._qual[li] = list(self._m_qual[li])
+            if weighted:
+                self._qual_w[li] = self._m_qual_w[li]
+                self._qual_total[li] = self._m_qual_total[li]
+                self._qual_cdf[li] = self._m_qual_cdf[li]
+        self._modified.clear()
+
+    def _exhaust_server(self, server: int) -> None:
+        """Drop a capacity-exhausted server from its interests' candidate
+        structures; weighted cdfs are rebuilt with the exact float sequence
+        the seed would produce over the surviving candidates."""
+        q = self._q_list[server]
+        threshold_based = self._policy is not SelectionPolicy.RANDOM
+        weighted = self._policy is SelectionPolicy.REPUTATION_WEIGHTED
+        for li in self._node_interests[server]:
+            self._modified.add(li)
+            al = self._avail[li]
+            del al[bisect_left(al, server)]
+            if not (threshold_based and q):
+                continue
+            ql = self._qual[li]
+            qpos = bisect_left(ql, server)
+            del ql[qpos]
+            if not weighted:
+                continue
+            w = np.delete(self._qual_w[li], qpos)
+            self._qual_w[li] = w
+            total = float(w.sum())
+            self._qual_total[li] = total
+            if w.size and total > 0:
+                cdf = (w / total).cumsum()
+                cdf /= cdf[-1]
+                self._qual_cdf[li] = cdf.tolist()
+            else:
+                self._qual_cdf[li] = []
+
+    # -- the hot loop ------------------------------------------------------------
+
+    def run_query_cycle(self, remaining_capacity: np.ndarray) -> None:
+        """One query cycle, bit-identical to the seed scalar loop."""
+        rng = self._rng
+        n = self._n
+        active_draw = rng.random(n)
+        np.copyto(remaining_capacity, self._capacities)
+        online = self._online
+        churned = self._churned
+        if self._modified:
+            self._restore_modified()
+        skip = active_draw >= self._activity
+        if churned:
+            skip |= ~online
+        skip_list = skip.tolist()
+        perm = rng.permutation(n).tolist()
+
+        random_policy = self._policy is SelectionPolicy.RANDOM
+        weighted = self._policy is SelectionPolicy.REPUTATION_WEIGHTED
+        exploration = self._exploration
+        explore = exploration > 0.0 and not random_policy
+        rnd = rng.random
+        rint = rng.integers
+        choice_lists = self._choice_lists
+        cdf_lists = self._cdf_lists
+        avail_cur = self._avail
+        qual_cur = self._qual
+        qual_w_cur = self._qual_w
+        qual_total_cur = self._qual_total
+        qual_cdf_cur = self._qual_cdf
+        q_list = self._q_list
+        authentic = self._authentic
+        node_interests = self._node_interests
+
+        ev_clients: list[int] = []
+        ev_servers: list[int] = []
+        ev_values: list[float] = []
+        ev_interests: list[int] = []
+        unserved: list[int] = []
+
+        for client in perm:
+            if skip_list[client]:
+                continue
+            choices = choice_lists[client]
+            if len(choices) == 1:
+                interest = choices[0]
+            else:
+                interest = choices[bisect_right(cdf_lists[client], rnd())]
+            al = avail_cur[interest]
+            sz = len(al)
+            pos = bisect_left(al, client)
+            present = pos < sz and al[pos] == client
+            m = sz - 1 if present else sz
+            if m <= 0:
+                unserved.append(client)
+                continue
+            if random_policy or (explore and rnd() < exploration):
+                idx = int(rint(0, m))
+                server = al[idx] if not present or idx < pos else al[idx + 1]
+            else:
+                ql = qual_cur[interest]
+                qsz = len(ql)
+                if qsz and q_list[client]:
+                    qpos = bisect_left(ql, client)
+                    qpresent = qpos < qsz and ql[qpos] == client
+                else:
+                    qpos = 0
+                    qpresent = False
+                eff_q = qsz - 1 if qpresent else qsz
+                if eff_q == 0:
+                    idx = int(rint(0, m))
+                    server = al[idx] if not present or idx < pos else al[idx + 1]
+                elif not weighted:
+                    idx = int(rint(0, eff_q))
+                    server = ql[idx] if not qpresent or idx < qpos else ql[idx + 1]
+                elif qpresent:
+                    w = np.delete(qual_w_cur[interest], qpos)
+                    total = w.sum()
+                    if total <= 0:
+                        idx = int(rint(0, eff_q))
+                        server = ql[idx] if idx < qpos else ql[idx + 1]
+                    else:
+                        cdf = (w / total).cumsum()
+                        cdf /= cdf[-1]
+                        idx = int(cdf.searchsorted(rnd(), side="right"))
+                        server = ql[idx] if idx < qpos else ql[idx + 1]
+                elif qual_total_cur[interest] <= 0.0:
+                    server = ql[int(rint(0, eff_q))]
+                else:
+                    server = ql[bisect_right(qual_cdf_cur[interest], rnd())]
+            left = remaining_capacity[server] - 1
+            remaining_capacity[server] = left
+            if left == 0:
+                self._exhaust_server(server)
+            value = 1.0 if rnd() < authentic[server] else -1.0
+            ev_clients.append(client)
+            ev_servers.append(server)
+            ev_values.append(value)
+            ev_interests.append(interest)
+
+        if ev_clients:
+            clients = np.asarray(ev_clients, dtype=np.int64)
+            servers = np.asarray(ev_servers, dtype=np.int64)
+            values = np.asarray(ev_values, dtype=np.float64)
+            interests = np.asarray(ev_interests, dtype=np.int64)
+            self._ledger.record_many(clients, servers, values)
+            self._interactions.record_many(clients, servers)
+            self._profiles.record_requests(clients, interests)
+            self._metrics.record_requests(clients, servers)
+        if unserved:
+            self._metrics.record_unserved_many(np.asarray(unserved, dtype=np.int64))
+
+        # Collusion bursts: same order and semantics as the seed loop.
+        for burst in self._collusion.bursts(rng):
+            if churned and not (online[burst.rater] and online[burst.ratee]):
+                continue
+            self._ledger.record_batch(
+                burst.rater, burst.ratee, burst.value, burst.count
+            )
+            self._interactions.record(burst.rater, burst.ratee, burst.count)

@@ -67,6 +67,27 @@ class MetricsCollector:
         self._issued[client] += 1
         self._unserved += 1
 
+    def record_requests(self, clients: np.ndarray, servers: np.ndarray) -> None:
+        """Batched :meth:`record_request` (counters are order-independent)."""
+        c = np.asarray(clients, dtype=np.int64)
+        s = np.asarray(servers, dtype=np.int64)
+        if c.shape != s.shape or c.ndim != 1:
+            raise ValueError("clients and servers must be 1-D arrays of equal length")
+        if c.size == 0:
+            return
+        self._issued += np.bincount(c, minlength=self._n)
+        self._served += np.bincount(s, minlength=self._n)
+
+    def record_unserved_many(self, clients: np.ndarray) -> None:
+        """Batched :meth:`record_unserved`."""
+        c = np.asarray(clients, dtype=np.int64)
+        if c.ndim != 1:
+            raise ValueError("clients must be a 1-D array")
+        if c.size == 0:
+            return
+        self._issued += np.bincount(c, minlength=self._n)
+        self._unserved += int(c.size)
+
     @property
     def total_requests(self) -> int:
         return int(self._issued.sum())

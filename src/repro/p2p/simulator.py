@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.collusion.models import CollusionSchedule, NoCollusion
 from repro.faults.injector import FaultInjector
+from repro.p2p.engine import BatchedQueryEngine, EngineMode
 from repro.p2p.metrics import MetricsCollector
 from repro.p2p.network import InterestOverlay
 from repro.p2p.node import Population
@@ -39,7 +40,7 @@ from repro.social.interests import InterestProfiles
 from repro.utils.rng import RngStream
 from repro.utils.validation import check_probability
 
-__all__ = ["SimulationConfig", "Simulation"]
+__all__ = ["SimulationConfig", "Simulation", "EngineMode"]
 
 
 @dataclass(frozen=True)
@@ -57,8 +58,14 @@ class SimulationConfig:
     #: Zipf exponent for per-node interest choice (trace: the top 3
     #: categories cover ~88% of a user's purchases).
     interest_zipf_exponent: float = 2.0
+    #: Query-cycle implementation.  ``BATCHED`` (default) is the vectorised
+    #: engine, bit-identical to the ``SCALAR`` seed loop (see
+    #: :mod:`repro.p2p.engine`); accepts the enum or its string value.
+    engine: EngineMode = EngineMode.BATCHED
 
     def __post_init__(self) -> None:
+        if not isinstance(self.engine, EngineMode):
+            object.__setattr__(self, "engine", EngineMode(self.engine))
         if self.simulation_cycles < 1:
             raise ValueError("simulation_cycles must be >= 1")
         if self.query_cycles_per_simulation_cycle < 1:
@@ -128,6 +135,24 @@ class Simulation:
             weights = ranks**-s if s > 0 else np.ones_like(ranks)
             self._interest_choices.append(interests)
             self._interest_weights.append(weights / weights.sum())
+        self._engine: BatchedQueryEngine | None = None
+        if self._config.engine is EngineMode.BATCHED:
+            self._engine = BatchedQueryEngine(
+                population,
+                overlay,
+                rng,
+                threshold=self._config.selection_threshold,
+                policy=self._config.selection_policy,
+                exploration=self._config.selection_exploration,
+                interest_choices=self._interest_choices,
+                interest_weights=self._interest_weights,
+                ledger=self._ledger,
+                interactions=self._interactions,
+                profiles=self._profiles,
+                metrics=self._metrics,
+                collusion=self._collusion,
+                injector=self._injector,
+            )
 
     @property
     def population(self) -> Population:
@@ -164,6 +189,12 @@ class Simulation:
         return int(self._rng.choice(choices, p=self._interest_weights[node]))
 
     def _run_query_cycle(self, remaining_capacity: np.ndarray) -> None:
+        """Seed scalar query-cycle loop (:attr:`EngineMode.SCALAR`).
+
+        Kept verbatim as the reference implementation; the batched engine
+        in :mod:`repro.p2p.engine` is property-tested to be bit-identical
+        to it.
+        """
         rng = self._rng
         population = self._population
         reputations = self._system.reputations
@@ -226,8 +257,15 @@ class Simulation:
                 self._interactions.decay_nodes(
                     offline, self._injector.config.offline_decay
                 )
-        for _ in range(self._config.query_cycles_per_simulation_cycle):
-            self._run_query_cycle(self._remaining_capacity)
+        if self._engine is not None:
+            # Reputations and the churn mask are fixed for the whole
+            # interval; hoist the per-interest selection structures once.
+            self._engine.begin_interval(self._system.reputations)
+            for _ in range(self._config.query_cycles_per_simulation_cycle):
+                self._engine.run_query_cycle(self._remaining_capacity)
+        else:
+            for _ in range(self._config.query_cycles_per_simulation_cycle):
+                self._run_query_cycle(self._remaining_capacity)
         interval = self._ledger.drain()
         reputations = self._system.update(interval)
         self._metrics.snapshot(reputations)

@@ -10,6 +10,8 @@ experiment grid fast.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.reputation.base import IntervalRatings, Rating
 
 __all__ = ["RatingLedger"]
@@ -41,6 +43,41 @@ class RatingLedger:
             )
         self._interval.add(rating)
         self._total_recorded += 1
+
+    def record_many(
+        self,
+        raters: np.ndarray,
+        ratees: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Record one rating per ``(raters[t], ratees[t], values[t])`` triple.
+
+        Bit-identical to looping :meth:`record`: ``np.add.at`` applies the
+        value increments unbuffered in chronological order, and the
+        positive/negative counters only ever take exact ``+1`` steps.
+        """
+        i = np.asarray(raters, dtype=np.int64)
+        j = np.asarray(ratees, dtype=np.int64)
+        v = np.asarray(values, dtype=np.float64)
+        if not (i.shape == j.shape == v.shape) or i.ndim != 1:
+            raise ValueError(
+                "raters, ratees and values must be 1-D arrays of equal length"
+            )
+        if i.size == 0:
+            return
+        if np.any(i == j):
+            raise ValueError("self-ratings are not allowed")
+        if np.any((i < 0) | (i >= self._n) | (j < 0) | (j >= self._n)):
+            raise IndexError("rating endpoint out of range")
+        interval = self._interval
+        np.add.at(interval.value_sum, (i, j), v)
+        pos = v >= 0
+        if np.any(pos):
+            np.add.at(interval.pos_counts, (i[pos], j[pos]), 1.0)
+        if not np.all(pos):
+            neg = ~pos
+            np.add.at(interval.neg_counts, (i[neg], j[neg]), 1.0)
+        self._total_recorded += i.size
 
     def record_batch(self, rater: int, ratee: int, value: float, count: int) -> None:
         """Record ``count`` identical ratings in one call (collusion bursts)."""

@@ -9,6 +9,12 @@ other partner.
 
 The ledger is a dense ``n x n`` ``float64`` matrix; recording is O(1) and
 the share computation is a vectorised row normalisation.
+
+Every mutation bumps a monotonically increasing version counter and stamps
+the affected *rows* with it, so downstream consumers (the incremental
+:class:`~repro.core.closeness.ClosenessComputer` cache) can ask which
+rows' outgoing shares changed since a version they last saw and recompute
+only those.
 """
 
 from __future__ import annotations
@@ -26,10 +32,27 @@ class InteractionLedger:
             raise ValueError(f"n_nodes must be positive, got {n_nodes}")
         self._n = int(n_nodes)
         self._counts = np.zeros((self._n, self._n), dtype=np.float64)
+        self._version = 0
+        self._row_versions = np.zeros(self._n, dtype=np.int64)
 
     @property
     def n_nodes(self) -> int:
         return self._n
+
+    # -- change tracking ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation of the ledger."""
+        return self._version
+
+    def rows_changed_since(self, version: int) -> np.ndarray:
+        """Ascending ids of rows mutated after ``version`` was current."""
+        return np.flatnonzero(self._row_versions > version)
+
+    def _touch_rows(self, rows: np.ndarray | list[int]) -> None:
+        self._version += 1
+        self._row_versions[rows] = self._version
 
     def record(self, i: int, j: int, count: float = 1.0) -> None:
         """Record ``count`` interactions initiated by ``i`` toward ``j``."""
@@ -38,6 +61,34 @@ class InteractionLedger:
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         self._counts[i, j] += count
+        self._touch_rows([i])
+
+    def record_many(
+        self,
+        raters: np.ndarray,
+        ratees: np.ndarray,
+        counts: np.ndarray | float = 1.0,
+    ) -> None:
+        """Record a batch of interactions in one vectorised pass.
+
+        Equivalent to ``record(raters[t], ratees[t], counts[t])`` for every
+        ``t`` in order — and bit-identical to it: ``np.add.at`` applies the
+        unbuffered increments sequentially in index order, and the hot-path
+        increments are exact ``float64`` integers anyway.
+        """
+        i = np.asarray(raters, dtype=np.int64)
+        j = np.asarray(ratees, dtype=np.int64)
+        if i.shape != j.shape or i.ndim != 1:
+            raise ValueError("raters and ratees must be 1-D arrays of equal length")
+        if i.size == 0:
+            return
+        c = np.broadcast_to(np.asarray(counts, dtype=np.float64), i.shape)
+        if np.any(i == j):
+            raise ValueError("self-interactions are not meaningful")
+        if np.any(c <= 0):
+            raise ValueError("counts must be positive")
+        np.add.at(self._counts, (i, j), c)
+        self._touch_rows(np.unique(i))
 
     def frequency(self, i: int, j: int) -> float:
         """Raw interaction count from ``i`` to ``j``."""
@@ -85,8 +136,13 @@ class InteractionLedger:
         idx = np.asarray(nodes, dtype=np.int64)
         if idx.size == 0 or factor == 1.0:
             return
+        # Column scaling shifts the share denominators of every row holding
+        # evidence about a decayed node, so those rows are dirty too.
+        touched = np.flatnonzero(self._counts[:, idx].any(axis=1))
         self._counts[idx, :] *= factor
         self._counts[:, idx] *= factor
+        self._touch_rows(np.union1d(idx, touched))
 
     def reset(self) -> None:
         self._counts[:] = 0.0
+        self._touch_rows(np.arange(self._n))

@@ -32,6 +32,9 @@ class InterestProfiles:
         self._k = int(n_interests)
         self._declared: list[frozenset[int]] = [frozenset() for _ in range(self._n)]
         self._requests = np.zeros((self._n, self._k), dtype=np.float64)
+        self._version = 0
+        self._row_versions = np.zeros(self._n, dtype=np.int64)
+        self._declared_version = 0
 
     @property
     def n_nodes(self) -> int:
@@ -40,6 +43,27 @@ class InterestProfiles:
     @property
     def n_interests(self) -> int:
         return self._k
+
+    # -- change tracking ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every behavioural-request mutation."""
+        return self._version
+
+    @property
+    def declared_version(self) -> int:
+        """Monotonic counter bumped every time a declared set is replaced."""
+        return self._declared_version
+
+    def rows_changed_since(self, version: int) -> np.ndarray:
+        """Ascending ids of nodes whose request counters changed after
+        ``version`` was current."""
+        return np.flatnonzero(self._row_versions > version)
+
+    def _touch_rows(self, rows: np.ndarray | list[int]) -> None:
+        self._version += 1
+        self._row_versions[rows] = self._version
 
     # -- declared profile ---------------------------------------------------
 
@@ -52,6 +76,7 @@ class InterestProfiles:
         if not vals:
             raise ValueError("declared interest set must be non-empty")
         self._declared[node] = vals
+        self._declared_version += 1
 
     def declared(self, node: int) -> frozenset[int]:
         return self._declared[node]
@@ -65,6 +90,30 @@ class InterestProfiles:
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         self._requests[node, interest] += count
+        self._touch_rows([node])
+
+    def record_requests(
+        self,
+        nodes: np.ndarray,
+        interests: np.ndarray,
+        counts: np.ndarray | float = 1.0,
+    ) -> None:
+        """Batched :meth:`record_request`; bit-identical to the scalar loop
+        (``np.add.at`` is unbuffered and the increments are exact integers).
+        """
+        i = np.asarray(nodes, dtype=np.int64)
+        l = np.asarray(interests, dtype=np.int64)
+        if i.shape != l.shape or i.ndim != 1:
+            raise ValueError("nodes and interests must be 1-D arrays of equal length")
+        if i.size == 0:
+            return
+        c = np.broadcast_to(np.asarray(counts, dtype=np.float64), i.shape)
+        if np.any((l < 0) | (l >= self._k)):
+            raise ValueError(f"interest out of range [0, {self._k})")
+        if np.any(c <= 0):
+            raise ValueError("counts must be positive")
+        np.add.at(self._requests, (i, l), c)
+        self._touch_rows(np.unique(i))
 
     def request_counts(self, node: int) -> np.ndarray:
         """Copy of the raw per-interest request counts of ``node``."""

@@ -1,5 +1,6 @@
-"""Shared utilities: seeded RNG streams and argument validation."""
+"""Shared utilities: seeded RNG streams, argument validation, deprecation."""
 
+from repro.utils.deprecation import deprecated_alias, deprecated_param
 from repro.utils.rng import RngStream, spawn_rng
 from repro.utils.validation import (
     check_fraction,
@@ -11,6 +12,8 @@ from repro.utils.validation import (
 __all__ = [
     "RngStream",
     "spawn_rng",
+    "deprecated_alias",
+    "deprecated_param",
     "check_fraction",
     "check_non_negative",
     "check_positive",

@@ -1,0 +1,87 @@
+"""Deprecation shims for evolving keyword APIs without breaking callers.
+
+The :mod:`repro.api` facade froze a set of keyword names; earlier example
+scripts and notebooks used looser spellings (``cycles``, ``policy``, ...).
+These decorators keep the old spellings working for one release while
+steering callers — loudly, via :class:`DeprecationWarning` — to the new
+ones.
+
+* :func:`deprecated_alias` maps old keyword names onto their replacements
+  and forwards the value;
+* :func:`deprecated_param` accepts a keyword that no longer does anything,
+  warns, and drops it.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, TypeVar
+
+__all__ = ["deprecated_alias", "deprecated_param"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def deprecated_alias(**aliases: str) -> Callable[[F], F]:
+    """Accept old keyword names as deprecated aliases of new ones.
+
+    ``@deprecated_alias(old="new")`` makes ``fn(old=x)`` behave as
+    ``fn(new=x)`` after emitting a :class:`DeprecationWarning`.  Passing
+    both the old and the new spelling in one call is ambiguous and raises
+    :class:`TypeError`.  The mapping is recorded on the wrapper as
+    ``__deprecated_aliases__`` so tests and docs can introspect it.
+    """
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for old, new in aliases.items():
+                if old not in kwargs:
+                    continue
+                if new in kwargs:
+                    raise TypeError(
+                        f"{func.__name__}() got both {new!r} and its "
+                        f"deprecated alias {old!r}"
+                    )
+                warnings.warn(
+                    f"{func.__name__}() keyword {old!r} is deprecated; "
+                    f"use {new!r} instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                kwargs[new] = kwargs.pop(old)
+            return func(*args, **kwargs)
+
+        wrapper.__deprecated_aliases__ = dict(aliases)  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def deprecated_param(name: str, *, reason: str) -> Callable[[F], F]:
+    """Accept-and-ignore a keyword that no longer has any effect.
+
+    ``@deprecated_param("progress", reason="...")`` lets old call sites
+    keep passing ``progress=...`` — the value is dropped after a
+    :class:`DeprecationWarning` explaining *why* via ``reason``.  Ignored
+    names are recorded on the wrapper as ``__deprecated_params__``.
+    """
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if name in kwargs:
+                kwargs.pop(name)
+                warnings.warn(
+                    f"{func.__name__}() keyword {name!r} is deprecated and "
+                    f"ignored: {reason}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return func(*args, **kwargs)
+
+        recorded = dict(getattr(func, "__deprecated_params__", {}))
+        recorded[name] = reason
+        wrapper.__deprecated_params__ = recorded  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

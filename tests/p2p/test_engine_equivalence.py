@@ -1,0 +1,192 @@
+"""Scalar vs batched query-engine equivalence.
+
+The batched engine (:mod:`repro.p2p.engine`) promises to consume the RNG
+stream draw-for-draw like the scalar reference loop, so whole simulations
+must come out **bit-identical** — not merely close — across selection
+policies, exploration, collusion schedules, SocialTrust variants, and
+churn.  These tests are the contract; the benchmark in
+``benchmarks/test_bench_engine.py`` shows the speed side of the trade.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collusion import PairwiseCollusion
+from repro.core import SocialTrust, SocialTrustConfig
+from repro.core.config import CommonFriendAggregate
+from repro.experiments import CollusionKind, SystemKind, WorldConfig, build_world
+from repro.faults import FaultConfig, FaultInjector
+from repro.p2p import (
+    EngineMode,
+    InterestOverlay,
+    Population,
+    SelectionPolicy,
+    Simulation,
+    SimulationConfig,
+)
+from repro.reputation import EigenTrust
+from repro.social import InteractionLedger, InterestProfiles
+from repro.social.generators import paper_social_network
+from repro.utils.rng import spawn_rng
+
+#: Small world, tiny capacity: every query cycle exhausts several servers,
+#: exercising the engine's candidate-list maintenance, not just the happy
+#: path.
+SMALL = dict(
+    n_nodes=24,
+    n_pretrusted=2,
+    n_colluders=6,
+    n_interests=5,
+    interests_per_node=(1, 3),
+    capacity=3,
+    simulation_cycles=3,
+    query_cycles=5,
+)
+
+
+def run_world(engine, seed, **overrides):
+    """(reputation history, interaction counts, request totals) for one run."""
+    config = WorldConfig(**{**SMALL, **overrides}, engine=engine)
+    world = build_world(config, seed=seed)
+    metrics = world.simulation.run()
+    return (
+        metrics.reputation_history(),
+        world.interactions.counts_matrix().copy(),
+        (metrics.total_requests, metrics.total_served, metrics.unserved),
+    )
+
+
+def assert_identical(seed, **overrides):
+    hist_s, counts_s, totals_s = run_world(EngineMode.SCALAR, seed, **overrides)
+    hist_b, counts_b, totals_b = run_world(EngineMode.BATCHED, seed, **overrides)
+    assert totals_b == totals_s
+    assert np.array_equal(counts_b, counts_s)
+    assert np.array_equal(hist_b, hist_s)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("policy", list(SelectionPolicy))
+def test_bit_identical_across_policies(seed, policy):
+    assert_identical(
+        seed, collusion=CollusionKind.NONE, selection_policy=policy
+    )
+
+
+@pytest.mark.parametrize("exploration", [0.0, 0.2, 1.0])
+def test_bit_identical_across_exploration(exploration):
+    assert_identical(
+        7, collusion=CollusionKind.NONE, selection_exploration=exploration
+    )
+
+
+@pytest.mark.parametrize("hardened", [False, True])
+@pytest.mark.parametrize(
+    "aggregate", [CommonFriendAggregate.MEAN, CommonFriendAggregate.SUM]
+)
+def test_bit_identical_with_socialtrust_and_pcm(hardened, aggregate):
+    assert_identical(
+        1,
+        collusion=CollusionKind.PCM,
+        system=SystemKind.EIGENTRUST_SOCIALTRUST,
+        socialtrust=SocialTrustConfig(
+            hardened=hardened, common_friend_aggregate=aggregate
+        ),
+    )
+
+
+@pytest.mark.parametrize("collusion", [CollusionKind.MCM, CollusionKind.MMM])
+def test_bit_identical_with_multinode_collusion(collusion):
+    assert_identical(
+        2, collusion=collusion, system=SystemKind.EIGENTRUST_SOCIALTRUST
+    )
+
+
+def _churn_sim(engine, seed):
+    """Manual wiring (build_world has no injector hook) with heavy churn."""
+    n, n_interests = 20, 5
+    rng = spawn_rng(seed, 0)
+    pop = Population.build(
+        n,
+        rng,
+        pretrusted_ids=[0, 1],
+        malicious_ids=[2, 3, 4, 5],
+        n_interests=n_interests,
+        interests_per_node=(1, 3),
+        capacity=3,
+        malicious_authentic_prob=0.3,
+    )
+    overlay = InterestOverlay([s.interests for s in pop], n_interests)
+    network = paper_social_network(n, (2, 3, 4, 5), rng)
+    interactions = InteractionLedger(n)
+    profiles = InterestProfiles(n, n_interests)
+    for spec in pop:
+        profiles.set_declared(spec.node_id, spec.interests)
+    system = SocialTrust(
+        EigenTrust(n, [0, 1]), network, interactions, profiles
+    )
+    attack = PairwiseCollusion(
+        [2, 3, 4, 5], [s.interests for s in pop], ratings_per_cycle=5
+    )
+    injector = FaultInjector(
+        n,
+        config=FaultConfig(
+            peer_leave_rate=0.15, peer_rejoin_rate=0.3, offline_decay=0.5
+        ),
+        rng=spawn_rng(seed, 1),
+    )
+    sim = Simulation(
+        pop,
+        overlay,
+        system,
+        rng,
+        config=SimulationConfig(
+            simulation_cycles=4,
+            query_cycles_per_simulation_cycle=5,
+            engine=engine,
+        ),
+        collusion=attack,
+        interactions=interactions,
+        profiles=profiles,
+        fault_injector=injector,
+    )
+    return sim, interactions
+
+
+@pytest.mark.parametrize("seed", [0, 5, 9])
+def test_bit_identical_under_churn_and_decay(seed):
+    """Churn drives ``decay_nodes`` between intervals — the case where the
+    incremental closeness cache takes its low-rank path."""
+    results = []
+    for engine in (EngineMode.SCALAR, EngineMode.BATCHED):
+        sim, interactions = _churn_sim(engine, seed)
+        metrics = sim.run()
+        results.append(
+            (metrics.reputation_history(), interactions.counts_matrix().copy())
+        )
+    (hist_s, counts_s), (hist_b, counts_b) = results
+    assert np.array_equal(counts_b, counts_s)
+    assert np.array_equal(hist_b, hist_s)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    capacity=st.integers(1, 4),
+    policy=st.sampled_from(list(SelectionPolicy)),
+    exploration=st.floats(0.0, 1.0, allow_nan=False),
+    collusion=st.sampled_from([CollusionKind.NONE, CollusionKind.PCM]),
+)
+def test_property_bit_identical(seed, capacity, policy, exploration, collusion):
+    """Hypothesis sweep: any (seed, capacity, policy, exploration, attack)
+    combination must agree bit-for-bit between the two engines."""
+    assert_identical(
+        seed,
+        capacity=capacity,
+        selection_policy=policy,
+        selection_exploration=exploration,
+        collusion=collusion,
+        simulation_cycles=2,
+        query_cycles=4,
+    )

@@ -165,3 +165,23 @@ class TestReputationErrorSeries:
         m = self._collector([[0.5, 0.5], [0.3, 0.7]])
         with pytest.raises(ValueError):
             m.reputation_error_series(np.zeros((3, 2)))
+
+
+class TestBatchedRouting:
+    def test_record_requests_matches_scalar(self):
+        batched = MetricsCollector(4)
+        batched.record_requests(np.array([0, 2, 0]), np.array([1, 1, 3]))
+        scalar = MetricsCollector(4)
+        for c, s in [(0, 1), (2, 1), (0, 3)]:
+            scalar.record_request(c, s)
+        assert batched.total_requests == scalar.total_requests
+        assert batched.served_by([1, 3]) == scalar.served_by([1, 3])
+
+    def test_record_unserved_many_matches_scalar(self):
+        batched = MetricsCollector(4)
+        batched.record_unserved_many(np.array([0, 0, 3]))
+        scalar = MetricsCollector(4)
+        for c in (0, 0, 3):
+            scalar.record_unserved(c)
+        assert batched.total_requests == scalar.total_requests
+        assert batched.unserved == scalar.unserved == 3

@@ -79,3 +79,31 @@ class TestRatingLedger:
         ledger = RatingLedger(3)
         with pytest.raises(ValueError):
             ledger.record_batch(0, 1, 1.0, 0)
+
+
+class TestRecordMany:
+    def test_equivalent_to_scalar_ratings(self):
+        import numpy as np
+
+        raters = np.array([0, 1, 0, 2])
+        ratees = np.array([1, 2, 1, 0])
+        values = np.array([1.0, -1.0, 1.0, -1.0])
+        batched = RatingLedger(3)
+        batched.record_many(raters, ratees, values)
+        scalar = RatingLedger(3)
+        for i, j, v in zip(raters, ratees, values):
+            scalar.record(Rating(int(i), int(j), float(v)))
+        got = batched.drain()
+        want = scalar.drain()
+        assert np.array_equal(got.value_sum, want.value_sum)
+        assert np.array_equal(got.pos_counts, want.pos_counts)
+        assert np.array_equal(got.neg_counts, want.neg_counts)
+
+    def test_self_ratings_rejected(self):
+        import numpy as np
+
+        ledger = RatingLedger(3)
+        with pytest.raises(ValueError):
+            ledger.record_many(
+                np.array([0, 1]), np.array([0, 2]), np.array([1.0, 1.0])
+            )

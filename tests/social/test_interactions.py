@@ -140,3 +140,51 @@ class TestDecayNodes:
             ledger.decay_nodes(np.array([0]), 1.5)
         with pytest.raises(ValueError):
             ledger.decay_nodes(np.array([0]), -0.1)
+
+
+class TestRecordMany:
+    def test_equivalent_to_scalar_loop(self):
+        raters = np.array([0, 1, 0, 2, 0])
+        ratees = np.array([1, 2, 1, 0, 3])
+        batched = InteractionLedger(4)
+        batched.record_many(raters, ratees)
+        scalar = InteractionLedger(4)
+        for i, j in zip(raters, ratees):
+            scalar.record(int(i), int(j))
+        assert np.array_equal(batched.counts_matrix(), scalar.counts_matrix())
+
+    def test_explicit_counts(self):
+        ledger = InteractionLedger(3)
+        ledger.record_many(np.array([0, 0]), np.array([1, 2]), np.array([2.0, 5.0]))
+        assert ledger.frequency(0, 1) == 2.0
+        assert ledger.frequency(0, 2) == 5.0
+
+    def test_self_pairs_rejected(self):
+        ledger = InteractionLedger(3)
+        with pytest.raises(ValueError):
+            ledger.record_many(np.array([0, 1]), np.array([1, 1]))
+
+    def test_empty_batch_is_noop(self):
+        ledger = InteractionLedger(3)
+        version = ledger.version
+        ledger.record_many(np.array([], dtype=int), np.array([], dtype=int))
+        assert ledger.version == version
+
+
+class TestVersionTracking:
+    def test_record_bumps_version_and_marks_row(self):
+        ledger = InteractionLedger(4)
+        version = ledger.version
+        ledger.record(2, 0)
+        assert ledger.version > version
+        assert ledger.rows_changed_since(version).tolist() == [2]
+
+    def test_decay_marks_raters_of_decayed_columns(self):
+        ledger = InteractionLedger(4)
+        ledger.record(0, 1)
+        ledger.record(3, 1)
+        version = ledger.version
+        ledger.decay_nodes(np.array([1]), 0.5)
+        changed = set(ledger.rows_changed_since(version).tolist())
+        # Node 1's own row plus every rater whose column-1 entry rescaled.
+        assert changed == {0, 1, 3}

@@ -94,3 +94,38 @@ class TestConstruction:
         s = profiles.summary()
         assert s["mean_declared_size"] == pytest.approx((3 + 2 + 1 + 2) / 4)
         assert s["total_requests"] == 0.0
+
+
+class TestRecordRequestsBatch:
+    def test_equivalent_to_scalar_loop(self):
+        import numpy as np
+
+        nodes = np.array([0, 1, 0, 2])
+        interests = np.array([1, 2, 1, 0])
+        batched = InterestProfiles(3, 4)
+        batched.record_requests(nodes, interests)
+        scalar = InterestProfiles(3, 4)
+        for n, li in zip(nodes, interests):
+            scalar.record_request(int(n), int(li))
+        for node in range(3):
+            assert np.array_equal(
+                batched.request_counts(node), scalar.request_counts(node)
+            )
+
+    def test_version_tracks_touched_rows(self):
+        import numpy as np
+
+        profiles = InterestProfiles(3, 4)
+        version = profiles.version
+        profiles.record_requests(np.array([2, 2]), np.array([0, 1]))
+        assert profiles.rows_changed_since(version).tolist() == [2]
+
+    def test_declared_version_independent_of_requests(self):
+        import numpy as np
+
+        profiles = InterestProfiles(3, 4)
+        decl = profiles.declared_version
+        profiles.record_requests(np.array([0]), np.array([1]))
+        assert profiles.declared_version == decl
+        profiles.set_declared(0, [2])
+        assert profiles.declared_version > decl

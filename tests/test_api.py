@@ -6,7 +6,29 @@ import pytest
 
 
 PUBLIC_API = {
-    "repro.utils": ["RngStream", "spawn_rng", "check_probability"],
+    "repro": [
+        "Scenario",
+        "ScenarioResult",
+        "build_scenario",
+        "run_scenario",
+        "list_experiments",
+        "run_experiment",
+    ],
+    "repro.api": [
+        "Scenario",
+        "ScenarioResult",
+        "build_scenario",
+        "run_scenario",
+        "list_experiments",
+        "run_experiment",
+    ],
+    "repro.utils": [
+        "RngStream",
+        "spawn_rng",
+        "check_probability",
+        "deprecated_alias",
+        "deprecated_param",
+    ],
     "repro.social": [
         "SocialGraph",
         "AssignedSocialNetwork",
@@ -42,6 +64,8 @@ PUBLIC_API = {
         "select_server",
         "MetricsCollector",
         "ChordRing",
+        "BatchedQueryEngine",
+        "EngineMode",
     ],
     "repro.collusion": [
         "CollusionSchedule",

@@ -1,0 +1,85 @@
+"""Tests for the deprecation shims backing the ``repro.api`` facade."""
+
+import pytest
+
+from repro.utils.deprecation import deprecated_alias, deprecated_param
+
+
+@deprecated_alias(old_name="new_name", cycles="simulation_cycles")
+def configure(*, new_name=0, simulation_cycles=10):
+    return new_name, simulation_cycles
+
+
+@deprecated_param("verbose", reason="output moved to logging")
+def run(*, value=1):
+    return value
+
+
+class TestDeprecatedAlias:
+    def test_new_name_passes_silently(self, recwarn):
+        assert configure(new_name=5) == (5, 10)
+        assert not recwarn.list
+
+    def test_old_name_warns_and_forwards(self):
+        with pytest.warns(DeprecationWarning, match="'old_name' is deprecated"):
+            assert configure(old_name=5) == (5, 10)
+
+    def test_multiple_aliases_each_warn(self):
+        with pytest.warns(DeprecationWarning, match="'cycles' is deprecated"):
+            assert configure(cycles=3) == (0, 3)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="both 'new_name' and its deprecated"):
+            configure(new_name=1, old_name=2)
+
+    def test_mapping_is_introspectable(self):
+        assert configure.__deprecated_aliases__ == {
+            "old_name": "new_name",
+            "cycles": "simulation_cycles",
+        }
+
+
+class TestDeprecatedParam:
+    def test_absent_param_passes_silently(self, recwarn):
+        assert run(value=2) == 2
+        assert not recwarn.list
+
+    def test_param_warns_and_is_dropped(self):
+        with pytest.warns(DeprecationWarning, match="'verbose' is deprecated"):
+            assert run(value=2, verbose=True) == 2
+
+    def test_reason_appears_in_message(self):
+        with pytest.warns(DeprecationWarning, match="output moved to logging"):
+            run(verbose=False)
+
+    def test_names_are_introspectable(self):
+        assert run.__deprecated_params__ == {"verbose": "output moved to logging"}
+
+
+class TestFacadeAliases:
+    def test_build_scenario_old_keywords_warn(self):
+        from repro.api import build_scenario
+
+        with pytest.warns(DeprecationWarning, match="'cycles' is deprecated"):
+            scenario = build_scenario(
+                n_nodes=20,
+                n_pretrusted=2,
+                n_colluders=3,
+                cycles=2,
+                seed=0,
+            )
+        assert scenario.config.simulation_cycles == 2
+
+    def test_run_scenario_drops_progress(self):
+        from repro.api import run_scenario
+
+        with pytest.warns(DeprecationWarning, match="'progress' is deprecated"):
+            result = run_scenario(
+                n_nodes=20,
+                n_pretrusted=2,
+                n_colluders=3,
+                simulation_cycles=1,
+                progress=True,
+                seed=0,
+            )
+        assert result.metrics.n_snapshots == 1

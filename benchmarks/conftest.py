@@ -13,7 +13,39 @@ regenerated table/figure data.
 
 from __future__ import annotations
 
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
 import pytest
+
+#: Repository root — ``BENCH_*.json`` artifacts land here so CI can archive
+#: them from a fixed location.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_bench_artifact(name: str, config: dict, results: dict, out=None) -> Path:
+    """Write one ``BENCH_<name>.json`` artifact with the stable schema.
+
+    Every benchmark artifact carries exactly four top-level keys —
+    ``name``, ``config``, ``results``, ``timestamp`` — so downstream
+    tooling can diff runs without per-benchmark parsing.
+    """
+    path = Path(out) if out is not None else REPO_ROOT / f"BENCH_{name}.json"
+    payload = {
+        "name": name,
+        "config": config,
+        "results": results,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_artifact():
+    """The :func:`write_bench_artifact` writer, as a fixture."""
+    return write_bench_artifact
 
 
 def pytest_addoption(parser):

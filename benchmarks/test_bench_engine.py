@@ -3,7 +3,9 @@
 Runs the same no-collusion world twice — once on the seed per-client
 scalar loop, once on the batched engine — asserts the reputation
 histories are **bit-identical**, and asserts the wall-clock speedup floor
-(>= 5x at the full profile).  Results land in ``BENCH_engine.json`` so CI
+(>= 5x at the full profile).  Results land in ``BENCH_engine.json`` at
+the repo root (override with ``BENCH_ENGINE_OUT``), using the shared
+``{"name", "config", "results", "timestamp"}`` artifact schema, so CI
 can archive them.
 
 Profiles (``BENCH_ENGINE_PROFILE`` environment variable):
@@ -15,10 +17,8 @@ Profiles (``BENCH_ENGINE_PROFILE`` environment variable):
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -52,7 +52,7 @@ def _run(engine: EngineMode, n_nodes: int, cycles: int) -> tuple[float, np.ndarr
     return time.perf_counter() - start, metrics.reputation_history()
 
 
-def test_engine_speedup():
+def test_engine_speedup(bench_artifact):
     name, profile = _profile()
     n_nodes = profile["n_nodes"]
     cycles = profile["simulation_cycles"]
@@ -60,21 +60,21 @@ def test_engine_speedup():
     batched_s, batched_hist = _run(EngineMode.BATCHED, n_nodes, cycles)
     identical = bool(np.array_equal(batched_hist, scalar_hist))
     speedup = scalar_s / batched_s
-    out = os.environ.get("BENCH_ENGINE_OUT", "BENCH_engine.json")
-    Path(out).write_text(
-        json.dumps(
-            {
-                "profile": name,
-                "n_nodes": n_nodes,
-                "simulation_cycles": cycles,
-                "scalar_seconds": round(scalar_s, 3),
-                "batched_seconds": round(batched_s, 3),
-                "speedup": round(speedup, 2),
-                "bit_identical": identical,
-            },
-            indent=2,
-        )
-        + "\n"
+    bench_artifact(
+        "engine",
+        config={
+            "profile": name,
+            "n_nodes": n_nodes,
+            "simulation_cycles": cycles,
+            "min_speedup": profile["min_speedup"],
+        },
+        results={
+            "scalar_seconds": round(scalar_s, 3),
+            "batched_seconds": round(batched_s, 3),
+            "speedup": round(speedup, 2),
+            "bit_identical": identical,
+        },
+        out=os.environ.get("BENCH_ENGINE_OUT"),
     )
     print(
         f"\n[{name}] n={n_nodes} cycles={cycles}: "

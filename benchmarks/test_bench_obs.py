@@ -1,0 +1,143 @@
+"""Observability overhead benchmark: tracing off must be (near-)free.
+
+Runs the same collusion world three ways — bare (no observability
+bundle), with ``Observability(tracing=False)`` attached (metrics +
+audit log but the null tracer), and with full span tracing — and
+asserts:
+
+* the disabled-tracing run stays within **5%** wall-clock of the bare
+  run (plus a small absolute slack to absorb scheduler noise on short
+  smoke runs);
+* all three runs produce **bit-identical** reputation histories —
+  observability never touches the RNG streams or the numerics;
+* the fully traced run exports a JSONL trace in which every line
+  validates against the schema and detector-audit events are present.
+
+The enabled-tracing time is recorded in the artifact for the record but
+not asserted — tracing is opt-in and allowed to cost what it costs.
+Results land in ``BENCH_obs.json`` at the repo root (override with
+``BENCH_OBS_OUT``), using the shared
+``{"name", "config", "results", "timestamp"}`` artifact schema.
+
+Profiles (``BENCH_OBS_PROFILE`` environment variable):
+
+* ``full`` (default) — n=1000 nodes, 50 simulation cycles, 3 repeats;
+* ``smoke``          — n=120 nodes, 10 simulation cycles, 2 repeats
+  (used by the CI smoke job; finishes in a few seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.experiments import CollusionKind, SystemKind, WorldConfig, build_world
+from repro.obs import Observability, validate_jsonl
+
+PROFILES = {
+    "full": {"n_nodes": 1000, "simulation_cycles": 50, "repeats": 3},
+    "smoke": {"n_nodes": 120, "simulation_cycles": 10, "repeats": 2},
+}
+
+#: Disabled-path overhead ceiling (relative) plus absolute slack, which
+#: dominates on sub-second smoke runs where timer noise swamps the ratio.
+MAX_OVERHEAD = 0.05
+ABS_SLACK_S = 0.05
+
+
+def _profile() -> tuple[str, dict]:
+    name = os.environ.get("BENCH_OBS_PROFILE", "full")
+    if name not in PROFILES:
+        raise ValueError(f"BENCH_OBS_PROFILE must be one of {sorted(PROFILES)}")
+    return name, PROFILES[name]
+
+
+def _config(n_nodes: int, cycles: int) -> WorldConfig:
+    return WorldConfig(
+        n_nodes=n_nodes,
+        n_colluders=max(2, n_nodes // 10),
+        system=SystemKind.EIGENTRUST_SOCIALTRUST,
+        collusion=CollusionKind.PCM,
+        simulation_cycles=cycles,
+    )
+
+
+def _run_once(config: WorldConfig, observability: Observability | None):
+    world = build_world(config, seed=0, observability=observability)
+    start = time.perf_counter()
+    metrics = world.simulation.run()
+    return time.perf_counter() - start, metrics.reputation_history()
+
+
+def _best_of(config: WorldConfig, repeats: int, make_obs):
+    """(min wall-clock, history, last observability bundle) over repeats."""
+    best = float("inf")
+    history = None
+    obs = None
+    for _ in range(repeats):
+        obs = make_obs()
+        elapsed, history = _run_once(config, obs)
+        best = min(best, elapsed)
+    return best, history, obs
+
+
+def test_obs_overhead(bench_artifact, tmp_path):
+    name, profile = _profile()
+    config = _config(profile["n_nodes"], profile["simulation_cycles"])
+    repeats = profile["repeats"]
+
+    bare_s, bare_hist, _ = _best_of(config, repeats, lambda: None)
+    off_s, off_hist, _ = _best_of(
+        config, repeats, lambda: Observability(tracing=False)
+    )
+    on_s, on_hist, on_obs = _best_of(
+        config, repeats, lambda: Observability(tracing=True)
+    )
+
+    # Observability must never perturb the simulation itself.
+    assert np.array_equal(off_hist, bare_hist), (
+        "attaching Observability(tracing=False) changed the numerics"
+    )
+    assert np.array_equal(on_hist, bare_hist), (
+        "attaching Observability(tracing=True) changed the numerics"
+    )
+
+    # The traced run must export a schema-valid trace with audit events.
+    trace_path = tmp_path / "trace.jsonl"
+    assert on_obs is not None
+    on_obs.export_jsonl(trace_path)
+    counts = validate_jsonl(trace_path)
+    assert counts.get("span", 0) > 0, "traced run produced no spans"
+    assert counts.get("audit", 0) > 0, "collusion run produced no audit events"
+
+    overhead = off_s / bare_s - 1.0
+    bench_artifact(
+        "obs",
+        config={
+            "profile": name,
+            "n_nodes": config.n_nodes,
+            "simulation_cycles": config.simulation_cycles,
+            "repeats": repeats,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        results={
+            "bare_seconds": round(bare_s, 3),
+            "tracing_off_seconds": round(off_s, 3),
+            "tracing_on_seconds": round(on_s, 3),
+            "disabled_overhead": round(overhead, 4),
+            "span_events": counts.get("span", 0),
+            "audit_events": counts.get("audit", 0),
+        },
+        out=os.environ.get("BENCH_OBS_OUT"),
+    )
+    print(
+        f"\n[{name}] n={config.n_nodes} cycles={config.simulation_cycles}: "
+        f"bare={bare_s:.2f}s off={off_s:.2f}s on={on_s:.2f}s "
+        f"overhead={overhead:+.1%}"
+    )
+    assert off_s <= bare_s * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S, (
+        f"disabled-tracing overhead {overhead:+.1%} exceeds the "
+        f"{MAX_OVERHEAD:.0%} ceiling ({off_s:.3f}s vs {bare_s:.3f}s bare)"
+    )

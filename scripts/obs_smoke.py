@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""CI obs-smoke: run a tiny traced collusion scenario and validate the trace.
+
+Runs a 40-node PCM collusion world with full observability, exports the
+JSONL trace, validates every line against the event schema, and asserts
+the detector audit captured at least one damped pair with fired
+thresholds.  Exits non-zero on any failure, so the CI step is a real
+gate, not a smoke signal.
+
+CI runs this under ``python -W error::DeprecationWarning`` — the traced
+path must not lean on any deprecated shim.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import run_scenario
+from repro.obs import AuditEvent, read_jsonl, validate_jsonl
+
+
+def main() -> int:
+    result = run_scenario(
+        n_nodes=40,
+        n_pretrusted=3,
+        n_colluders=8,
+        system="EigenTrust+SocialTrust",
+        collusion="pcm",
+        simulation_cycles=3,
+        n_interests=8,
+        interests_per_node=(1, 4),
+        query_cycles=6,
+        seed=1,
+        observability=True,
+    )
+    obs = result.observability
+    assert obs is not None, "observability bundle missing from the result"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "obs_smoke.jsonl"
+        n_written = obs.export_jsonl(trace)
+        counts = validate_jsonl(trace)
+        assert sum(counts.values()) == n_written, "line count mismatch"
+        assert counts.get("span", 0) > 0, "no spans in the trace"
+        assert counts.get("audit", 0) > 0, "no audit events in the trace"
+        assert counts.get("metrics", 0) == 1, "expected one metrics snapshot"
+
+        audit = [
+            AuditEvent.from_dict(e)
+            for e in read_jsonl(trace)
+            if e["type"] == "audit"
+        ]
+
+    damped = [e for e in audit if e.decision == "damped"]
+    assert damped, "collusion run produced no damped audit events"
+    assert all(e.fired for e in damped), "damped event without fired thresholds"
+    assert all(e.behaviors for e in damped), "damped event without behaviours"
+
+    print(
+        f"obs-smoke OK: {n_written} events "
+        f"(spans={counts['span']}, audit={counts['audit']}, "
+        f"damped={len(damped)})"
+    )
+    print()
+    print(obs.report(title="obs-smoke report"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

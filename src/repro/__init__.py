@@ -22,6 +22,7 @@ from repro.api import (
     run_experiment,
     run_scenario,
 )
+from repro.obs import Observability
 
 __version__ = "1.0.0"
 
@@ -29,6 +30,7 @@ __all__ = [
     "__version__",
     "Scenario",
     "ScenarioResult",
+    "Observability",
     "build_scenario",
     "run_scenario",
     "list_experiments",

@@ -40,6 +40,7 @@ from repro.experiments.setup import (
     WorldConfig,
     build_world,
 )
+from repro.obs import Observability
 from repro.p2p import MetricsCollector, Simulation
 from repro.utils.deprecation import deprecated_alias, deprecated_param
 
@@ -125,6 +126,9 @@ class ScenarioResult:
     reputations: np.ndarray
     #: Reputation snapshots, shape ``(n_intervals, n_nodes)``.
     history: np.ndarray
+    #: The run's tracer/metrics/audit bundle (None unless the scenario was
+    #: built with ``observability=...``); see :mod:`repro.obs`.
+    observability: Observability | None = None
 
     @property
     def colluder_ids(self) -> tuple[int, ...]:
@@ -196,6 +200,10 @@ class Scenario:
     def simulation(self) -> Simulation:
         return self.world.simulation
 
+    @property
+    def observability(self) -> Observability | None:
+        return self.world.observability
+
     def run(self, simulation_cycles: int | None = None) -> ScenarioResult:
         """Run the simulation (optionally overriding the cycle count)."""
         metrics = self.world.simulation.run(simulation_cycles)
@@ -207,6 +215,7 @@ class Scenario:
             metrics=metrics,
             reputations=metrics.final_reputations(),
             history=metrics.reputation_history(),
+            observability=self.world.observability,
         )
 
 
@@ -229,6 +238,7 @@ def build_scenario(
     system: SystemKind | str = SystemKind.EIGENTRUST,
     use_socialtrust: bool | None = None,
     collusion: CollusionKind | str = CollusionKind.NONE,
+    observability: bool | Observability | None = None,
     **config_fields,
 ) -> Scenario:
     """Build one fully wired scenario from keyword arguments alone.
@@ -236,7 +246,11 @@ def build_scenario(
     ``system`` and ``collusion`` accept the enum members or their string
     names (``"EigenTrust+SocialTrust"``, ``"pcm"``, ...); setting
     ``use_socialtrust`` swaps a base system for its SocialTrust-wrapped
-    variant (or back).  Every other keyword must be a
+    variant (or back).  ``observability=True`` (or a pre-built
+    :class:`~repro.obs.Observability`) attaches span tracing, the metrics
+    registry and the detector audit log; the bundle comes back on
+    :attr:`Scenario.observability` / :attr:`ScenarioResult.observability`.
+    Every other keyword must be a
     :class:`~repro.experiments.setup.WorldConfig` field and is forwarded
     verbatim.  ``(seed, run_index)`` key the RNG streams exactly as
     :func:`~repro.experiments.setup.build_world` does.
@@ -246,14 +260,20 @@ def build_scenario(
         raise TypeError(
             f"build_scenario() got unknown keyword(s) {unknown}; valid "
             f"keywords are the WorldConfig fields plus seed/run_index/"
-            f"system/use_socialtrust/collusion"
+            f"system/use_socialtrust/collusion/observability"
         )
+    if observability is True:
+        obs: Observability | None = Observability()
+    elif observability is False:
+        obs = None
+    else:
+        obs = observability
     config = WorldConfig(
         system=_resolve_system(system, use_socialtrust),
         collusion=_resolve_collusion(collusion),
         **config_fields,
     )
-    world = build_world(config, seed=seed, run_index=run_index)
+    world = build_world(config, seed=seed, run_index=run_index, observability=obs)
     return Scenario(config=config, seed=seed, run_index=run_index, world=world)
 
 

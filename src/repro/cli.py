@@ -4,20 +4,25 @@
 
 * ``list``        — show the experiment registry;
 * ``run <ids>``   — regenerate tables/figures, printing the series;
-* ``simulate``    — run one ad-hoc scenario through :mod:`repro.api`;
+* ``simulate``    — run one ad-hoc scenario through :mod:`repro.api`
+  (``--trace FILE`` enables observability and exports the JSONL trace);
+* ``obs``         — validate an exported trace and print the
+  phases/metrics/audit report;
 * ``trace``       — generate a synthetic Overstock trace to a JSON file;
 * ``analyze``     — run the Section-3 analyses over a saved trace file.
 
 ``list``/``run``/``simulate`` all go through the :mod:`repro.api` facade,
 so the CLI exercises the same audited path as the example scripts.
+Wall-clock timings printed by ``run``/``simulate`` use
+:func:`time.perf_counter` — the same monotonic clock as the tracer.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
@@ -71,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["batched", "scalar"],
         help="query-cycle engine (scalar is the reference implementation)",
     )
+    sim.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="enable observability, export the JSONL trace to FILE and "
+        "print the phases/metrics/audit report",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="validate and report on an exported observability trace"
+    )
+    obs.add_argument("input", type=Path, help="JSONL trace path")
 
     trace = sub.add_parser("trace", help="generate a synthetic trace file")
     trace.add_argument("output", type=Path, help="output JSON path")
@@ -98,7 +116,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         list_experiments() if args.experiments == ["all"] else args.experiments
     )
     for experiment_id in wanted:
-        start = time.time()
+        start = perf_counter()
         if experiment_id in TRACE_EXPERIMENTS:
             result = run_experiment(experiment_id, seed=args.seed)
         else:
@@ -109,14 +127,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
         print(result.describe())
-        print(f"  [{time.time() - start:.1f}s]\n")
+        print(f"  [{perf_counter() - start:.1f}s]\n")
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.api import run_scenario
 
-    start = time.time()
+    start = perf_counter()
     result = run_scenario(
         n_nodes=args.nodes,
         n_pretrusted=args.pretrusted,
@@ -127,9 +145,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         simulation_cycles=args.cycles,
         engine=args.engine,
         seed=args.seed,
+        observability=args.trace is not None,
     )
     print(result.summary())
-    print(f"  [{time.time() - start:.1f}s]")
+    print(f"  [{perf_counter() - start:.1f}s]")
+    if args.trace is not None:
+        obs = result.observability
+        assert obs is not None
+        n_lines = obs.export_jsonl(args.trace)
+        print(f"wrote {args.trace}: {n_lines} events")
+        print()
+        print(obs.report(title=f"observability report: {args.trace}"))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import render_file_report, validate_jsonl
+
+    counts = validate_jsonl(args.input)
+    total = sum(counts.values())
+    by_kind = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+    print(f"validated {total} events ({by_kind or 'empty trace'})")
+    print()
+    print(render_file_report(args.input))
     return 0
 
 
@@ -191,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "analyze":

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.closeness import ClosenessComputer
 from repro.core.config import GaussianCenter, SocialTrustConfig
 from repro.core.similarity import SimilarityComputer
+from repro.obs import Observability
 from repro.reputation.base import IntervalRatings
 
 __all__ = [
@@ -163,6 +164,8 @@ class CollusionDetector:
         closeness: ClosenessComputer,
         similarity: SimilarityComputer,
         config: SocialTrustConfig | None = None,
+        *,
+        observability: Observability | None = None,
     ) -> None:
         if closeness.n_nodes != similarity.n_nodes:
             raise ValueError(
@@ -171,10 +174,22 @@ class CollusionDetector:
         self._closeness = closeness
         self._similarity = similarity
         self._config = config or SocialTrustConfig()
+        self._obs = observability
+        self._interval_index = 0
 
     @property
     def n_nodes(self) -> int:
         return self._closeness.n_nodes
+
+    @property
+    def observability(self) -> Observability | None:
+        return self._obs
+
+    def reset(self) -> None:
+        """Rewind the audit interval counter (audit/metric stores are
+        owned by the :class:`~repro.obs.Observability` bundle and are
+        cleared there, not here)."""
+        self._interval_index = 0
 
     def _frequency_thresholds(self, interval: IntervalRatings) -> tuple[float, float]:
         """Derive ``T+_t`` / ``T-_t`` as ``theta * F``.
@@ -252,6 +267,11 @@ class CollusionDetector:
         """
         n = self.n_nodes
         cfg = self._config
+        obs = self._obs
+        interval_index = self._interval_index
+        self._interval_index += 1
+        if obs is not None:
+            obs.metrics.counter("detector.intervals").inc()
         counts = interval.counts
         pos_thr, neg_thr = self._frequency_thresholds(interval)
         flagged_pos = interval.pos_counts > pos_thr
@@ -294,6 +314,12 @@ class CollusionDetector:
 
         thresholds = DerivedThresholds(pos_thr, neg_thr, t_r, t_cl, t_ch, t_sl, t_sh)
         if not adjust.any():
+            if obs is not None:
+                self._emit_audit(
+                    interval_index, interval, reputations, thresholds,
+                    flagged_pos, flagged_neg, closeness, similarity,
+                    b1, b2, b3, b4, ones,
+                )
             return DetectionResult(ones, (), thresholds)
 
         exponent = np.zeros((n, n), dtype=np.float64)
@@ -351,7 +377,99 @@ class CollusionDetector:
                     weight=float(weights[i, j]),
                 )
             )
+        if obs is not None:
+            self._emit_audit(
+                interval_index, interval, reputations, thresholds,
+                flagged_pos, flagged_neg, closeness, similarity,
+                b1, b2, b3, b4, weights,
+            )
         return DetectionResult(weights, tuple(findings), thresholds)
+
+    def _emit_audit(
+        self,
+        interval_index: int,
+        interval: IntervalRatings,
+        reputations: np.ndarray,
+        thresholds: DerivedThresholds,
+        flagged_pos: np.ndarray,
+        flagged_neg: np.ndarray,
+        closeness: np.ndarray,
+        similarity: np.ndarray,
+        b1: np.ndarray,
+        b2: np.ndarray,
+        b3: np.ndarray,
+        b4: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """One audit event per frequency-flagged pair: damped or accepted."""
+        from repro.obs import AuditEvent
+
+        assert self._obs is not None
+        audit = self._obs.audit
+        metrics = self._obs.metrics
+        cfg = self._config
+        threshold_values = {
+            "T+": float(thresholds.pos_frequency),
+            "T-": float(thresholds.neg_frequency),
+            "TR": float(thresholds.low_reputation),
+            "Tcl": float(thresholds.closeness_low),
+            "Tch": float(thresholds.closeness_high),
+            "Tsl": float(thresholds.similarity_low),
+            "Tsh": float(thresholds.similarity_high),
+        }
+        examined = flagged_pos | flagged_neg
+        np.fill_diagonal(examined, False)
+        n_damped = 0
+        for i, j in np.argwhere(examined):
+            i, j = int(i), int(j)
+            omega_c = float(closeness[i, j])
+            omega_s = float(similarity[i, j])
+            fired = []
+            if flagged_pos[i, j]:
+                fired.append("T+")
+            if flagged_neg[i, j]:
+                fired.append("T-")
+            if float(reputations[j]) < thresholds.low_reputation:
+                fired.append("TR")
+            if cfg.use_closeness:
+                if omega_c < thresholds.closeness_low:
+                    fired.append("Tcl")
+                if omega_c > thresholds.closeness_high:
+                    fired.append("Tch")
+            if cfg.use_similarity:
+                if omega_s < thresholds.similarity_low:
+                    fired.append("Tsl")
+                if omega_s > thresholds.similarity_high:
+                    fired.append("Tsh")
+            behaviors = []
+            if b1[i, j]:
+                behaviors.append("B1")
+            if b2[i, j]:
+                behaviors.append("B2")
+            if b3[i, j]:
+                behaviors.append("B3")
+            if b4[i, j]:
+                behaviors.append("B4")
+            damped = bool(behaviors)
+            n_damped += damped
+            audit.record(
+                AuditEvent(
+                    interval=interval_index,
+                    rater=i,
+                    ratee=j,
+                    decision="damped" if damped else "accepted",
+                    behaviors=tuple(behaviors),
+                    fired=tuple(fired),
+                    closeness=omega_c,
+                    similarity=omega_s,
+                    weight=float(weights[i, j]) if damped else 1.0,
+                    pos_count=float(interval.pos_counts[i, j]),
+                    neg_count=float(interval.neg_counts[i, j]),
+                    thresholds=threshold_values,
+                )
+            )
+        metrics.counter("detector.pairs_examined").inc(int(examined.sum()))
+        metrics.counter("detector.pairs_damped").inc(n_damped)
 
     def _low_reputation(self) -> float:
         """The B2 low-reputation bar ``T_R``.

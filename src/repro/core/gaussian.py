@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["RaterBand", "gaussian_weight", "combined_weight"]
+__all__ = ["RaterBand", "weight_exponent", "gaussian_weight", "combined_weight"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,24 @@ class RaterBand:
         )
 
 
+def weight_exponent(
+    x: float,
+    band: RaterBand,
+    *,
+    spread_floor: float = 1e-3,
+) -> float:
+    """The bell exponent ``(x - b)^2 / (2 c^2)`` of one dimension.
+
+    This is the quantity the detector audit log lets you reconstruct per
+    pair: a damping weight is ``alpha * exp(-sum of per-dimension
+    exponents)``, so the exponent says *how far outside* the rater's
+    normal band a coefficient sat.
+    """
+    c = max(float(band.spread), float(spread_floor))
+    d = float(x) - float(band.center)
+    return (d * d) / (2.0 * c * c)
+
+
 def gaussian_weight(
     x: float,
     band: RaterBand,
@@ -63,11 +81,10 @@ def gaussian_weight(
     weight zero and exact agreement to weight ``alpha``, making the filter
     a brittle equality test.
     """
-    c = max(float(band.spread), float(spread_floor))
-    d = float(x) - float(band.center)
     # Clamp below the float64 underflow knee so a damped weight stays
     # strictly positive (damping, not annihilation).
-    return float(alpha) * math.exp(-min((d * d) / (2.0 * c * c), 700.0))
+    exponent = weight_exponent(x, band, spread_floor=spread_floor)
+    return float(alpha) * math.exp(-min(exponent, 700.0))
 
 
 def combined_weight(
@@ -92,9 +109,7 @@ def combined_weight(
         if x is None or band is None:
             continue
         used = True
-        c = max(float(band.spread), float(spread_floor))
-        d = float(x) - float(band.center)
-        exponent += (d * d) / (2.0 * c * c)
+        exponent += weight_exponent(x, band, spread_floor=spread_floor)
     if not used:
         raise ValueError("at least one coefficient dimension must be provided")
     return float(alpha) * math.exp(-min(exponent, 700.0))

@@ -35,6 +35,7 @@ from repro.core.config import SocialTrustConfig
 from repro.core.detector import CollusionDetector, DetectionResult
 from repro.core.similarity import SimilarityComputer
 from repro.faults.injector import FaultInjector
+from repro.obs import NULL_TRACER, Observability
 from repro.p2p.dht import ChordRing
 from repro.reputation.base import IntervalRatings, ReputationSystem
 from repro.social.graph import SocialView
@@ -88,6 +89,7 @@ class DistributedSocialTrust(ReputationSystem):
         assignment: Sequence[int] | None = None,
         ring: "ChordRing | None" = None,
         injector: "FaultInjector | None" = None,
+        observability: Observability | None = None,
     ) -> None:
         super().__init__(inner.n_nodes)
         n = inner.n_nodes
@@ -133,10 +135,15 @@ class DistributedSocialTrust(ReputationSystem):
                 self._ring = ChordRing(manager_ids)
         self._inner = inner
         self._config = config or SocialTrustConfig()
+        self._obs = observability
+        self._tracer = (
+            observability.tracer if observability is not None else NULL_TRACER
+        )
         self._closeness = ClosenessComputer(social_view, interactions, self._config)
         self._similarity = SimilarityComputer(profiles, self._config)
         self._detector = CollusionDetector(
-            self._closeness, self._similarity, self._config
+            self._closeness, self._similarity, self._config,
+            observability=observability,
         )
         self._rated_mask = np.zeros((n, n), dtype=bool)
         self._flag_counts = np.zeros((n, n), dtype=np.int64)
@@ -305,18 +312,45 @@ class DistributedSocialTrust(ReputationSystem):
 
     def update(self, interval: IntervalRatings) -> np.ndarray:
         self._check_interval(interval)
-        result = self._detector.analyze(
-            interval, self._inner.reputations, self._rated_mask, self._flag_counts
-        )
+        with self._tracer.span("detector.analyze") as span:
+            result = self._detector.analyze(
+                interval, self._inner.reputations, self._rated_mask,
+                self._flag_counts,
+            )
+            span.set("findings", result.n_adjusted)
         self._last_result = result
         self._account_rating_reports(interval, self._serving_managers())
         self._rated_mask |= interval.counts > 0
         np.fill_diagonal(self._rated_mask, False)
         for finding in result.findings:
             self._flag_counts[finding.rater, finding.ratee] += 1
-        weights = self._failover_weights(result)
+        with self._tracer.span("manager.failover_weights"):
+            weights = self._failover_weights(result)
+        self._publish_manager_metrics()
         adjusted = interval.scaled(weights)
-        return self._inner.update(adjusted)
+        with self._tracer.span("reputation.inner_update", system=self._inner.name):
+            return self._inner.update(adjusted)
+
+    def _publish_manager_metrics(self) -> None:
+        """Mirror cumulative manager/fault counters into the registry.
+
+        Gauges, because the underlying counters (``messages_sent``, the
+        shared :class:`~repro.faults.metrics.FaultMetrics`) are already
+        cumulative over the run.
+        """
+        if self._obs is None:
+            return
+        registry = self._obs.metrics
+        registry.gauge("manager.messages_total").set(self.total_messages)
+        kinds: Counter = Counter()
+        for manager in self._managers.values():
+            kinds.update(manager.messages_sent)
+        for kind, count in kinds.items():
+            registry.gauge(f"manager.messages.{kind}").set(count)
+        if self._injector is not None:
+            faults = self._injector.metrics
+            registry.gauge("manager.fallbacks").set(faults.fallbacks)
+            registry.gauge("manager.reassignments").set(faults.reassignments)
 
     @property
     def reputations(self) -> np.ndarray:
@@ -324,6 +358,7 @@ class DistributedSocialTrust(ReputationSystem):
 
     def reset(self) -> None:
         self._inner.reset()
+        self._detector.reset()
         self._rated_mask[:] = False
         self._flag_counts[:] = 0
         self._last_result = None

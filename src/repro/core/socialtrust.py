@@ -18,6 +18,7 @@ from repro.core.closeness import ClosenessComputer
 from repro.core.config import SocialTrustConfig
 from repro.core.detector import CollusionDetector, DetectionResult
 from repro.core.similarity import SimilarityComputer
+from repro.obs import NULL_TRACER, Observability
 from repro.reputation.base import IntervalRatings, ReputationSystem
 from repro.social.graph import SocialView
 from repro.social.interactions import InteractionLedger
@@ -51,6 +52,8 @@ class SocialTrust(ReputationSystem):
         interactions: InteractionLedger,
         profiles: InterestProfiles,
         config: SocialTrustConfig | None = None,
+        *,
+        observability: Observability | None = None,
     ) -> None:
         super().__init__(inner.n_nodes)
         for other, label in (
@@ -65,10 +68,13 @@ class SocialTrust(ReputationSystem):
                 )
         self._inner = inner
         self._config = config or SocialTrustConfig()
+        self._obs = observability
+        self._tracer = observability.tracer if observability is not None else NULL_TRACER
         self._closeness = ClosenessComputer(social_view, interactions, self._config)
         self._similarity = SimilarityComputer(profiles, self._config)
         self._detector = CollusionDetector(
-            self._closeness, self._similarity, self._config
+            self._closeness, self._similarity, self._config,
+            observability=observability,
         )
         self._rated_mask = np.zeros((inner.n_nodes, inner.n_nodes), dtype=bool)
         self._flag_counts = np.zeros((inner.n_nodes, inner.n_nodes), dtype=np.int64)
@@ -101,16 +107,20 @@ class SocialTrust(ReputationSystem):
 
     def update(self, interval: IntervalRatings) -> np.ndarray:
         self._check_interval(interval)
-        result = self._detector.analyze(
-            interval, self._inner.reputations, self._rated_mask, self._flag_counts
-        )
+        with self._tracer.span("detector.analyze") as span:
+            result = self._detector.analyze(
+                interval, self._inner.reputations, self._rated_mask,
+                self._flag_counts,
+            )
+            span.set("findings", result.n_adjusted)
         self._last_result = result
         self._rated_mask |= interval.counts > 0
         np.fill_diagonal(self._rated_mask, False)
         for finding in result.findings:
             self._flag_counts[finding.rater, finding.ratee] += 1
         adjusted = interval.scaled(result.weights)
-        return self._inner.update(adjusted)
+        with self._tracer.span("reputation.inner_update", system=self._inner.name):
+            return self._inner.update(adjusted)
 
     @property
     def reputations(self) -> np.ndarray:
@@ -125,6 +135,7 @@ class SocialTrust(ReputationSystem):
 
     def reset(self) -> None:
         self._inner.reset()
+        self._detector.reset()
         self._rated_mask[:] = False
         self._flag_counts[:] = 0
         self._last_result = None

@@ -30,6 +30,7 @@ from repro.collusion import (
     falsify_single_relationship,
 )
 from repro.core import SocialTrust, SocialTrustConfig
+from repro.obs import Observability
 from repro.p2p import (
     EngineMode,
     InterestOverlay,
@@ -193,6 +194,8 @@ class BuiltWorld:
     profiles: InterestProfiles
     collusion: CollusionSchedule
     compromised_pretrusted: tuple[int, ...]
+    #: The run's tracer/metrics/audit bundle (None unless requested).
+    observability: Observability | None = None
 
     @property
     def colluder_ids(self) -> tuple[int, ...]:
@@ -264,6 +267,7 @@ def _build_system(
     network: AssignedSocialNetwork,
     interactions: InteractionLedger,
     profiles: InterestProfiles,
+    observability: Observability | None = None,
 ) -> ReputationSystem:
     base: ReputationSystem
     if config.system.base is SystemKind.EIGENTRUST:
@@ -282,7 +286,10 @@ def _build_system(
         base = EBayModel(config.n_nodes, cycle_aggregation=config.ebay_aggregation)
     if not config.system.uses_socialtrust:
         return base
-    return SocialTrust(base, network, interactions, profiles, config.socialtrust)
+    return SocialTrust(
+        base, network, interactions, profiles, config.socialtrust,
+        observability=observability,
+    )
 
 
 def _redraw_low_overlap_interests(
@@ -330,11 +337,20 @@ def _redraw_low_overlap_interests(
     return out
 
 
-def build_world(config: WorldConfig, seed: int = 0, run_index: int = 0) -> BuiltWorld:
+def build_world(
+    config: WorldConfig,
+    seed: int = 0,
+    run_index: int = 0,
+    *,
+    observability: Observability | None = None,
+) -> BuiltWorld:
     """Assemble one fully wired simulation cell.
 
     ``(seed, run_index)`` key independent RNG streams, so repeated runs of
-    the same cell differ while remaining reproducible.
+    the same cell differ while remaining reproducible.  ``observability``
+    (optional) is threaded through the simulator, engine and SocialTrust
+    stack; it never touches an RNG stream, so an observed run is
+    numerically identical to an unobserved one.
     """
     rng = spawn_rng(seed, run_index)
     population = Population.build(
@@ -409,7 +425,7 @@ def build_world(config: WorldConfig, seed: int = 0, run_index: int = 0) -> Built
             rng,
             set_size_range=(1, min(10, config.n_interests)),
         )
-    system = _build_system(config, network, interactions, profiles)
+    system = _build_system(config, network, interactions, profiles, observability)
     simulation = Simulation(
         population,
         overlay,
@@ -425,6 +441,7 @@ def build_world(config: WorldConfig, seed: int = 0, run_index: int = 0) -> Built
         collusion=schedule,
         interactions=interactions,
         profiles=profiles,
+        observability=observability,
     )
     return BuiltWorld(
         config=config,
@@ -436,4 +453,5 @@ def build_world(config: WorldConfig, seed: int = 0, run_index: int = 0) -> Built
         profiles=profiles,
         collusion=schedule,
         compromised_pretrusted=compromised,
+        observability=observability,
     )

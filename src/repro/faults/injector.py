@@ -59,6 +59,16 @@ class FaultInjector:
         self._online = np.ones(self._n, dtype=bool)
         self._managers: dict[int, bool] = {int(m): True for m in manager_ids}
         self._cycle = 0
+        self._obs = None
+
+    def bind_observability(self, observability) -> None:
+        """Publish lifecycle counters and liveness gauges into an
+        :class:`~repro.obs.Observability` bundle from :meth:`advance` on.
+
+        Idempotent; called by an observability-enabled simulation so the
+        injector needs no constructor change at its many build sites.
+        """
+        self._obs = observability
 
     # -- structure ----------------------------------------------------------
 
@@ -151,6 +161,12 @@ class FaultInjector:
                 self._metrics.record_event(event)
                 applied.append(event)
         self._cycle += 1
+        if self._obs is not None:
+            registry = self._obs.metrics
+            if applied:
+                registry.counter("faults.events").inc(len(applied))
+            registry.gauge("faults.peers_online").set(self.peers_online)
+            registry.gauge("faults.managers_up").set(self.managers_up_count)
         return applied
 
     # -- manual controls (tests, examples, operational drills) -------------------

@@ -1,0 +1,202 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately tiny — no labels, no exposition format, no
+locking — because its job is to let the engine, detector, manager-failover
+and fault-injector paths publish named numbers that one report (or test)
+can read back.  Names are dotted paths (``engine.requests.served``); the
+registry namespaces nothing itself.
+
+Histograms use fixed upper-bound buckets (Prometheus-style cumulative
+counts) so percentiles cost a single pass over a short array regardless of
+how many observations were recorded.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "default_registry"]
+
+#: Default histogram upper bounds (seconds-oriented, log-spaced).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``buckets`` are strictly increasing upper bounds; observations above
+    the last bound land in an implicit +inf bucket.  Percentiles are
+    estimated by linear interpolation inside the covering bucket, which
+    is exact to bucket resolution — plenty for profiling reports.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be non-empty and strictly increasing")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect.bisect_left(self.buckets, v)] += 1
+        self.count += 1
+        self.sum += v
+        self._min = min(self._min, v)
+        self._max = max(self._max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``0 <= q <= 100``)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            prev_cumulative = cumulative
+            cumulative += bucket_count
+            if cumulative < rank:
+                continue
+            lo = self.buckets[idx - 1] if idx > 0 else min(self._min, self.buckets[0])
+            hi = self.buckets[idx] if idx < len(self.buckets) else self._max
+            lo = max(lo, self._min)
+            hi = min(hi, self._max)
+            if hi <= lo:
+                return hi
+            frac = (rank - prev_cumulative) / bucket_count
+            return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        return self._max
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Counter | Gauge | Histogram:
+        return self._metrics[name]
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Flat JSON-serialisable snapshot of every instrument."""
+        out: dict[str, dict[str, float]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"kind": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"kind": "gauge", "value": metric.value}
+            else:
+                out[name] = {
+                    "kind": "histogram",
+                    "count": float(metric.count),
+                    "sum": metric.sum,
+                    "mean": metric.mean,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "p50": metric.percentile(50.0),
+                    "p90": metric.percentile(90.0),
+                    "p99": metric.percentile(99.0),
+                }
+        return out
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry for callers outside a scenario context."""
+    return _DEFAULT

@@ -1,0 +1,184 @@
+"""JSONL event schema and validation for exported observability data.
+
+One trace file holds three record types, discriminated by ``"type"``:
+
+* ``span``   — a finished tracer span (name, ids, timing, attributes);
+* ``audit``  — one detector audit event (see :mod:`repro.obs.audit`);
+* ``metrics``— a single snapshot of the metrics registry.
+
+Validation is hand-rolled (no ``jsonschema`` dependency): each schema is
+a field → type-spec map checked by :func:`validate_event`.  The CI
+``obs-smoke`` step and the schema tests run every exported line through
+:func:`validate_jsonl`, so a drifting exporter fails loudly instead of
+producing unreadable traces.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.obs.audit import BEHAVIOR_NAMES, DECISIONS, THRESHOLD_NAMES
+
+__all__ = [
+    "SchemaError",
+    "SPAN_SCHEMA",
+    "AUDIT_SCHEMA",
+    "METRICS_SCHEMA",
+    "validate_event",
+    "to_jsonl",
+    "read_jsonl",
+    "validate_jsonl",
+]
+
+_NUMBER = (int, float)
+
+
+class SchemaError(ValueError):
+    """An exported event does not match its declared schema."""
+
+
+#: field name → (types, required).  ``None`` in the types tuple means the
+#: JSON null is accepted.
+SPAN_SCHEMA: dict[str, tuple[tuple[type, ...], bool]] = {
+    "type": ((str,), True),
+    "name": ((str,), True),
+    "span_id": ((int,), True),
+    "parent_id": ((int, type(None)), True),
+    "depth": ((int,), True),
+    "start": (_NUMBER, True),
+    "duration": (_NUMBER, True),
+    "attributes": ((dict,), True),
+}
+
+AUDIT_SCHEMA: dict[str, tuple[tuple[type, ...], bool]] = {
+    "type": ((str,), True),
+    "interval": ((int,), True),
+    "rater": ((int,), True),
+    "ratee": ((int,), True),
+    "decision": ((str,), True),
+    "behaviors": ((list,), True),
+    "fired": ((list,), True),
+    "closeness": (_NUMBER, True),
+    "similarity": (_NUMBER, True),
+    "weight": (_NUMBER, True),
+    "pos_count": (_NUMBER, True),
+    "neg_count": (_NUMBER, True),
+    "thresholds": ((dict,), True),
+}
+
+METRICS_SCHEMA: dict[str, tuple[tuple[type, ...], bool]] = {
+    "type": ((str,), True),
+    "metrics": ((dict,), True),
+}
+
+_SCHEMAS = {"span": SPAN_SCHEMA, "audit": AUDIT_SCHEMA, "metrics": METRICS_SCHEMA}
+
+
+def _check_fields(event: dict[str, Any], schema: dict) -> None:
+    for field_name, (types, required) in schema.items():
+        if field_name not in event:
+            if required:
+                raise SchemaError(f"missing field {field_name!r}: {event!r}")
+            continue
+        value = event[field_name]
+        # bool is an int subclass; reject it where a number is expected.
+        if isinstance(value, bool) and bool not in types:
+            raise SchemaError(f"field {field_name!r} must not be boolean")
+        if not isinstance(value, types):
+            raise SchemaError(
+                f"field {field_name!r} has type {type(value).__name__}, "
+                f"expected one of {[t.__name__ for t in types]}"
+            )
+    unknown = set(event) - set(schema)
+    if unknown:
+        raise SchemaError(f"unknown field(s) {sorted(unknown)} in event {event!r}")
+
+
+def validate_event(event: dict[str, Any]) -> str:
+    """Validate one event dict; returns its record type.
+
+    Raises :class:`SchemaError` on a missing/extra field, a type
+    mismatch, or an out-of-vocabulary threshold/behaviour/decision name.
+    """
+    if not isinstance(event, dict):
+        raise SchemaError(f"event must be an object, got {type(event).__name__}")
+    kind = event.get("type")
+    if kind not in _SCHEMAS:
+        raise SchemaError(f"unknown event type {kind!r}")
+    _check_fields(event, _SCHEMAS[kind])
+    if kind == "audit":
+        if event["decision"] not in DECISIONS:
+            raise SchemaError(f"unknown decision {event['decision']!r}")
+        bad = set(event["behaviors"]) - set(BEHAVIOR_NAMES)
+        if bad:
+            raise SchemaError(f"unknown behaviour class(es) {sorted(bad)}")
+        bad = set(event["fired"]) - set(THRESHOLD_NAMES)
+        if bad:
+            raise SchemaError(f"unknown threshold name(s) {sorted(bad)}")
+        if event["decision"] == "damped" and not event["behaviors"]:
+            raise SchemaError("damped event must name at least one behaviour")
+    elif kind == "span":
+        if event["duration"] < 0:
+            raise SchemaError("span duration must be non-negative")
+    return kind
+
+
+def _sanitize(value: Any) -> Any:
+    """JSON has no NaN/Infinity; encode them as null at export time."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+def to_jsonl(events: list[dict[str, Any]] | tuple[dict[str, Any], ...], path) -> int:
+    """Write events one-per-line; returns the number of lines written.
+
+    ``start`` of synthetic (pre-measured) spans is NaN in memory and
+    exported as null — :func:`read_jsonl` maps it back.
+    """
+    out = Path(path)
+    with out.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(_sanitize(event), separators=(",", ":")))
+            handle.write("\n")
+    return len(events)
+
+
+def read_jsonl(path) -> list[dict[str, Any]]:
+    """Read a JSONL trace back into event dicts (null start → NaN)."""
+    events: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {line_number}: invalid JSON ({exc})") from None
+            if isinstance(event, dict) and "start" in event and event["start"] is None:
+                event["start"] = float("nan")
+            events.append(event)
+    return events
+
+
+def validate_jsonl(path) -> dict[str, int]:
+    """Validate every line of a trace file; returns counts by record type.
+
+    Raises :class:`SchemaError` naming the first offending line.
+    """
+    counts: dict[str, int] = {}
+    for index, event in enumerate(read_jsonl(path), start=1):
+        try:
+            kind = validate_event(event)
+        except SchemaError as exc:
+            raise SchemaError(f"line {index}: {exc}") from None
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts

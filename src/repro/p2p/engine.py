@@ -50,11 +50,13 @@ from __future__ import annotations
 
 import enum
 from bisect import bisect_left, bisect_right
+from time import perf_counter
 
 import numpy as np
 
 from repro.collusion.models import CollusionSchedule
 from repro.faults.injector import FaultInjector
+from repro.obs import NULL_TRACER, Observability
 from repro.p2p.metrics import MetricsCollector
 from repro.p2p.network import InterestOverlay
 from repro.p2p.node import Population
@@ -106,9 +108,18 @@ class BatchedQueryEngine:
         metrics: MetricsCollector,
         collusion: CollusionSchedule,
         injector: FaultInjector | None,
+        observability: Observability | None = None,
     ) -> None:
         self._n = population.n_nodes
         self._rng = rng
+        # Observability hooks.  With no bundle attached the tracer is the
+        # shared no-op and every phase costs one null context manager; the
+        # per-request paths additionally gate on ``_trace_on`` so timing
+        # calls vanish entirely (the ≤5% budget of the obs benchmark).
+        self._obs = observability
+        self._tracer = observability.tracer if observability is not None else NULL_TRACER
+        self._trace_on = self._tracer.enabled
+        self._cache_patch_s = 0.0
         self._threshold = float(threshold)
         self._policy = policy
         self._exploration = float(exploration)
@@ -168,6 +179,10 @@ class BatchedQueryEngine:
         updates, so available, qualified and weighted-cdf structures are
         built once here instead of once per request.
         """
+        with self._tracer.span("engine.candidate_build", interests=self._k):
+            self._begin_interval(reputations)
+
+    def _begin_interval(self, reputations: np.ndarray) -> None:
         reps = np.asarray(reputations, dtype=np.float64)
         online = self._injector.online_mask if self._injector is not None else None
         self._online = online
@@ -234,6 +249,16 @@ class BatchedQueryEngine:
         """Drop a capacity-exhausted server from its interests' candidate
         structures; weighted cdfs are rebuilt with the exact float sequence
         the seed would produce over the surviving candidates."""
+        if self._trace_on:
+            start = perf_counter()
+            try:
+                self._exhaust_server_inner(server)
+            finally:
+                self._cache_patch_s += perf_counter() - start
+            return
+        self._exhaust_server_inner(server)
+
+    def _exhaust_server_inner(self, server: int) -> None:
         q = self._q_list[server]
         threshold_based = self._policy is not SelectionPolicy.RANDOM
         weighted = self._policy is SelectionPolicy.REPUTATION_WEIGHTED
@@ -262,15 +287,36 @@ class BatchedQueryEngine:
     # -- the hot loop ------------------------------------------------------------
 
     def run_query_cycle(self, remaining_capacity: np.ndarray) -> None:
-        """One query cycle, bit-identical to the seed scalar loop."""
+        """One query cycle, bit-identical to the seed scalar loop.
+
+        Phase timings (candidate-build lives in :meth:`begin_interval`):
+
+        * ``engine.cache_patch`` — master-restore at cycle start plus the
+          per-exhaustion candidate-list patching, accumulated across the
+          cycle and emitted as one pre-measured span;
+        * ``engine.selection``   — the per-client loop, minus the cache
+          patching it triggered (phases stay additive);
+        * ``engine.rating_flush``— the batched ledger/metric flush.
+
+        All timing is gated on ``_trace_on``; with tracing disabled the
+        cycle runs the exact untimed path.
+        """
+        trace_on = self._trace_on
         rng = self._rng
         n = self._n
         active_draw = rng.random(n)
         np.copyto(remaining_capacity, self._capacities)
         online = self._online
         churned = self._churned
+        if trace_on:
+            self._cache_patch_s = 0.0
         if self._modified:
-            self._restore_modified()
+            if trace_on:
+                start = perf_counter()
+                self._restore_modified()
+                self._cache_patch_s += perf_counter() - start
+            else:
+                self._restore_modified()
         skip = active_draw >= self._activity
         if churned:
             skip |= ~online
@@ -300,6 +346,8 @@ class BatchedQueryEngine:
         ev_interests: list[int] = []
         unserved: list[int] = []
 
+        cache_before = self._cache_patch_s
+        selection_start = perf_counter() if trace_on else 0.0
         for client in perm:
             if skip_list[client]:
                 continue
@@ -360,6 +408,15 @@ class BatchedQueryEngine:
             ev_values.append(value)
             ev_interests.append(interest)
 
+        if trace_on:
+            patched = self._cache_patch_s - cache_before
+            self._tracer.record(
+                "engine.selection",
+                perf_counter() - selection_start - patched,
+                served=len(ev_clients),
+                unserved=len(unserved),
+            )
+            flush_start = perf_counter()
         if ev_clients:
             clients = np.asarray(ev_clients, dtype=np.int64)
             servers = np.asarray(ev_servers, dtype=np.int64)
@@ -371,6 +428,16 @@ class BatchedQueryEngine:
             self._metrics.record_requests(clients, servers)
         if unserved:
             self._metrics.record_unserved_many(np.asarray(unserved, dtype=np.int64))
+        if trace_on:
+            self._tracer.record(
+                "engine.rating_flush", perf_counter() - flush_start
+            )
+            if self._cache_patch_s:
+                self._tracer.record("engine.cache_patch", self._cache_patch_s)
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            metrics.counter("engine.requests.served").inc(len(ev_clients))
+            metrics.counter("engine.requests.unserved").inc(len(unserved))
 
         # Collusion bursts: same order and semantics as the seed loop.
         for burst in self._collusion.bursts(rng):

@@ -57,6 +57,21 @@ class MetricsCollector:
         fault recording of one run lands in a single instance."""
         self._faults = faults
 
+    def publish(self, registry, *, cycles_run: int | None = None) -> None:
+        """Mirror the cumulative routing totals into a
+        :class:`~repro.obs.registry.MetricsRegistry` as gauges.
+
+        Called once per simulation cycle by an observability-enabled
+        :class:`~repro.p2p.simulator.Simulation`; gauges (not counters)
+        because the collector's totals are already cumulative.
+        """
+        registry.gauge("sim.requests.issued").set(self.total_requests)
+        registry.gauge("sim.requests.served").set(self.total_served)
+        registry.gauge("sim.requests.unserved").set(self._unserved)
+        registry.gauge("sim.snapshots").set(self.n_snapshots)
+        if cycles_run is not None:
+            registry.gauge("sim.cycles_run").set(cycles_run)
+
     # -- request routing ------------------------------------------------------
 
     def record_request(self, client: int, server: int) -> None:

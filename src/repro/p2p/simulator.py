@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.collusion.models import CollusionSchedule, NoCollusion
 from repro.faults.injector import FaultInjector
+from repro.obs import NULL_TRACER, Observability
 from repro.p2p.engine import BatchedQueryEngine, EngineMode
 from repro.p2p.metrics import MetricsCollector
 from repro.p2p.network import InterestOverlay
@@ -91,6 +92,7 @@ class Simulation:
         interactions: InteractionLedger | None = None,
         profiles: InterestProfiles | None = None,
         fault_injector: FaultInjector | None = None,
+        observability: Observability | None = None,
     ) -> None:
         n = population.n_nodes
         if overlay.n_nodes != n:
@@ -117,10 +119,14 @@ class Simulation:
         self._profiles = profiles
         self._ledger = RatingLedger(n)
         self._metrics = MetricsCollector(n)
+        self._obs = observability
+        self._tracer = observability.tracer if observability is not None else NULL_TRACER
         if fault_injector is not None:
             # One shared fault-metrics sink: injector, transport, manager
             # layer and simulation all record into the collector's series.
             self._metrics.attach_faults(fault_injector.metrics)
+            if observability is not None:
+                fault_injector.bind_observability(observability)
         self._cycles_run = 0
         # Scratch buffer for per-query-cycle remaining capacities; reset
         # from the population's capacities at each query cycle.
@@ -152,6 +158,7 @@ class Simulation:
                 metrics=self._metrics,
                 collusion=self._collusion,
                 injector=self._injector,
+                observability=observability,
             )
 
     @property
@@ -248,15 +255,22 @@ class Simulation:
 
     def run_simulation_cycle(self) -> np.ndarray:
         """Run one simulation cycle; returns the updated reputation vector."""
+        with self._tracer.span("sim.cycle", cycle=self._cycles_run):
+            return self._run_simulation_cycle()
+
+    def _run_simulation_cycle(self) -> np.ndarray:
+        tracer = self._tracer
         if self._injector is not None:
-            self._injector.advance()
-            offline = self._injector.offline_nodes()
-            if offline.size:
-                # Age out departed peers' interaction history so rejoiners
-                # resume with decayed — not stale full-strength — state.
-                self._interactions.decay_nodes(
-                    offline, self._injector.config.offline_decay
-                )
+            with tracer.span("faults.advance"):
+                self._injector.advance()
+                offline = self._injector.offline_nodes()
+                if offline.size:
+                    # Age out departed peers' interaction history so
+                    # rejoiners resume with decayed — not stale
+                    # full-strength — state.
+                    self._interactions.decay_nodes(
+                        offline, self._injector.config.offline_decay
+                    )
         if self._engine is not None:
             # Reputations and the churn mask are fixed for the whole
             # interval; hoist the per-interest selection structures once.
@@ -264,11 +278,14 @@ class Simulation:
             for _ in range(self._config.query_cycles_per_simulation_cycle):
                 self._engine.run_query_cycle(self._remaining_capacity)
         else:
-            for _ in range(self._config.query_cycles_per_simulation_cycle):
-                self._run_query_cycle(self._remaining_capacity)
+            with tracer.span("engine.scalar_interval"):
+                for _ in range(self._config.query_cycles_per_simulation_cycle):
+                    self._run_query_cycle(self._remaining_capacity)
         interval = self._ledger.drain()
-        reputations = self._system.update(interval)
-        self._metrics.snapshot(reputations)
+        with tracer.span("reputation.update", system=self._system.name):
+            reputations = self._system.update(interval)
+        with tracer.span("metrics.snapshot"):
+            self._metrics.snapshot(reputations)
         self._cycles_run += 1
         if self._injector is not None:
             self._metrics.faults.snapshot_cycle(
@@ -276,6 +293,8 @@ class Simulation:
                 peers_online=self._injector.peers_online,
                 managers_up=self._injector.managers_up_count,
             )
+        if self._obs is not None:
+            self._metrics.publish(self._obs.metrics, cycles_run=self._cycles_run)
         return reputations
 
     def run(self, simulation_cycles: int | None = None) -> MetricsCollector:

@@ -1,0 +1,118 @@
+"""Tests for the metrics registry: counters, gauges, histogram percentiles."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKETS
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        c = Counter("requests")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("online")
+        g.set(10)
+        g.inc(2)
+        g.dec()
+        assert g.value == 11.0
+
+
+class TestHistogram:
+    def test_count_sum_mean_min_max(self):
+        h = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 8.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(13.0)
+        assert h.mean == pytest.approx(3.25)
+        assert h.min == 0.5
+        assert h.max == 8.0
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("latency")
+        assert h.mean == 0.0
+        assert h.min == 0.0
+        assert h.max == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_overflow_bucket(self):
+        h = Histogram("latency", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.counts == [0, 1]
+
+    def test_percentile_monotone_and_bounded(self):
+        h = Histogram("latency", buckets=(0.001, 0.01, 0.1, 1.0))
+        for i in range(100):
+            h.observe(0.001 * (i + 1))
+        previous = -1.0
+        for q in (0, 10, 25, 50, 75, 90, 99, 100):
+            p = h.percentile(q)
+            assert h.min <= p <= h.max
+            assert p >= previous
+            previous = p
+        # Half the observations sit at or below 0.05; p50 lands nearby.
+        assert h.percentile(50) == pytest.approx(0.05, rel=0.35)
+
+    def test_percentile_range_checked(self):
+        h = Histogram("latency")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_names_sorted_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ("a", "b")
+        assert "a" in reg
+        assert "z" not in reg
+        assert isinstance(reg["a"], Gauge)
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        h = reg.histogram("h", buckets=DEFAULT_BUCKETS)
+        h.observe(0.01)
+        snap = reg.as_dict()
+        assert snap["c"] == {"kind": "counter", "value": 3.0}
+        assert snap["g"] == {"kind": "gauge", "value": 7.0}
+        assert snap["h"]["kind"] == "histogram"
+        assert snap["h"]["count"] == 1.0
+        assert set(snap["h"]) >= {"sum", "mean", "min", "max", "p50", "p90", "p99"}
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.clear()
+        assert reg.names() == ()

@@ -1,0 +1,57 @@
+"""Tests for the phases/metrics/audit text report."""
+
+from repro.obs import Observability, render_file_report
+from repro.obs.report import phase_table
+
+
+class TestPhaseTable:
+    def test_aggregates_by_name_sorted_by_total(self):
+        spans = [
+            {"name": "a", "duration": 0.1},
+            {"name": "a", "duration": 0.3},
+            {"name": "b", "duration": 1.0},
+        ]
+        table = phase_table(spans)
+        assert [row["name"] for row in table] == ["b", "a"]
+        a = table[1]
+        assert a["count"] == 2
+        assert a["total_s"] == 0.4
+        assert a["mean_s"] == 0.2
+        assert a["max_s"] == 0.3
+
+    def test_empty(self):
+        assert phase_table([]) == []
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        obs = Observability()
+        with obs.tracer.span("engine.selection"):
+            pass
+        obs.metrics.counter("detector.intervals").inc()
+        text = obs.report(title="my report")
+        assert text.startswith("my report")
+        assert "== phases ==" in text
+        assert "== metrics ==" in text
+        assert "== detector audit ==" in text
+        assert "engine.selection" in text
+        assert "detector.intervals" in text
+        assert "[counter] 1" in text
+
+    def test_empty_bundle_renders_placeholders(self):
+        text = Observability(tracing=False).report()
+        assert "(no spans recorded" in text
+        assert "(no metrics recorded)" in text
+        assert "(no detector audit events" in text
+
+    def test_file_report_matches_live_sections(self, tmp_path):
+        obs = Observability()
+        with obs.tracer.span("phase.x"):
+            pass
+        obs.metrics.gauge("g").set(4)
+        path = tmp_path / "trace.jsonl"
+        obs.export_jsonl(path)
+        text = render_file_report(path)
+        assert "phase.x" in text
+        assert "[gauge] 4" in text
+        assert "== detector audit ==" in text

@@ -1,0 +1,145 @@
+"""Tests for the JSONL schema: validation, export/read round trip."""
+
+import math
+
+import pytest
+
+from repro.obs import SchemaError, read_jsonl, to_jsonl, validate_event, validate_jsonl
+
+
+def _span(**overrides):
+    event = {
+        "type": "span",
+        "name": "engine.selection",
+        "span_id": 0,
+        "parent_id": None,
+        "depth": 0,
+        "start": 12.5,
+        "duration": 0.25,
+        "attributes": {"served": 10},
+    }
+    event.update(overrides)
+    return event
+
+
+def _audit(**overrides):
+    event = {
+        "type": "audit",
+        "interval": 1,
+        "rater": 4,
+        "ratee": 7,
+        "decision": "damped",
+        "behaviors": ["B2", "B3"],
+        "fired": ["T+", "TR", "Tch", "Tsl"],
+        "closeness": 0.5,
+        "similarity": 0.01,
+        "weight": 0.0,
+        "pos_count": 9.0,
+        "neg_count": 0.0,
+        "thresholds": {"T+": 2.0, "TR": 0.05},
+    }
+    event.update(overrides)
+    return event
+
+
+class TestValidateEvent:
+    def test_valid_span_audit_metrics(self):
+        assert validate_event(_span()) == "span"
+        assert validate_event(_audit()) == "audit"
+        assert validate_event({"type": "metrics", "metrics": {}}) == "metrics"
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError, match="unknown event type"):
+            validate_event({"type": "bogus"})
+
+    def test_non_dict(self):
+        with pytest.raises(SchemaError, match="must be an object"):
+            validate_event([1, 2])
+
+    def test_missing_field(self):
+        event = _span()
+        del event["duration"]
+        with pytest.raises(SchemaError, match="missing field 'duration'"):
+            validate_event(event)
+
+    def test_unknown_field(self):
+        with pytest.raises(SchemaError, match="unknown field"):
+            validate_event(_span(extra=1))
+
+    def test_bool_rejected_where_number_expected(self):
+        with pytest.raises(SchemaError, match="must not be boolean"):
+            validate_event(_span(duration=True))
+
+    def test_negative_duration(self):
+        with pytest.raises(SchemaError, match="non-negative"):
+            validate_event(_span(duration=-0.1))
+
+    def test_unknown_decision(self):
+        with pytest.raises(SchemaError, match="unknown decision"):
+            validate_event(_audit(decision="maybe"))
+
+    def test_unknown_behavior(self):
+        with pytest.raises(SchemaError, match="behaviour class"):
+            validate_event(_audit(behaviors=["B9"]))
+
+    def test_unknown_threshold(self):
+        with pytest.raises(SchemaError, match="threshold name"):
+            validate_event(_audit(fired=["T*"]))
+
+    def test_damped_requires_behavior(self):
+        with pytest.raises(SchemaError, match="at least one behaviour"):
+            validate_event(_audit(behaviors=[]))
+
+    def test_accepted_without_behavior_is_fine(self):
+        assert validate_event(_audit(decision="accepted", behaviors=[])) == "audit"
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [_span(), _audit(), {"type": "metrics", "metrics": {}}]
+        assert to_jsonl(events, path) == 3
+        assert read_jsonl(path) == events
+
+    def test_nan_start_exported_as_null_and_restored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        to_jsonl([_span(start=float("nan"))], path)
+        assert '"start":null' in path.read_text()
+        (event,) = read_jsonl(path)
+        assert math.isnan(event["start"])
+        # A null start must still validate as a (synthetic) span.
+        assert validate_event(event) == "span"
+
+    def test_null_start_not_injected_into_other_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        to_jsonl([_audit()], path)
+        (event,) = read_jsonl(path)
+        assert "start" not in event
+
+    def test_infinite_threshold_sanitized(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        to_jsonl([_audit(thresholds={"T+": float("inf")})], path)
+        (event,) = read_jsonl(path)
+        assert event["thresholds"]["T+"] is None
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "metrics", "metrics": {}}\nnot json\n')
+        with pytest.raises(SchemaError, match="line 2"):
+            read_jsonl(path)
+
+
+class TestValidateJsonl:
+    def test_counts_by_type(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        to_jsonl(
+            [_span(), _span(span_id=1), _audit(), {"type": "metrics", "metrics": {}}],
+            path,
+        )
+        assert validate_jsonl(path) == {"span": 2, "audit": 1, "metrics": 1}
+
+    def test_names_offending_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        to_jsonl([_span(), _audit(decision="bogus")], path)
+        with pytest.raises(SchemaError, match="line 2"):
+            validate_jsonl(path)

@@ -1,0 +1,122 @@
+"""Tests for the span tracer: nesting, timing, attributes, null no-op."""
+
+import math
+import time
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpanBasics:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.002)
+        (event,) = tracer.events()
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["duration"] >= 0.002
+        assert event["start"] > 0.0
+
+    def test_attributes_at_creation_and_set(self):
+        tracer = Tracer()
+        with tracer.span("phase", cycle=3) as span:
+            span.set("served", 17)
+        (event,) = tracer.events()
+        assert event["attributes"] == {"cycle": 3, "served": 17}
+
+    def test_span_ids_increment(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [e["span_id"] for e in tracer.events()]
+        assert ids == [0, 1]
+
+
+class TestNesting:
+    def test_child_records_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, outer_event = tracer.events()
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer.span_id
+        assert inner["depth"] == 1
+        assert outer_event["depth"] == 0
+        assert outer_event["parent_id"] is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = tracer.events()
+        assert a["parent_id"] == b["parent_id"] == outer.span_id
+        assert a["depth"] == b["depth"] == 1
+
+    def test_completion_order_is_inner_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [e["name"] for e in tracer.events()] == ["inner", "outer"]
+
+
+class TestRecord:
+    def test_record_premeasured_duration(self):
+        tracer = Tracer()
+        tracer.record("engine.cache_patch", 0.125, cycles=4)
+        (event,) = tracer.events()
+        assert event["duration"] == 0.125
+        assert event["attributes"] == {"cycles": 4}
+        assert math.isnan(event["start"])
+
+    def test_record_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.record("sub", 0.01)
+        sub = next(tracer.spans_named("sub"))
+        assert sub["parent_id"] == outer.span_id
+        assert sub["depth"] == 1
+
+
+class TestInspection:
+    def test_total_duration_sums_by_name(self):
+        tracer = Tracer()
+        tracer.record("x", 0.25)
+        tracer.record("x", 0.5)
+        tracer.record("y", 1.0)
+        assert tracer.total_duration("x") == 0.75
+        assert tracer.n_spans == 3
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("x", 1.0)
+        tracer.clear()
+        assert tracer.events() == ()
+        assert tracer.n_spans == 0
+
+
+class TestNullTracer:
+    def test_null_tracer_stores_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("work", a=1) as span:
+            span.set("b", 2)
+        tracer.record("x", 1.0)
+        assert tracer.events() == ()
+        assert tracer.n_spans == 0
+        assert tracer.total_duration("work") == 0.0
+        assert list(tracer.spans_named("work")) == []
+
+    def test_shared_singleton_span_is_reused(self):
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b")
+        assert first is second
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False

@@ -129,6 +129,70 @@ class TestFaultObservability:
         sink.record_fallback()
         assert m.faults.fallbacks == 1
 
+    def test_attach_faults_discards_prior_counts(self):
+        from repro.faults import FaultMetrics
+
+        m = MetricsCollector(3)
+        m.faults.record_fallback()
+        replacement = FaultMetrics()
+        m.attach_faults(replacement)
+        assert m.faults.fallbacks == 0
+
+    def test_attach_faults_is_idempotent_for_same_sink(self):
+        from repro.faults import FaultMetrics
+
+        m = MetricsCollector(3)
+        sink = FaultMetrics()
+        sink.record_fallback()
+        m.attach_faults(sink)
+        m.attach_faults(sink)
+        assert m.faults is sink
+        assert m.faults.fallbacks == 1
+
+    def test_attached_sink_is_shared_not_copied(self):
+        from repro.faults import FaultMetrics
+
+        m = MetricsCollector(3)
+        sink = FaultMetrics()
+        m.attach_faults(sink)
+        m.faults.record_fallback()
+        assert sink.fallbacks == 1
+
+
+class TestPublish:
+    def test_publishes_routing_gauges(self):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsCollector(4)
+        m.record_request(0, 1)
+        m.record_unserved(2)
+        m.snapshot(np.zeros(4))
+        registry = MetricsRegistry()
+        m.publish(registry, cycles_run=7)
+        assert registry["sim.requests.issued"].value == 2
+        assert registry["sim.requests.served"].value == 1
+        assert registry["sim.requests.unserved"].value == 1
+        assert registry["sim.snapshots"].value == 1
+        assert registry["sim.cycles_run"].value == 7
+
+    def test_cycles_run_optional(self):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsCollector(2)
+        registry = MetricsRegistry()
+        m.publish(registry)
+        assert "sim.cycles_run" not in registry
+
+    def test_publish_overwrites_previous_snapshot(self):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsCollector(2)
+        registry = MetricsRegistry()
+        m.publish(registry)
+        m.record_request(0, 1)
+        m.publish(registry)
+        assert registry["sim.requests.issued"].value == 1
+
 
 class TestReputationErrorSeries:
     def _collector(self, rows):
@@ -165,6 +229,26 @@ class TestReputationErrorSeries:
         m = self._collector([[0.5, 0.5], [0.3, 0.7]])
         with pytest.raises(ValueError):
             m.reputation_error_series(np.zeros((3, 2)))
+
+    def test_zero_snapshots_against_vector(self):
+        m = MetricsCollector(2)
+        errors = m.reputation_error_series(np.array([0.5, 0.5]))
+        assert errors.shape == (0,)
+
+    def test_zero_snapshots_against_empty_history(self):
+        m = MetricsCollector(2)
+        errors = m.reputation_error_series(np.zeros((0, 2)))
+        assert errors.shape == (0,)
+
+    def test_zero_snapshots_rejects_nonempty_history(self):
+        m = MetricsCollector(2)
+        with pytest.raises(ValueError):
+            m.reputation_error_series(np.zeros((1, 2)))
+
+    def test_mismatched_history_lengths(self):
+        m = self._collector([[0.5, 0.5], [0.3, 0.7], [0.2, 0.8]])
+        with pytest.raises(ValueError):
+            m.reputation_error_series(np.zeros((2, 2)))
 
 
 class TestBatchedRouting:

@@ -82,3 +82,18 @@ class TestCommands:
     def test_run_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["run", "nope"])
+
+    def test_simulate_trace_and_obs_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "obs.jsonl"
+        argv = [
+            "simulate", "--nodes", "30", "--pretrusted", "2",
+            "--colluders", "6", "--cycles", "2", "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert trace.exists()
+        assert "== detector audit ==" in out
+        assert main(["obs", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("validated ")
+        assert "== phases ==" in out

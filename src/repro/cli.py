@@ -9,7 +9,11 @@
 * ``obs``         — validate an exported trace and print the
   phases/metrics/audit report;
 * ``trace``       — generate a synthetic Overstock trace to a JSON file;
-* ``analyze``     — run the Section-3 analyses over a saved trace file.
+* ``analyze``     — run the Section-3 analyses over a saved trace file;
+* ``qa``          — the correctness tooling of :mod:`repro.qa`:
+  ``qa record`` / ``qa check`` manage the golden regression traces,
+  ``qa fuzz`` runs the stateful invariant fuzzer, and ``qa diff`` runs
+  the backend × engine differential sweep.
 
 ``list``/``run``/``simulate`` all go through the :mod:`repro.api` facade,
 so the CLI exercises the same audited path as the example scripts.
@@ -20,6 +24,7 @@ Wall-clock timings printed by ``run``/``simulate`` use
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from time import perf_counter
@@ -98,6 +103,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="run Section-3 analyses on a trace file")
     analyze.add_argument("input", type=Path, help="trace JSON path")
+
+    qa = sub.add_parser("qa", help="golden traces, invariant fuzzing, differential runs")
+    qa_sub = qa.add_subparsers(dest="qa_command", required=True)
+
+    record = qa_sub.add_parser("record", help="record golden scenario traces")
+    record.add_argument(
+        "--golden-dir", type=Path, default=None, help="golden directory (default: tests/golden)"
+    )
+    record.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="record only this scenario (repeatable; default: all)",
+    )
+    record.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite existing goldens (the numbers changed on purpose)",
+    )
+
+    check = qa_sub.add_parser("check", help="replay and diff the golden traces")
+    check.add_argument("--golden-dir", type=Path, default=None)
+    check.add_argument("--scenario", action="append", default=None, metavar="NAME")
+    check.add_argument(
+        "--mode",
+        default="strict",
+        choices=["strict", "tolerance"],
+        help="strict = bit-identical; tolerance = isclose(rtol, atol)",
+    )
+    check.add_argument("--rtol", type=float, default=1e-9)
+    check.add_argument("--atol", type=float, default=1e-12)
+    check.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the divergence report to FILE (CI artifact)",
+    )
+
+    fuzz = qa_sub.add_parser("fuzz", help="run the stateful invariant fuzzer")
+    fuzz.add_argument("--steps", type=int, default=200)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--harness", default="both", choices=["engine", "manager", "both"]
+    )
+
+    diff = qa_sub.add_parser(
+        "diff", help="differential sweep: every backend x engine mode"
+    )
+    diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument("--cycles", type=int, default=4)
+    diff.add_argument(
+        "--collusion", default="pcm", choices=["none", "pcm", "mcm", "mmm"]
+    )
     return parser
 
 
@@ -134,6 +194,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.api import run_scenario
 
+    if args.trace is not None:
+        # Pre-flight the export path: a multi-minute simulation that dies
+        # at the final write is the worst possible failure mode.
+        parent = args.trace.resolve().parent
+        if not parent.is_dir():
+            print(f"error: trace directory does not exist: {parent}", file=sys.stderr)
+            return 1
+        if not os.access(parent, os.W_OK):
+            print(f"error: trace directory is not writable: {parent}", file=sys.stderr)
+            return 1
     start = perf_counter()
     result = run_scenario(
         n_nodes=args.nodes,
@@ -160,9 +230,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs import render_file_report, validate_jsonl
+    from repro.obs import SchemaError, render_file_report, validate_jsonl
 
-    counts = validate_jsonl(args.input)
+    try:
+        counts = validate_jsonl(args.input)
+    except SchemaError as exc:
+        print(f"error: invalid trace {args.input}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 1
     total = sum(counts.values())
     by_kind = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
     print(f"validated {total} events ({by_kind or 'empty trace'})")
@@ -220,6 +297,75 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_qa(args: argparse.Namespace) -> int:
+    from repro.qa import DEFAULT_GOLDEN_DIR, check_all, record_all, run_differential
+    from repro.qa.fuzz import run_fuzz
+
+    if args.qa_command == "record":
+        golden_dir = args.golden_dir or DEFAULT_GOLDEN_DIR
+        try:
+            written = record_all(
+                golden_dir, names=args.scenario, update=args.update
+            )
+        except (FileExistsError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    if args.qa_command == "check":
+        golden_dir = args.golden_dir or DEFAULT_GOLDEN_DIR
+        try:
+            results = check_all(
+                golden_dir,
+                names=args.scenario,
+                mode=args.mode,
+                rtol=args.rtol,
+                atol=args.atol,
+            )
+        except (FileNotFoundError, KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        report_lines = []
+        failed = False
+        for name, diff in results.items():
+            status = "OK" if diff.ok else "DIVERGED"
+            print(f"{name}: {status} ({args.mode})")
+            report_lines.append(f"=== {name} ===")
+            report_lines.append(diff.render())
+            if not diff.ok:
+                failed = True
+                print(diff.render())
+        if args.report is not None:
+            args.report.write_text("\n".join(report_lines) + "\n")
+            print(f"wrote {args.report}")
+        return 1 if failed else 0
+
+    if args.qa_command == "fuzz":
+        start = perf_counter()
+        try:
+            reports = run_fuzz(
+                steps=args.steps, seed=args.seed, harness=args.harness
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for report in reports:
+            print(report.summary())
+        print(f"  [{perf_counter() - start:.1f}s]")
+        return 0 if all(r.ok for r in reports) else 1
+
+    if args.qa_command == "diff":
+        report = run_differential(
+            seed=args.seed, cycles=args.cycles, collusion=args.collusion
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    raise AssertionError(f"unhandled qa command {args.qa_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -235,6 +381,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "qa":
+        return _cmd_qa(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

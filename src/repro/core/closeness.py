@@ -92,6 +92,20 @@ class ClosenessComputer:
     def n_nodes(self) -> int:
         return self._view.n_nodes
 
+    @property
+    def view(self) -> SocialView:
+        """The social view the coefficients are computed against."""
+        return self._view
+
+    @property
+    def interactions(self) -> InteractionLedger:
+        """The interaction ledger feeding Eq. (2)'s frequency shares."""
+        return self._interactions
+
+    @property
+    def config(self) -> SocialTrustConfig:
+        return self._config
+
     def invalidate_cache(self) -> None:
         """Drop cached relationship factors after mutating the social view."""
         self._rel_factors = None

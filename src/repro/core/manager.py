@@ -165,6 +165,14 @@ class DistributedSocialTrust(ReputationSystem):
     def last_detection(self) -> DetectionResult | None:
         return self._last_result
 
+    @property
+    def closeness_computer(self) -> ClosenessComputer:
+        return self._closeness
+
+    @property
+    def similarity_computer(self) -> SimilarityComputer:
+        return self._similarity
+
     def manager_of(self, node: int) -> ResourceManager:
         return self._managers[int(self._assignment[node])]
 

@@ -58,6 +58,15 @@ class SimilarityComputer:
     def n_nodes(self) -> int:
         return self._profiles.n_nodes
 
+    @property
+    def profiles(self) -> InterestProfiles:
+        """The interest-profile store the coefficients are computed against."""
+        return self._profiles
+
+    @property
+    def config(self) -> SocialTrustConfig:
+        return self._config
+
     def _effective_set(self, node: int) -> frozenset[int]:
         """Declared ∪ behavioural interests (hardened-mode interest set)."""
         return self._profiles.declared(node) | self._profiles.behavioural_interests(node)

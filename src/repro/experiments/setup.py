@@ -39,7 +39,14 @@ from repro.p2p import (
     Simulation,
     SimulationConfig,
 )
-from repro.reputation import EBayModel, EigenTrust, PowerTrust, ReputationSystem
+from repro.reputation import (
+    EBayModel,
+    EigenTrust,
+    GossipTrust,
+    PowerTrust,
+    ReputationSystem,
+    SimilarityWeightedModel,
+)
 from repro.social import AssignedSocialNetwork, InteractionLedger, InterestProfiles
 from repro.social.generators import paper_social_network
 from repro.utils.rng import RngStream, spawn_rng
@@ -59,6 +66,11 @@ class SystemKind(enum.Enum):
     EIGENTRUST = "EigenTrust"
     EBAY = "eBay"
     POWERTRUST = "PowerTrust"
+    #: Related-work baseline defences (no SocialTrust-wrapped variant —
+    #: they embed their own anti-collusion mechanism); mainly exercised by
+    #: the baseline benchmarks and the :mod:`repro.qa` differential runner.
+    TRUSTGUARD = "TrustGuard"
+    GOSSIP = "GossipTrust"
     EIGENTRUST_SOCIALTRUST = "EigenTrust+SocialTrust"
     EBAY_SOCIALTRUST = "eBay+SocialTrust"
     POWERTRUST_SOCIALTRUST = "PowerTrust+SocialTrust"
@@ -282,6 +294,10 @@ def _build_system(
             n_power_nodes=config.n_pretrusted,
             power_weight=config.pretrust_weight,
         )
+    elif config.system.base is SystemKind.TRUSTGUARD:
+        base = SimilarityWeightedModel(config.n_nodes)
+    elif config.system.base is SystemKind.GOSSIP:
+        base = GossipTrust(config.n_nodes)
     else:
         base = EBayModel(config.n_nodes, cycle_aggregation=config.ebay_aggregation)
     if not config.system.uses_socialtrust:

@@ -182,6 +182,15 @@ class Simulation:
         return self._profiles
 
     @property
+    def ledger(self) -> RatingLedger:
+        """The live per-interval rating ledger (drained each cycle).
+
+        Exposed for the :mod:`repro.qa` fuzz harnesses, which interleave
+        out-of-band rating bursts with the engine's own traffic.
+        """
+        return self._ledger
+
+    @property
     def cycles_run(self) -> int:
         return self._cycles_run
 

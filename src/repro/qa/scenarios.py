@@ -1,0 +1,142 @@
+"""The checked-in golden scenarios and their record/check drivers.
+
+Three scenarios cover the three base reputation stacks, the three
+collusion structures and both detector coefficient paths at a scale that
+keeps each golden file a few tens of kilobytes.  Regenerate with::
+
+    repro qa record --update
+
+after any *deliberate* numerical behaviour change, and say why in the
+commit message — an unexplained regeneration defeats the whole net.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.qa.golden import (
+    GoldenScenario,
+    TraceDiff,
+    check_golden,
+    record_trace,
+    write_trace,
+)
+
+__all__ = [
+    "DEFAULT_GOLDEN_DIR",
+    "GOLDEN_SCENARIOS",
+    "record_all",
+    "check_all",
+]
+
+#: Repo-relative home of the checked-in goldens.
+DEFAULT_GOLDEN_DIR = Path("tests") / "golden"
+
+_COMMON = dict(
+    n_nodes=30,
+    n_pretrusted=3,
+    n_colluders=6,
+    n_interests=8,
+    interests_per_node=[1, 4],
+    capacity=12,
+    colluder_b=0.2,
+    query_cycles=6,
+    simulation_cycles=8,
+)
+
+GOLDEN_SCENARIOS: dict[str, GoldenScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        GoldenScenario(
+            name="eigentrust_pcm",
+            build=dict(
+                _COMMON,
+                system="EigenTrust+SocialTrust",
+                collusion="pcm",
+                pcm_ratings_per_cycle=8,
+            ),
+            cycles=8,
+            seed=2011,
+        ),
+        GoldenScenario(
+            name="ebay_mcm",
+            build=dict(
+                _COMMON,
+                system="eBay+SocialTrust",
+                collusion="mcm",
+                mcm_n_boosted=3,
+            ),
+            cycles=8,
+            seed=2012,
+        ),
+        GoldenScenario(
+            name="powertrust_mmm",
+            build=dict(
+                _COMMON,
+                system="PowerTrust+SocialTrust",
+                collusion="mmm",
+                mmm_forward_ratings=10,
+                mmm_back_ratings=3,
+            ),
+            cycles=8,
+            seed=2013,
+        ),
+    )
+}
+
+
+def _select(names: list[str] | None) -> list[GoldenScenario]:
+    if names is None:
+        return list(GOLDEN_SCENARIOS.values())
+    unknown = sorted(set(names) - set(GOLDEN_SCENARIOS))
+    if unknown:
+        raise KeyError(
+            f"unknown golden scenario(s) {unknown}; "
+            f"available: {sorted(GOLDEN_SCENARIOS)}"
+        )
+    return [GOLDEN_SCENARIOS[name] for name in names]
+
+
+def record_all(
+    golden_dir: Path | str = DEFAULT_GOLDEN_DIR,
+    *,
+    names: list[str] | None = None,
+    update: bool = False,
+) -> list[Path]:
+    """Record the selected scenarios into ``golden_dir``.
+
+    Refuses to overwrite existing goldens unless ``update`` is set — the
+    ``--update`` flag is the explicit "yes, the numbers changed on
+    purpose" gesture.
+    """
+    golden_dir = Path(golden_dir)
+    written: list[Path] = []
+    for scenario in _select(names):
+        path = golden_dir / scenario.filename
+        if path.exists() and not update:
+            raise FileExistsError(
+                f"{path} already exists; pass update=True (CLI: --update) "
+                f"to regenerate"
+            )
+        write_trace(record_trace(scenario), path)
+        written.append(path)
+    return written
+
+
+def check_all(
+    golden_dir: Path | str = DEFAULT_GOLDEN_DIR,
+    *,
+    names: list[str] | None = None,
+    mode: str = "strict",
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> dict[str, TraceDiff]:
+    """Replay and diff every selected golden; returns name → diff."""
+    golden_dir = Path(golden_dir)
+    results: dict[str, TraceDiff] = {}
+    for scenario in _select(names):
+        path = golden_dir / scenario.filename
+        results[scenario.name] = check_golden(
+            path, mode=mode, rtol=rtol, atol=atol
+        )
+    return results

@@ -1,0 +1,152 @@
+"""Property-style edge-case tests for the fault layer: degenerate
+transports and schedules, scripted replay, and total manager loss."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    UnreliableTransport,
+)
+from repro.utils.rng import spawn_rng
+
+
+class TestTransportEdgeCases:
+    def test_zero_loss_is_the_identity_channel(self):
+        transport = UnreliableTransport(FaultConfig())
+        for _ in range(25):
+            report = transport.send("rating_report")
+            assert report.delivered
+            assert report.attempts == 1
+            assert report.retries == 0
+            assert report.latency == 0.0
+        assert transport.metrics.attempts["rating_report"] == 25
+        assert transport.metrics.timeouts["rating_report"] == 0
+
+    def test_lossy_without_rng_rejected(self):
+        with pytest.raises(ValueError, match="rng"):
+            UnreliableTransport(FaultConfig(message_loss_rate=0.5))
+
+    def test_total_loss_exhausts_every_retry(self):
+        config = FaultConfig(
+            message_loss_rate=1.0,
+            max_retries=2,
+            backoff_base=0.1,
+            backoff_cap=0.1,
+            timeout_budget=1000.0,
+        )
+        transport = UnreliableTransport(config, spawn_rng(0, 1))
+        report = transport.send("query")
+        assert not report.delivered
+        assert report.attempts == config.max_retries + 1
+        assert report.latency == pytest.approx(0.3)
+        assert transport.metrics.timeouts["query"] == 1
+
+    def test_exhausted_budget_stops_before_retry_cap(self):
+        config = FaultConfig(
+            message_loss_rate=1.0,
+            max_retries=10,
+            backoff_base=1.0,
+            backoff_cap=1.0,
+            timeout_budget=0.5,
+        )
+        transport = UnreliableTransport(config, spawn_rng(0, 1))
+        report = transport.send("query")
+        assert not report.delivered
+        assert report.attempts == 1
+
+    @pytest.mark.parametrize("loss_rate", [0.1, 0.5, 0.9])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reports_stay_within_policy_bounds(self, loss_rate, seed):
+        config = FaultConfig(message_loss_rate=loss_rate, max_retries=3)
+        transport = UnreliableTransport(config, spawn_rng(seed, 1))
+        total_attempts = 0
+        for _ in range(40):
+            report = transport.send("probe")
+            assert 1 <= report.attempts <= config.max_retries + 1
+            assert report.latency >= 0.0
+            if report.delivered:
+                assert report.latency <= config.timeout_budget
+            total_attempts += report.attempts
+        assert transport.metrics.attempts["probe"] == total_attempts
+
+
+class TestScheduleEdgeCases:
+    def _liveness(self, n=6):
+        return np.ones(n, dtype=bool), {0: True, 1: True}
+
+    def test_empty_script_draws_nothing_forever(self):
+        schedule = FaultSchedule.scripted([])
+        online, managers = self._liveness()
+        assert schedule.is_scripted
+        for cycle in range(10):
+            assert schedule.draw(cycle, online, managers) == []
+
+    def test_fault_free_stochastic_needs_no_rng(self):
+        schedule = FaultSchedule(FaultConfig())
+        online, managers = self._liveness()
+        assert schedule.draw(0, online, managers) == []
+
+    def test_nonzero_rates_without_rng_rejected(self):
+        with pytest.raises(ValueError, match="rng"):
+            FaultSchedule(FaultConfig(peer_leave_rate=0.1))
+
+    def test_scripted_replay_transitions_injector_masks(self):
+        events = [
+            FaultEvent(0, FaultKind.PEER_LEAVE, 3),
+            FaultEvent(1, FaultKind.MANAGER_CRASH, 1),
+            FaultEvent(2, FaultKind.PEER_JOIN, 3),
+            FaultEvent(2, FaultKind.MANAGER_RECOVER, 1),
+        ]
+        injector = FaultInjector(
+            6, manager_ids=(0, 1), schedule=FaultSchedule.scripted(events)
+        )
+        injector.advance()  # cycle 0
+        assert not injector.peer_online(3)
+        assert injector.down_managers() == frozenset()
+        injector.advance()  # cycle 1
+        assert injector.down_managers() == frozenset({1})
+        injector.advance()  # cycle 2
+        assert injector.peer_online(3)
+        assert injector.down_managers() == frozenset()
+        assert bool(injector.online_mask.all())
+
+
+class TestAllManagersDown:
+    def test_failover_with_every_successor_dead(self):
+        from repro.qa.fuzz import ManagerFuzzHarness
+
+        harness = ManagerFuzzHarness(seed=13)
+        # Enough collusion traffic that the detector has findings to damp.
+        for pair in range(6):
+            harness.collusion_burst(pair, 8)
+        for rater in range(harness.n_nodes):
+            harness.add_burst(rater, rater + 1, positive=True, count=2)
+        for manager_id in range(harness.n_managers):
+            harness.crash_manager(manager_id)
+        assert harness.distributed.effective_manager_of(0) is None
+
+        fallbacks_before = harness.injector.metrics.fallbacks
+        # flush_interval itself asserts fallbacks == before + n_findings
+        # when every manager is down.
+        harness.flush_interval()
+        assert harness.diverged
+        findings = harness.distributed.last_detection.findings
+        assert findings, "collusion bursts should produce findings"
+        assert (
+            harness.injector.metrics.fallbacks
+            == fallbacks_before + len(findings)
+        )
+        # Recovery restores normal (non-fallback) operation.
+        for manager_id in range(harness.n_managers):
+            harness.recover_manager(manager_id)
+        assert harness.distributed.effective_manager_of(0) is not None
+        harness.add_burst(4, 5, positive=True, count=1)
+        harness.flush_interval()
+        assert harness.injector.metrics.fallbacks == fallbacks_before + len(
+            findings
+        )

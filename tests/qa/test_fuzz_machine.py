@@ -1,0 +1,97 @@
+"""Stateful fuzz harnesses: tier-1 smoke runs, violation sensitivity,
+and the hypothesis-driven state machines (marked ``fuzz``)."""
+
+import pytest
+
+from repro.qa import run_fuzz
+from repro.qa.fuzz import (
+    EngineFuzzHarness,
+    InvariantViolation,
+    ManagerFuzzHarness,
+    build_engine_machine,
+    build_manager_machine,
+)
+
+
+class TestSmoke:
+    def test_short_run_holds_invariants(self):
+        reports = run_fuzz(steps=40, seed=3, harness="both")
+        assert [r.harness for r in reports] == ["engine", "manager"]
+        for report in reports:
+            assert report.ok, report.summary()
+            assert report.steps == 40
+            assert sum(report.rule_counts.values()) == 40
+            assert report.cache_audits, "teardown must audit the caches"
+
+    def test_single_harness_selection(self):
+        (report,) = run_fuzz(steps=10, seed=0, harness="engine")
+        assert report.harness == "engine"
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_fuzz(steps=0)
+        with pytest.raises(ValueError):
+            run_fuzz(steps=10, harness="quantum")
+
+    def test_summary_reports_held_invariants(self):
+        (report,) = run_fuzz(steps=10, seed=1, harness="manager")
+        assert "all invariants held" in report.summary()
+
+
+class TestViolationSensitivity:
+    """The harness must actually notice when the twins drift apart."""
+
+    def test_one_sided_ledger_write_trips_engine_invariant(self):
+        harness = EngineFuzzHarness(seed=7)
+        harness.run_cycle()
+        # Feed one twin only — the engines now see different worlds.
+        harness.simulations["batched"].ledger.record_batch(6, 7, 1.0, 9)
+        with pytest.raises(InvariantViolation, match="diverged"):
+            harness.run_cycle()
+
+    def test_one_sided_interval_trips_manager_invariant(self):
+        harness = ManagerFuzzHarness(seed=7)
+        harness.add_burst(3, 4, positive=True, count=5)
+        harness.flush_interval()
+        # Slip an interval into the centralised system behind the
+        # harness's back; the next fault-free flush must catch it.  The
+        # rater must be pretrusted so the extra ratings actually move
+        # the EigenTrust vector.
+        harness.ledger.record_batch(0, 6, 1.0, 8)
+        harness.central.update(harness.ledger.drain())
+        harness.add_burst(8, 9, positive=False, count=3)
+        with pytest.raises(InvariantViolation, match="diverged"):
+            harness.flush_interval()
+
+    def test_divergence_waived_after_failover(self):
+        harness = ManagerFuzzHarness(seed=7)
+        harness.crash_manager(0)
+        harness.add_burst(3, 4, positive=True, count=5)
+        harness.flush_interval()
+        assert harness.diverged
+        # Fault-free equality is no longer owed: flushes keep working.
+        harness.recover_manager(0)
+        harness.add_burst(5, 6, positive=True, count=2)
+        harness.flush_interval()
+
+
+@pytest.mark.fuzz
+class TestHypothesisMachines:
+    """The real RuleBasedStateMachine runs — excluded from tier-1."""
+
+    def _run(self, machine_cls, steps):
+        from hypothesis import settings
+        from hypothesis.stateful import run_state_machine_as_test
+
+        run_state_machine_as_test(
+            machine_cls,
+            settings=settings(
+                max_examples=5, stateful_step_count=steps, deadline=None
+            ),
+        )
+
+    def test_engine_machine(self):
+        self._run(build_engine_machine(seed=0), steps=15)
+
+    def test_manager_machine(self):
+        self._run(build_manager_machine(seed=0), steps=20)

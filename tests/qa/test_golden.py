@@ -1,0 +1,226 @@
+"""Golden-trace recorder/checker: round-trips, determinism, divergence
+reporting, and the flipped-threshold mutation net."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import (
+    GOLDEN_SCENARIOS,
+    GoldenScenario,
+    check_golden,
+    diff_traces,
+    load_trace,
+    record_trace,
+    write_trace,
+)
+from repro.qa.golden import FORMAT_VERSION
+
+#: The checked-in goldens, resolved repo-layout-relative so the tests do
+#: not depend on the pytest invocation directory.
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: A fast variant of the checked-in eigentrust scenario for tests that
+#: record in-process (3 cycles instead of 8).
+FAST_SCENARIO = GoldenScenario(
+    name="fast_eigentrust_pcm",
+    build=dict(
+        GOLDEN_SCENARIOS["eigentrust_pcm"].build,
+        simulation_cycles=3,
+    ),
+    cycles=3,
+    seed=99,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_trace():
+    return record_trace(FAST_SCENARIO)
+
+
+class TestRecordTrace:
+    def test_structure(self, fast_trace):
+        header, *body, summary = fast_trace
+        assert header["type"] == "header"
+        assert header["format_version"] == FORMAT_VERSION
+        assert header["name"] == FAST_SCENARIO.name
+        assert header["system"] == "EigenTrust+SocialTrust"
+        assert summary["type"] == "summary"
+        cycles = [line for line in body if line["type"] == "cycle"]
+        assert [c["cycle"] for c in cycles] == list(range(FAST_SCENARIO.cycles))
+
+    def test_cycle_payload(self, fast_trace):
+        cycle = fast_trace[1]
+        n = FAST_SCENARIO.build["n_nodes"]
+        assert len(cycle["reputations"]) == n
+        assert set(cycle["detector"]["thresholds"]) == {
+            "T+", "T-", "TR", "Tcl", "Tch", "Tsl", "Tsh"
+        }
+        for digest in (cycle["omega_c"], cycle["omega_s"]):
+            assert set(digest) == {"sha256", "sum", "max", "nonzeros"}
+            assert len(digest["sha256"]) == 64
+
+    def test_findings_shape(self, fast_trace):
+        findings = [
+            f
+            for line in fast_trace
+            if line["type"] == "cycle"
+            for f in line["detector"]["findings"]
+        ]
+        for finding in findings:
+            assert set(finding) == {
+                "rater", "ratee", "reasons", "closeness", "similarity", "weight"
+            }
+            assert 0.0 <= finding["weight"] <= 1.0
+
+    def test_summary_totals(self, fast_trace):
+        summary = fast_trace[-1]
+        assert summary["total_served"] + summary["unserved"] == summary["total_requests"]
+
+
+class TestRoundTrip:
+    def test_write_load_identity(self, fast_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(fast_trace, path) == len(fast_trace)
+        assert load_trace(path) == fast_trace
+
+    def test_non_finite_floats_survive(self, tmp_path):
+        lines = [
+            {"type": "header", "format_version": FORMAT_VERSION, "name": "x",
+             "seed": 0, "cycles": 1, "build": {}, "system": "s"},
+            {"type": "cycle", "cycle": 0, "value": float("inf"),
+             "other": float("nan")},
+        ]
+        path = tmp_path / "inf.jsonl"
+        write_trace(lines, path)
+        loaded = load_trace(path)
+        assert loaded[1]["value"] == float("inf")
+        assert loaded[1]["other"] != loaded[1]["other"]  # NaN
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header"}\n{broken\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_trace(path)
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "noheader.jsonl"
+        path.write_text('{"type": "cycle", "cycle": 0}\n')
+        with pytest.raises(ValueError, match="missing header"):
+            load_trace(path)
+
+    def test_load_rejects_future_format(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"type": "header", "format_version": 999}\n')
+        with pytest.raises(ValueError, match="format version"):
+            load_trace(path)
+
+
+class TestStrictDeterminism:
+    def test_double_record_is_bit_identical(self, fast_trace):
+        replay = record_trace(FAST_SCENARIO)
+        diff = diff_traces(fast_trace, replay, mode="strict")
+        assert diff.ok, diff.render()
+
+    def test_check_golden_strict_same_machine(self, fast_trace, tmp_path):
+        path = tmp_path / FAST_SCENARIO.filename
+        write_trace(fast_trace, path)
+        diff = check_golden(path, mode="strict")
+        assert diff.ok, diff.render()
+
+
+class TestCheckedInGoldens:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_replay_matches_tolerance(self, name):
+        # Tolerance mode here: the checked-in bytes came from one
+        # machine's BLAS; CI's golden-check job does the same-machine
+        # strict record-then-check pass.
+        diff = check_golden(GOLDEN_DIR / f"{name}.jsonl", mode="tolerance")
+        assert diff.ok, diff.render()
+
+
+class TestDiffReporting:
+    def test_tampered_value_is_located(self, fast_trace):
+        import copy
+
+        tampered = copy.deepcopy(fast_trace)
+        tampered[2]["reputations"][5] += 1e-3
+        diff = diff_traces(fast_trace, tampered, mode="strict")
+        assert not diff.ok
+        first = diff.first
+        assert first.cycle == tampered[2]["cycle"]
+        assert "reputations[5]" in first.field
+        report = diff.render()
+        assert "first divergence" in report
+        assert "DIVERGED" in report
+
+    def test_tolerance_mode_forgives_tiny_drift(self, fast_trace):
+        import copy
+
+        drifted = copy.deepcopy(fast_trace)
+        drifted[1]["reputations"][0] *= 1.0 + 1e-13
+        # Digests are bound to the exact bytes; tolerance mode must not
+        # report them when the stats they summarise still agree.
+        drifted[1]["omega_c"]["sha256"] = "0" * 64
+        assert not diff_traces(fast_trace, drifted, mode="strict").ok
+        assert diff_traces(fast_trace, drifted, mode="tolerance").ok
+
+    def test_length_mismatch_reported(self, fast_trace):
+        diff = diff_traces(fast_trace, fast_trace[:-1], mode="strict")
+        assert not diff.ok
+        assert diff.first.field == "<trace length>"
+
+    def test_divergence_cap(self, fast_trace):
+        import copy
+
+        tampered = copy.deepcopy(fast_trace)
+        for line in tampered:
+            if line["type"] == "cycle":
+                line["reputations"] = [x + 1e-3 for x in line["reputations"]]
+        diff = diff_traces(fast_trace, tampered, mode="strict", max_divergences=7)
+        assert len(diff.divergences) == 7
+        assert "more" in diff.render(max_shown=3)
+
+
+class TestMutationDetection:
+    """The acceptance gate: a one-line detector mutation (swapped band
+    percentiles, i.e. a flipped Tcl/Tch comparison) must trip the golden
+    check against the checked-in traces."""
+
+    @pytest.fixture
+    def flipped_bands(self, monkeypatch):
+        from repro.core.detector import CollusionDetector
+
+        original = CollusionDetector._band_thresholds
+
+        def flipped(values, low, high):
+            t_low, t_high = original(values, low, high)
+            return t_high, t_low
+
+        monkeypatch.setattr(
+            CollusionDetector, "_band_thresholds", staticmethod(flipped)
+        )
+
+    def test_mutation_diverges_from_checked_in_golden(self, flipped_bands):
+        diff = check_golden(GOLDEN_DIR / "eigentrust_pcm.jsonl", mode="tolerance")
+        assert not diff.ok
+        fields = " ".join(d.field for d in diff.divergences)
+        assert "detector" in fields or "reputations" in fields
+
+    def test_mutation_diverges_in_process(self, monkeypatch):
+        from repro.core.detector import CollusionDetector
+
+        clean = record_trace(FAST_SCENARIO)
+        original = CollusionDetector._band_thresholds
+
+        def flipped(values, low, high):
+            t_low, t_high = original(values, low, high)
+            return t_high, t_low
+
+        monkeypatch.setattr(
+            CollusionDetector, "_band_thresholds", staticmethod(flipped)
+        )
+        mutated = record_trace(FAST_SCENARIO)
+        diff = diff_traces(clean, mutated, mode="strict")
+        assert not diff.ok
+        assert "first divergence" in diff.render()

@@ -1,0 +1,157 @@
+"""Declarative chaos scenarios.
+
+A :class:`ChaosSpec` names *which* faults hit *when*: network partitions
+with explicit start/heal cycles and Byzantine manager windows.  It
+compiles to a scripted :class:`~repro.faults.schedule.FaultSchedule`, so a
+chaos run is exactly reproducible (and diffable against a fault-free
+golden) without touching any stochastic fault rate.
+
+The spec is plain data — JSON round-trippable via :meth:`ChaosSpec.to_dict`
+/ :meth:`ChaosSpec.from_dict` — so it can travel inside a checkpoint
+header or a CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.faults.config import FaultConfig
+from repro.faults.schedule import NETWORK_SUBJECT, FaultEvent, FaultKind, FaultSchedule
+
+__all__ = ["PartitionSpec", "ByzantineSpec", "ChaosSpec"]
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One network partition window: bisect at ``start_cycle``, heal at
+    ``heal_cycle`` (the injector draws the side assignment from
+    ``FaultConfig.partition_fraction``)."""
+
+    start_cycle: int
+    heal_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise ValueError(f"start_cycle must be >= 0, got {self.start_cycle}")
+        if self.heal_cycle <= self.start_cycle:
+            raise ValueError(
+                f"heal_cycle ({self.heal_cycle}) must be after "
+                f"start_cycle ({self.start_cycle})"
+            )
+
+    def events(self) -> list[FaultEvent]:
+        return [
+            FaultEvent(self.start_cycle, FaultKind.PARTITION_START, NETWORK_SUBJECT),
+            FaultEvent(self.heal_cycle, FaultKind.PARTITION_HEAL, NETWORK_SUBJECT),
+        ]
+
+
+@dataclass(frozen=True)
+class ByzantineSpec:
+    """One Byzantine window for one manager; ``heal_cycle=None`` means the
+    manager lies until the end of the run.  The corruption mode is global
+    (``FaultConfig.byzantine_mode``)."""
+
+    manager_id: int
+    start_cycle: int
+    heal_cycle: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.manager_id < 0:
+            raise ValueError(f"manager_id must be >= 0, got {self.manager_id}")
+        if self.start_cycle < 0:
+            raise ValueError(f"start_cycle must be >= 0, got {self.start_cycle}")
+        if self.heal_cycle is not None and self.heal_cycle <= self.start_cycle:
+            raise ValueError(
+                f"heal_cycle ({self.heal_cycle}) must be after "
+                f"start_cycle ({self.start_cycle})"
+            )
+
+    def events(self) -> list[FaultEvent]:
+        out = [
+            FaultEvent(self.start_cycle, FaultKind.MANAGER_BYZANTINE, self.manager_id)
+        ]
+        if self.heal_cycle is not None:
+            out.append(
+                FaultEvent(self.heal_cycle, FaultKind.MANAGER_HEAL, self.manager_id)
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A full scripted chaos scenario: any number of partition and
+    Byzantine windows (overlaps between *partition* windows are rejected —
+    the injector models at most one active partition)."""
+
+    partitions: tuple[PartitionSpec, ...] = ()
+    byzantines: tuple[ByzantineSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "byzantines", tuple(self.byzantines))
+        windows = sorted(
+            (p.start_cycle, p.heal_cycle) for p in self.partitions
+        )
+        for (_, heal), (start, _) in zip(windows, windows[1:]):
+            if start < heal:
+                raise ValueError(
+                    "partition windows overlap; at most one partition can "
+                    "be active at a time"
+                )
+
+    @property
+    def empty(self) -> bool:
+        return not self.partitions and not self.byzantines
+
+    def events(self) -> list[FaultEvent]:
+        """All scripted events, ordered by cycle."""
+        out: list[FaultEvent] = []
+        for spec in self.partitions:
+            out.extend(spec.events())
+        for spec in self.byzantines:
+            out.extend(spec.events())
+        out.sort(key=lambda e: (e.cycle, e.kind.value, e.subject))
+        return out
+
+    def to_schedule(self, config: FaultConfig | None = None) -> FaultSchedule:
+        """Compile to a scripted schedule carrying ``config`` (which
+        supplies ``partition_fraction`` / ``byzantine_mode`` and any
+        transport unreliability)."""
+        by_cycle: dict[int, list[FaultEvent]] = {}
+        for event in self.events():
+            by_cycle.setdefault(event.cycle, []).append(event)
+        return FaultSchedule(
+            config, script={c: tuple(evts) for c, evts in by_cycle.items()}
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "partitions": [
+                {"start_cycle": p.start_cycle, "heal_cycle": p.heal_cycle}
+                for p in self.partitions
+            ],
+            "byzantines": [
+                {
+                    "manager_id": b.manager_id,
+                    "start_cycle": b.start_cycle,
+                    "heal_cycle": b.heal_cycle,
+                }
+                for b in self.byzantines
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosSpec":
+        unknown = sorted(set(data) - {"partitions", "byzantines"})
+        if unknown:
+            raise ValueError(f"unknown ChaosSpec keys: {unknown}")
+        return cls(
+            partitions=tuple(
+                PartitionSpec(**p) for p in data.get("partitions", ())
+            ),
+            byzantines=tuple(
+                ByzantineSpec(**b) for b in data.get("byzantines", ())
+            ),
+        )

@@ -5,15 +5,19 @@
 * ``list``        — show the experiment registry;
 * ``run <ids>``   — regenerate tables/figures, printing the series;
 * ``simulate``    — run one ad-hoc scenario through :mod:`repro.api`
-  (``--trace FILE`` enables observability and exports the JSONL trace);
+  (``--trace FILE`` enables observability and exports the JSONL trace;
+  ``--partition``/``--byzantine``/``--managers`` script chaos windows;
+  ``--checkpoint FILE --checkpoint-every N`` writes crash-safe
+  checkpoints and ``--resume FILE`` continues one bit-identically);
 * ``obs``         — validate an exported trace and print the
   phases/metrics/audit report;
 * ``trace``       — generate a synthetic Overstock trace to a JSON file;
 * ``analyze``     — run the Section-3 analyses over a saved trace file;
 * ``qa``          — the correctness tooling of :mod:`repro.qa`:
   ``qa record`` / ``qa check`` manage the golden regression traces,
-  ``qa fuzz`` runs the stateful invariant fuzzer, and ``qa diff`` runs
-  the backend × engine differential sweep.
+  ``qa fuzz`` runs the stateful invariant fuzzer, ``qa diff`` runs
+  the backend × engine differential sweep, and ``qa reconverge`` runs
+  the chaos reconvergence harness.
 
 ``list``/``run``/``simulate`` all go through the :mod:`repro.api` facade,
 so the CLI exercises the same audited path as the example scripts.
@@ -89,6 +93,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability, export the JSONL trace to FILE and "
         "print the phases/metrics/audit report",
     )
+    sim.add_argument(
+        "--managers",
+        type=int,
+        default=0,
+        help="resource managers for distributed SocialTrust (0 = centralised)",
+    )
+    sim.add_argument(
+        "--partition",
+        action="append",
+        default=None,
+        metavar="START:HEAL",
+        help="scripted network-partition window in simulation cycles "
+        "(repeatable)",
+    )
+    sim.add_argument(
+        "--byzantine",
+        action="append",
+        default=None,
+        metavar="MGR:START[:HEAL]",
+        help="scripted Byzantine window for manager MGR (repeatable; "
+        "requires --managers)",
+    )
+    sim.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a crash-safe checkpoint to FILE (see --checkpoint-every)",
+    )
+    sim.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N simulation cycles (requires --checkpoint)",
+    )
+    sim.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="resume from a checkpoint file; the scenario comes from its "
+        "header, so other scenario flags are ignored",
+    )
 
     obs = sub.add_parser(
         "obs", help="validate and report on an exported observability trace"
@@ -158,6 +206,27 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--collusion", default="pcm", choices=["none", "pcm", "mcm", "mmm"]
     )
+
+    reconv = qa_sub.add_parser(
+        "reconverge",
+        help="chaos reconvergence: inject + heal, assert recovery per backend",
+    )
+    reconv.add_argument("--seed", type=int, default=0)
+    reconv.add_argument("--cycles", type=int, default=12)
+    reconv.add_argument("--tolerance", type=float, default=0.02)
+    reconv.add_argument(
+        "--budget",
+        type=int,
+        default=5,
+        help="max cycles after the heal for the error to settle below tolerance",
+    )
+    reconv.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (CI artifact)",
+    )
     return parser
 
 
@@ -191,9 +260,98 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_partition(text: str) -> dict:
+    parts = text.split(":")
+    try:
+        if len(parts) != 2:
+            raise ValueError
+        return {"start_cycle": int(parts[0]), "heal_cycle": int(parts[1])}
+    except ValueError:
+        raise ValueError(
+            f"--partition expects integer START:HEAL, got {text!r}"
+        ) from None
+
+
+def _parse_byzantine(text: str) -> dict:
+    parts = text.split(":")
+    try:
+        if len(parts) not in (2, 3):
+            raise ValueError
+        return {
+            "manager_id": int(parts[0]),
+            "start_cycle": int(parts[1]),
+            "heal_cycle": int(parts[2]) if len(parts) == 3 else None,
+        }
+    except ValueError:
+        raise ValueError(
+            f"--byzantine expects integer MGR:START[:HEAL], got {text!r}"
+        ) from None
+
+
+def _drive_with_checkpoints(
+    simulation,
+    total_cycles: int,
+    args: argparse.Namespace,
+    build: dict,
+    seed: int,
+) -> None:
+    """Run ``simulation`` up to ``total_cycles``, checkpointing as asked."""
+    from repro.chaos import save_checkpoint
+
+    every = args.checkpoint_every
+    target = args.checkpoint if args.checkpoint is not None else args.resume
+    while simulation.cycles_run < total_cycles:
+        simulation.run_simulation_cycle()
+        if every and target is not None and simulation.cycles_run % every == 0:
+            save_checkpoint(simulation, target, build=build, seed=seed)
+            print(f"checkpoint @ cycle {simulation.cycles_run}: {target}")
+
+
+def _scenario_result(scenario):
+    from repro.api import ScenarioResult
+
+    metrics = scenario.world.simulation.metrics
+    return ScenarioResult(
+        config=scenario.config,
+        seed=scenario.seed,
+        run_index=scenario.run_index,
+        world=scenario.world,
+        metrics=metrics,
+        reputations=metrics.final_reputations(),
+        history=metrics.reputation_history(),
+        observability=scenario.world.observability,
+    )
+
+
+def _cmd_simulate_resume(args: argparse.Namespace) -> int:
+    from repro.chaos import load_checkpoint, resume_scenario
+
+    try:
+        header, _ = load_checkpoint(args.resume)
+        scenario = resume_scenario(args.resume)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot resume {args.resume}: {exc}", file=sys.stderr)
+        return 1
+    simulation = scenario.world.simulation
+    total = int(header["build"].get("simulation_cycles", args.cycles))
+    print(f"resumed {args.resume} at cycle {simulation.cycles_run}/{total}")
+    start = perf_counter()
+    _drive_with_checkpoints(
+        simulation, total, args, header["build"], header["seed"]
+    )
+    print(_scenario_result(scenario).summary())
+    print(f"  [{perf_counter() - start:.1f}s]")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.api import run_scenario
 
+    if args.checkpoint_every and args.checkpoint is None and args.resume is None:
+        print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 1
+    if args.resume is not None:
+        return _cmd_simulate_resume(args)
     if args.trace is not None:
         # Pre-flight the export path: a multi-minute simulation that dies
         # at the final write is the worst possible failure mode.
@@ -204,19 +362,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if not os.access(parent, os.W_OK):
             print(f"error: trace directory is not writable: {parent}", file=sys.stderr)
             return 1
+    chaos = None
+    if args.partition or args.byzantine:
+        try:
+            chaos = {
+                "partitions": [_parse_partition(p) for p in args.partition or ()],
+                "byzantines": [_parse_byzantine(b) for b in args.byzantine or ()],
+            }
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     start = perf_counter()
-    result = run_scenario(
-        n_nodes=args.nodes,
-        n_pretrusted=args.pretrusted,
-        n_colluders=args.colluders,
-        system=args.system,
-        collusion=args.collusion,
-        colluder_b=args.colluder_b,
-        simulation_cycles=args.cycles,
-        engine=args.engine,
-        seed=args.seed,
-        observability=args.trace is not None,
-    )
+    if chaos is not None or args.managers or args.checkpoint is not None:
+        # Chaos / checkpoint path: drive the cycles by hand so the run
+        # can be checkpointed (and later resumed) at cycle boundaries.
+        from repro.api import build_scenario
+
+        build = dict(
+            n_nodes=args.nodes,
+            n_pretrusted=args.pretrusted,
+            n_colluders=args.colluders,
+            system=args.system,
+            collusion=args.collusion,
+            colluder_b=args.colluder_b,
+            simulation_cycles=args.cycles,
+            engine=args.engine,
+            n_managers=args.managers,
+        )
+        if chaos is not None:
+            build["chaos"] = chaos
+        try:
+            scenario = build_scenario(
+                seed=args.seed,
+                observability=args.trace is not None,
+                **build,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        _drive_with_checkpoints(
+            scenario.world.simulation, args.cycles, args, build, args.seed
+        )
+        result = _scenario_result(scenario)
+    else:
+        result = run_scenario(
+            n_nodes=args.nodes,
+            n_pretrusted=args.pretrusted,
+            n_colluders=args.colluders,
+            system=args.system,
+            collusion=args.collusion,
+            colluder_b=args.colluder_b,
+            simulation_cycles=args.cycles,
+            engine=args.engine,
+            seed=args.seed,
+            observability=args.trace is not None,
+        )
     print(result.summary())
     print(f"  [{perf_counter() - start:.1f}s]")
     if args.trace is not None:
@@ -361,6 +561,29 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             seed=args.seed, cycles=args.cycles, collusion=args.collusion
         )
         print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.qa_command == "reconverge":
+        import json
+
+        from repro.qa import run_reconvergence
+
+        start = perf_counter()
+        try:
+            report = run_reconvergence(
+                seed=args.seed,
+                cycles=args.cycles,
+                tolerance=args.tolerance,
+                budget=args.budget,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(report.summary())
+        print(f"  [{perf_counter() - start:.1f}s]")
+        if args.report is not None:
+            args.report.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+            print(f"wrote {args.report}")
         return 0 if report.ok else 1
 
     raise AssertionError(f"unhandled qa command {args.qa_command!r}")

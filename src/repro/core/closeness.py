@@ -122,6 +122,45 @@ class ClosenessComputer:
         self._cached_t2 = None
         self._cached_version = -1
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The incrementally-maintained value caches.
+
+        The structure caches (relationship factors, adjacency) rebuild
+        deterministically from the static social view and are not
+        serialized.  The value caches MUST travel with a checkpoint: the
+        low-rank T2 update is exact but not bitwise equal to a fresh
+        rebuild, so resuming with a cold cache would diverge from the
+        uninterrupted run at the last-bit level.
+        """
+
+        def _copy(a: np.ndarray | None) -> np.ndarray | None:
+            return None if a is None else a.copy()
+
+        return {
+            "matrix": _copy(self._cached_matrix),
+            "adj_close": _copy(self._cached_adj_close),
+            "t1": _copy(self._cached_t1),
+            "t2": _copy(self._cached_t2),
+            "version": self._cached_version,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        def _arr(value) -> np.ndarray | None:
+            if value is None:
+                return None
+            return np.asarray(value, dtype=np.float64).copy()
+
+        matrix = _arr(state["matrix"])
+        if matrix is not None:
+            matrix.flags.writeable = False  # the live cache is read-only
+        self._cached_matrix = matrix
+        self._cached_adj_close = _arr(state["adj_close"])
+        self._cached_t1 = _arr(state["t1"])
+        self._cached_t2 = _arr(state["t2"])
+        self._cached_version = int(state["version"])
+
     def _structure(self) -> tuple[np.ndarray, np.ndarray]:
         """(relationship-factor matrix, boolean adjacency matrix), cached."""
         if self._rel_factors is None or self._adjacency is None:

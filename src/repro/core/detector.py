@@ -191,6 +191,21 @@ class CollusionDetector:
         cleared there, not here)."""
         self._interval_index = 0
 
+    @property
+    def last_interval_index(self) -> int | None:
+        """Index of the most recently analyzed interval (``None`` before
+        the first :meth:`analyze`) — what follow-up audit events emitted
+        by the manager layer should stamp themselves with."""
+        if self._interval_index == 0:
+            return None
+        return self._interval_index - 1
+
+    def state_dict(self) -> dict:
+        return {"interval_index": self._interval_index}
+
+    def restore_state(self, state: dict) -> None:
+        self._interval_index = int(state["interval_index"])
+
     def _frequency_thresholds(self, interval: IntervalRatings) -> tuple[float, float]:
         """Derive ``T+_t`` / ``T-_t`` as ``theta * F``.
 

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.closeness import ClosenessComputer
 from repro.core.config import SocialTrustConfig
-from repro.core.detector import CollusionDetector, DetectionResult
+from repro.core.detector import CollusionDetector, DetectionResult, Finding
 from repro.core.similarity import SimilarityComputer
 from repro.faults.injector import FaultInjector
 from repro.obs import NULL_TRACER, Observability
@@ -42,7 +42,12 @@ from repro.social.graph import SocialView
 from repro.social.interactions import InteractionLedger
 from repro.social.interests import InterestProfiles
 
-__all__ = ["ResourceManager", "DistributedSocialTrust"]
+__all__ = ["MESSAGE_KINDS", "ResourceManager", "DistributedSocialTrust"]
+
+
+#: The protocol's message vocabulary (Section 4.3): batched rating
+#: notices plus the social-information round trip.
+MESSAGE_KINDS = frozenset({"rating_report", "info_request", "info_response"})
 
 
 @dataclass
@@ -55,6 +60,11 @@ class ResourceManager:
     messages_sent: Counter = field(default_factory=Counter)
 
     def record_message(self, kind: str, count: int = 1) -> None:
+        if kind not in MESSAGE_KINDS:
+            raise ValueError(
+                f"unknown message kind {kind!r}; expected one of "
+                f"{sorted(MESSAGE_KINDS)}"
+            )
         if count < 0:
             raise ValueError("message count must be non-negative")
         if count == 0:
@@ -148,6 +158,9 @@ class DistributedSocialTrust(ReputationSystem):
         self._rated_mask = np.zeros((n, n), dtype=bool)
         self._flag_counts = np.zeros((n, n), dtype=np.int64)
         self._last_result: DetectionResult | None = None
+        #: Weights applied in the previous interval — what a Byzantine
+        #: manager in ``"stale"`` mode replays for its rows.
+        self._last_weights: np.ndarray | None = None
 
     @property
     def name(self) -> str:
@@ -248,36 +261,179 @@ class DistributedSocialTrust(ReputationSystem):
         pair_managers = set(
             zip(assign[ratee_idx].tolist(), assign[rater_idx].tolist())
         )
+        injector = self._injector
         for ratee_home, rater_home in pair_managers:
             sender = serving[ratee_home]
             receiver = serving[rater_home]
             if sender is None or receiver is None or sender == receiver:
                 continue
+            if (
+                injector is not None
+                and injector.partition_active
+                and injector.manager_side(sender) != injector.manager_side(receiver)
+            ):
+                # Opposite sides of an active partition: the report cannot
+                # cross; it stays queued and is re-batched after heal.
+                injector.metrics.record_partition_block()
+                continue
             self._managers[sender].record_message("rating_report")
             if transport is not None:
                 transport.send("rating_report")
 
-    def _failover_weights(self, result: DetectionResult) -> np.ndarray:
+    def _successor_replica(
+        self, manager_id: int, rater_mgr: int
+    ) -> int | None:
+        """First live ring successor of ``manager_id`` reachable from
+        ``rater_mgr`` (same partition side), or ``None``.
+
+        The degradation ladder's second rung: the ring successor holds a
+        replica of its predecessor's social information (the standard
+        Chord successor-list recipe), so a failed primary round trip is
+        retried once against it before giving up.
+        """
+        ring = self._ring
+        injector = self._injector
+        if ring is None:
+            return None
+        down = injector.down_managers() if injector is not None else frozenset()
+        successor = int(manager_id)
+        for _ in range(len(self._managers)):
+            successor = ring.successor_of(successor)
+            if successor == manager_id:
+                return None
+            if successor in down:
+                continue
+            if injector is not None and injector.partition_active:
+                if injector.manager_side(successor) != injector.manager_side(
+                    rater_mgr
+                ):
+                    continue
+            return successor
+        return None
+
+    def _audit_degradation(
+        self,
+        finding: Finding,
+        decision: str,
+        weight: float,
+        interval: IntervalRatings,
+        result: DetectionResult,
+    ) -> None:
+        """Record one degradation-ladder outcome in the detector audit
+        log, stamped with the interval the detector just analyzed."""
+        if self._obs is None:
+            return
+        from repro.obs import AuditEvent
+
+        interval_index = self._detector.last_interval_index
+        if interval_index is None:
+            return
+        t = result.thresholds
+        behaviors = tuple(
+            name
+            for name in ("B1", "B2", "B3", "B4")
+            if getattr(type(finding.reasons), name) in finding.reasons
+        )
+        self._obs.audit.record(
+            AuditEvent(
+                interval=interval_index,
+                rater=finding.rater,
+                ratee=finding.ratee,
+                decision=decision,
+                behaviors=behaviors,
+                fired=(),
+                closeness=float(finding.closeness),
+                similarity=float(finding.similarity),
+                weight=float(weight),
+                pos_count=float(interval.pos_counts[finding.rater, finding.ratee]),
+                neg_count=float(interval.neg_counts[finding.rater, finding.ratee]),
+                thresholds={
+                    "T+": float(t.pos_frequency),
+                    "T-": float(t.neg_frequency),
+                    "TR": float(t.low_reputation),
+                    "Tcl": float(t.closeness_low),
+                    "Tch": float(t.closeness_high),
+                    "Tsl": float(t.similarity_low),
+                    "Tsh": float(t.similarity_high),
+                },
+            )
+        )
+        self._obs.metrics.counter(f"manager.degraded.{decision}").inc()
+
+    def _corrupt_byzantine_rows(
+        self,
+        weights: np.ndarray,
+        interval: IntervalRatings,
+        serving: dict[int, int | None],
+    ) -> None:
+        """Overwrite the rows served by Byzantine managers in place.
+
+        A Byzantine manager keeps answering the protocol but lies about
+        the damping weights for its nodes' outgoing ratings:
+        ``"suppress"`` reports no damping at all, ``"stale"`` replays the
+        weights it applied in the previous interval, and ``"corrupt"``
+        dampens every rated pair in its rows indiscriminately.
+        """
+        injector = self._injector
+        if injector is None:
+            return
+        bad = injector.byzantine_managers() & set(self._managers)
+        if not bad:
+            return
+        mode = injector.config.byzantine_mode
+        neutral = self._config.neutral_damping
+        corrupted_rows = 0
+        for mid in sorted(bad):
+            manager = self._managers[mid]
+            if not manager.managed or serving.get(mid) != mid:
+                continue
+            rows = sorted(manager.managed)
+            if mode == "suppress":
+                weights[rows, :] = 1.0
+            elif mode == "stale":
+                if self._last_weights is not None:
+                    weights[rows, :] = self._last_weights[rows, :]
+                else:
+                    weights[rows, :] = 1.0
+            else:  # "corrupt"
+                sub = weights[rows, :]
+                sub[interval.counts[rows, :] > 0] = neutral
+                weights[rows, :] = sub
+            corrupted_rows += len(rows)
+        if corrupted_rows:
+            injector.metrics.record_byzantine_corruption(corrupted_rows)
+
+    def _failover_weights(
+        self, result: DetectionResult, interval: IntervalRatings
+    ) -> np.ndarray:
         """Compose the damping weights the managers actually apply.
 
         Fault-free this reproduces the centralised weight matrix exactly:
         each rater-side manager applies the detector's adjustment to its
         own nodes' outgoing ratings, and the row slices compose the full
-        matrix.  Under faults:
+        matrix.  Under faults, a down manager's rows are applied by its
+        ring successor (same numbers — the judgement is deterministic
+        given the social information), counted as reassignments, and each
+        suspected cross-manager pair walks the explicit
+        :class:`~repro.faults.policy.DegradationTier` ladder for its
+        ``info_request`` / ``info_response`` round trip:
 
-        * a down manager's rows are applied by its ring successor (same
-          numbers — the judgement is deterministic given the social
-          information), counted as reassignments;
-        * a suspected cross-manager pair needs an ``info_request`` /
-          ``info_response`` round trip for the ratee-side social
-          information; when the round trip fails after capped-backoff
-          retries (or no live manager holds the information), the pair
-          falls back to the conservative ``neutral_damping`` weight —
-          the rating is neither trusted at full weight nor erased on
-          unverified suspicion;
-        * with *every* manager down, nobody can fetch social information,
-          so every suspected pair gets the neutral fallback and all other
-          ratings pass through unadjusted.
+        1. **retry** — the transport retries the primary route under the
+           unified :class:`~repro.faults.policy.RetryPolicy`;
+        2. **successor** — a failed primary is retried once against the
+           ratee-side manager's first live ring successor (its replica);
+        3. **neutral damping** — both routes failed (or no live manager
+           holds the information): the pair gets the conservative
+           ``neutral_damping`` weight, recorded as a fallback and as a
+           ``degraded_neutral`` audit event;
+        4. **skip** — the ratee-side manager sits across an active
+           network partition, so it is provably unreachable until heal:
+           the judgement is deferred (the rating passes undamped this
+           interval), counted as a partition block and audited as
+           ``skipped``.
+
+        Finally, any Byzantine manager's rows are overwritten with its
+        lie (see :meth:`_corrupt_byzantine_rows`).
         """
         serving = self._serving_managers()
         weights = np.ones_like(result.weights)
@@ -290,6 +446,10 @@ class DistributedSocialTrust(ReputationSystem):
                 weights[finding.rater, finding.ratee] = neutral
                 assert metrics is not None
                 metrics.record_fallback()
+                self._audit_degradation(
+                    finding, "degraded_neutral", neutral, interval, result
+                )
+            self._last_weights = weights.copy()
             return weights
         for home, manager in self._managers.items():
             if not manager.managed:
@@ -308,14 +468,47 @@ class DistributedSocialTrust(ReputationSystem):
                 weights[finding.rater, finding.ratee] = neutral
                 assert metrics is not None
                 metrics.record_fallback()
+                self._audit_degradation(
+                    finding, "degraded_neutral", neutral, interval, result
+                )
                 continue
-            if transport is not None and not transport.send("info_request").delivered:
-                weights[finding.rater, finding.ratee] = neutral
+            if (
+                injector is not None
+                and injector.partition_active
+                and injector.manager_side(rater_mgr)
+                != injector.manager_side(ratee_mgr)
+            ):
+                # Tier 4: provably unreachable until the partition heals —
+                # defer the judgement instead of damping on local evidence.
+                weights[finding.rater, finding.ratee] = 1.0
                 assert metrics is not None
-                metrics.record_fallback()
+                metrics.record_partition_block()
+                self._audit_degradation(finding, "skipped", 1.0, interval, result)
                 continue
-            self._managers[rater_mgr].record_message("info_request")
-            self._managers[ratee_mgr].record_message("info_response")
+            if transport is None or transport.send("info_request").delivered:
+                # Tier 1: primary route (with transport-level retries).
+                self._managers[rater_mgr].record_message("info_request")
+                self._managers[ratee_mgr].record_message("info_response")
+                continue
+            replica = self._successor_replica(ratee_mgr, rater_mgr)
+            if (
+                replica is not None
+                and transport is not None
+                and transport.send("info_request").delivered
+            ):
+                # Tier 2: the ratee-side manager's replica answered.
+                self._managers[rater_mgr].record_message("info_request")
+                self._managers[replica].record_message("info_response")
+                continue
+            # Tier 3: neutral damping.
+            weights[finding.rater, finding.ratee] = neutral
+            assert metrics is not None
+            metrics.record_fallback()
+            self._audit_degradation(
+                finding, "degraded_neutral", neutral, interval, result
+            )
+        self._corrupt_byzantine_rows(weights, interval, serving)
+        self._last_weights = weights.copy()
         return weights
 
     def update(self, interval: IntervalRatings) -> np.ndarray:
@@ -333,7 +526,7 @@ class DistributedSocialTrust(ReputationSystem):
         for finding in result.findings:
             self._flag_counts[finding.rater, finding.ratee] += 1
         with self._tracer.span("manager.failover_weights"):
-            weights = self._failover_weights(result)
+            weights = self._failover_weights(result, interval)
         self._publish_manager_metrics()
         adjusted = interval.scaled(weights)
         with self._tracer.span("reputation.inner_update", system=self._inner.name):
@@ -359,6 +552,10 @@ class DistributedSocialTrust(ReputationSystem):
             faults = self._injector.metrics
             registry.gauge("manager.fallbacks").set(faults.fallbacks)
             registry.gauge("manager.reassignments").set(faults.reassignments)
+            registry.gauge("manager.partition_blocks").set(faults.partition_blocks)
+            registry.gauge("manager.byzantine_corruptions").set(
+                faults.byzantine_corruptions
+            )
 
     @property
     def reputations(self) -> np.ndarray:
@@ -370,5 +567,50 @@ class DistributedSocialTrust(ReputationSystem):
         self._rated_mask[:] = False
         self._flag_counts[:] = 0
         self._last_result = None
+        self._last_weights = None
         for manager in self._managers.values():
             manager.messages_sent.clear()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Mutable system state for cycle-boundary checkpoints.
+
+        Covers the inner reputation system, the detector's interval
+        counter, the recidivism bookkeeping, the previous interval's
+        applied weights, the per-manager message counters, and the Ωc/Ωs
+        value caches (whose incremental updates are not bitwise equal to
+        a fresh rebuild, so a bit-identical resume must carry them).
+        """
+        return {
+            "inner": self._inner.state_dict(),
+            "detector": self._detector.state_dict(),
+            "rated_mask": self._rated_mask.copy(),
+            "flag_counts": self._flag_counts.copy(),
+            "last_weights": (
+                None if self._last_weights is None else self._last_weights.copy()
+            ),
+            "messages": [
+                [mid, dict(manager.messages_sent)]
+                for mid, manager in sorted(self._managers.items())
+            ],
+            "closeness": self._closeness.state_dict(),
+            "similarity": self._similarity.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._inner.restore_state(state["inner"])
+        self._detector.restore_state(state["detector"])
+        self._rated_mask = np.asarray(state["rated_mask"], dtype=bool).copy()
+        self._flag_counts = np.asarray(state["flag_counts"], dtype=np.int64).copy()
+        lw = state["last_weights"]
+        self._last_weights = (
+            None if lw is None else np.asarray(lw, dtype=np.float64).copy()
+        )
+        self._last_result = None
+        for manager in self._managers.values():
+            manager.messages_sent.clear()
+        for mid, counts in state["messages"]:
+            self._managers[int(mid)].messages_sent.update(counts)
+        self._closeness.restore_state(state["closeness"])
+        self._similarity.restore_state(state["similarity"])

@@ -54,6 +54,36 @@ class SimilarityComputer:
         self._cached_req_version = -1
         self._cached_decl_version = -1
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The value cache and its version keys (serialized alongside the
+        Ωc caches so a resumed run replays cache hits and incremental
+        updates exactly as the uninterrupted run would)."""
+
+        def _copy(a: np.ndarray | None) -> np.ndarray | None:
+            return None if a is None else a.copy()
+
+        return {
+            "matrix": _copy(self._cached_matrix),
+            "numer": _copy(self._cached_numer),
+            "req_version": self._cached_req_version,
+            "decl_version": self._cached_decl_version,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        matrix = state["matrix"]
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=np.float64).copy()
+            matrix.flags.writeable = False  # the live cache is read-only
+        self._cached_matrix = matrix
+        numer = state["numer"]
+        self._cached_numer = (
+            None if numer is None else np.asarray(numer, dtype=np.float64).copy()
+        )
+        self._cached_req_version = int(state["req_version"])
+        self._cached_decl_version = int(state["decl_version"])
+
     @property
     def n_nodes(self) -> int:
         return self._profiles.n_nodes

@@ -139,3 +139,27 @@ class SocialTrust(ReputationSystem):
         self._rated_mask[:] = False
         self._flag_counts[:] = 0
         self._last_result = None
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Inner system, detector interval counter, recidivism
+        bookkeeping, and the Ωc/Ωs value caches (whose incremental
+        updates are not bitwise equal to a fresh rebuild)."""
+        return {
+            "inner": self._inner.state_dict(),
+            "detector": self._detector.state_dict(),
+            "rated_mask": self._rated_mask.copy(),
+            "flag_counts": self._flag_counts.copy(),
+            "closeness": self._closeness.state_dict(),
+            "similarity": self._similarity.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._inner.restore_state(state["inner"])
+        self._detector.restore_state(state["detector"])
+        self._rated_mask = np.asarray(state["rated_mask"], dtype=bool).copy()
+        self._flag_counts = np.asarray(state["flag_counts"], dtype=np.int64).copy()
+        self._last_result = None
+        self._closeness.restore_state(state["closeness"])
+        self._similarity.restore_state(state["similarity"])

@@ -29,7 +29,9 @@ from repro.collusion import (
     falsify_identical_interests,
     falsify_single_relationship,
 )
-from repro.core import SocialTrust, SocialTrustConfig
+from repro.chaos.spec import ChaosSpec
+from repro.core import DistributedSocialTrust, SocialTrust, SocialTrustConfig
+from repro.faults import FaultConfig, FaultInjector, FaultSchedule
 from repro.obs import Observability
 from repro.p2p import (
     EngineMode,
@@ -162,10 +164,51 @@ class WorldConfig:
     #: Query-cycle execution engine (see :mod:`repro.p2p.engine`); accepts
     #: the enum or its string value ("batched" / "scalar").
     engine: EngineMode = EngineMode.BATCHED
+    #: Stochastic fault rates (churn, manager crashes, lossy transport,
+    #: partitions, Byzantine managers).  ``None`` (default) builds no
+    #: injector at all — the run is byte-identical to the seed path.
+    #: Accepts a :class:`~repro.faults.config.FaultConfig` or its dict
+    #: form (JSON-friendly, e.g. from a golden/checkpoint header).
+    faults: FaultConfig | dict | None = None
+    #: Scripted chaos scenario (explicit partition / Byzantine windows).
+    #: When set, it replaces the stochastic *event* schedule — transport
+    #: unreliability from ``faults`` still applies.  Accepts a
+    #: :class:`~repro.chaos.ChaosSpec` or its dict form.
+    chaos: ChaosSpec | dict | None = None
+    #: Number of resource managers for the distributed SocialTrust
+    #: execution (Section 4.3).  0 (default) runs the centralised
+    #: wrapper; > 0 requires a SocialTrust-wrapped ``system``.
+    n_managers: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.engine, EngineMode):
             object.__setattr__(self, "engine", EngineMode(self.engine))
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultConfig(**self.faults))
+        if isinstance(self.chaos, dict):
+            object.__setattr__(self, "chaos", ChaosSpec.from_dict(self.chaos))
+        if self.n_managers < 0:
+            raise ValueError(f"n_managers must be >= 0, got {self.n_managers}")
+        if self.n_managers and not self.system.uses_socialtrust:
+            raise ValueError(
+                "n_managers > 0 requires a SocialTrust-wrapped system "
+                "(the manager protocol is part of SocialTrust)"
+            )
+        if self.chaos is not None and self.chaos.byzantines:
+            if not self.n_managers:
+                raise ValueError(
+                    "Byzantine manager windows require n_managers > 0"
+                )
+            bad = sorted(
+                b.manager_id
+                for b in self.chaos.byzantines
+                if b.manager_id >= self.n_managers
+            )
+            if bad:
+                raise ValueError(
+                    f"Byzantine manager ids {bad} out of range "
+                    f"[0, {self.n_managers})"
+                )
         if self.n_pretrusted + self.n_colluders > self.n_nodes:
             raise ValueError("pre-trusted + colluders exceed network size")
         if self.n_compromised_pretrusted > self.n_pretrusted:
@@ -280,6 +323,7 @@ def _build_system(
     interactions: InteractionLedger,
     profiles: InterestProfiles,
     observability: Observability | None = None,
+    injector: FaultInjector | None = None,
 ) -> ReputationSystem:
     base: ReputationSystem
     if config.system.base is SystemKind.EIGENTRUST:
@@ -302,6 +346,13 @@ def _build_system(
         base = EBayModel(config.n_nodes, cycle_aggregation=config.ebay_aggregation)
     if not config.system.uses_socialtrust:
         return base
+    if config.n_managers:
+        return DistributedSocialTrust(
+            base, network, interactions, profiles, config.socialtrust,
+            n_managers=config.n_managers,
+            injector=injector,
+            observability=observability,
+        )
     return SocialTrust(
         base, network, interactions, profiles, config.socialtrust,
         observability=observability,
@@ -441,7 +492,27 @@ def build_world(
             rng,
             set_size_range=(1, min(10, config.n_interests)),
         )
-    system = _build_system(config, network, interactions, profiles, observability)
+    injector = None
+    if config.faults is not None or config.chaos is not None:
+        fault_config = config.faults if config.faults is not None else FaultConfig()
+        # A dedicated stream (0xFA) keyed next to the simulation's own:
+        # fault randomness never perturbs the simulation RNG, so a
+        # zero-rate injector run stays bit-identical to an injector-free
+        # one (and a chaos run diffs cleanly against its fault-free twin).
+        fault_rng = spawn_rng(seed, run_index, 0xFA)
+        if config.chaos is not None and not config.chaos.empty:
+            fault_schedule = config.chaos.to_schedule(fault_config)
+        else:
+            fault_schedule = FaultSchedule(fault_config, fault_rng)
+        injector = FaultInjector(
+            config.n_nodes,
+            config=fault_config,
+            rng=fault_rng,
+            schedule=fault_schedule,
+        )
+    system = _build_system(
+        config, network, interactions, profiles, observability, injector
+    )
     simulation = Simulation(
         population,
         overlay,
@@ -457,6 +528,7 @@ def build_world(
         collusion=schedule,
         interactions=interactions,
         profiles=profiles,
+        fault_injector=injector,
         observability=observability,
     )
     return BuiltWorld(

@@ -2,26 +2,35 @@
 
 The paper's resource-manager protocol (Section 4.3) is evaluated in a
 fault-free world; real P2P deployments are dominated by peer churn,
-manager failures, and lossy messaging.  This package injects exactly
-those faults — deterministically, from dedicated RNG streams — and gives
-every layer the observability to show *graceful degradation* instead of
-crashes:
+manager failures, lossy messaging, network partitions, and outright
+Byzantine behaviour.  This package injects exactly those faults —
+deterministically, from dedicated RNG streams — and gives every layer
+the observability to show *graceful degradation* instead of crashes:
 
 * :class:`FaultConfig` — all rates and the retry policy as explicit knobs;
 * :class:`FaultSchedule` / :class:`FaultEvent` — stochastic or scripted
-  lifecycle event streams;
-* :class:`FaultInjector` — shared liveness state (peers + managers) and
-  the faulty channel;
-* :class:`UnreliableTransport` — loss/delay with capped exponential
-  backoff under a timeout budget;
+  lifecycle event streams (churn, crashes, partitions, Byzantine turns);
+* :class:`FaultInjector` — shared liveness + chaos state (peers,
+  managers, partition sides, Byzantine flags) and the faulty channel;
+* :class:`UnreliableTransport` — loss/delay/duplication/reordering under
+  the unified :class:`RetryPolicy`;
+* :class:`RetryPolicy` / :class:`RetryBudget` / :class:`DegradationTier`
+  — the single deadline + capped jittered backoff + budget policy and
+  the explicit graceful-degradation ladder every caller follows;
 * :class:`FaultMetrics` — event log, retry/timeout/fallback/reassignment
-  counters, and the per-cycle degradation series.
+  and partition/Byzantine counters, and the per-cycle series.
 """
 
 from repro.faults.config import FaultConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.metrics import FaultMetrics
-from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.policy import DegradationTier, RetryBudget, RetryPolicy
+from repro.faults.schedule import (
+    NETWORK_SUBJECT,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
 from repro.faults.transport import DeliveryReport, UnreliableTransport
 
 __all__ = [
@@ -31,6 +40,10 @@ __all__ = [
     "FaultKind",
     "FaultMetrics",
     "FaultSchedule",
+    "NETWORK_SUBJECT",
+    "DegradationTier",
     "DeliveryReport",
+    "RetryBudget",
+    "RetryPolicy",
     "UnreliableTransport",
 ]

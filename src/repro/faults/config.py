@@ -67,6 +67,37 @@ class FaultConfig:
     #: Per-cycle multiplicative decay applied to a departed peer's
     #: interaction-ledger rows while it is offline.
     offline_decay: float = 0.9
+    #: Uniform jitter fraction applied to each backoff wait: attempt ``k``
+    #: waits ``backoff * (1 + retry_jitter * u)`` with ``u ~ U[0, 1)``.
+    #: Zero (the default) draws nothing and reproduces the deterministic
+    #: capped-exponential schedule exactly.
+    retry_jitter: float = 0.0
+    #: Total retransmissions a transport may spend across its whole
+    #: lifetime (``None`` = unlimited).  Once exhausted, every send gets
+    #: exactly one attempt.
+    retry_budget: int | None = None
+    #: Per-simulation-cycle probability that a network partition starts
+    #: (bisecting the node set); ignored while one is already active.
+    partition_rate: float = 0.0
+    #: Cycles a stochastic partition lasts before it auto-heals.
+    partition_heal_cycles: int = 3
+    #: Fraction of nodes placed on the minority side of a partition.
+    partition_fraction: float = 0.5
+    #: Per-simulation-cycle probability that an honest up manager turns
+    #: Byzantine (serves corrupted or stale damping weights).
+    byzantine_rate: float = 0.0
+    #: Per-simulation-cycle probability that a Byzantine manager heals.
+    byzantine_recovery_rate: float = 0.0
+    #: What a Byzantine manager serves: ``"suppress"`` (reports no damping
+    #: for its rows), ``"stale"`` (replays the previous interval's
+    #: weights), or ``"corrupt"`` (dampens every rated pair in its rows).
+    byzantine_mode: str = "suppress"
+    #: Probability a delivered message is duplicated in flight.
+    message_duplicate_rate: float = 0.0
+    #: Probability a delivered message arrives out of order.
+    message_reorder_rate: float = 0.0
+
+    _BYZANTINE_MODES = ("suppress", "stale", "corrupt")
 
     def __post_init__(self) -> None:
         for name in (
@@ -78,6 +109,12 @@ class FaultConfig:
             "message_loss_rate",
             "message_delay_rate",
             "offline_decay",
+            "retry_jitter",
+            "partition_rate",
+            "byzantine_rate",
+            "byzantine_recovery_rate",
+            "message_duplicate_rate",
+            "message_reorder_rate",
         ):
             check_probability(name, getattr(self, name))
         if self.mean_delay < 0:
@@ -92,6 +129,23 @@ class FaultConfig:
             raise ValueError(
                 f"timeout_budget must be positive, got {self.timeout_budget}"
             )
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be None or >= 0, got {self.retry_budget}"
+            )
+        if self.partition_heal_cycles < 1:
+            raise ValueError(
+                f"partition_heal_cycles must be >= 1, got {self.partition_heal_cycles}"
+            )
+        if not 0.0 < self.partition_fraction < 1.0:
+            raise ValueError(
+                f"partition_fraction must be in (0, 1), got {self.partition_fraction}"
+            )
+        if self.byzantine_mode not in self._BYZANTINE_MODES:
+            raise ValueError(
+                f"byzantine_mode must be one of {self._BYZANTINE_MODES}, "
+                f"got {self.byzantine_mode!r}"
+            )
 
     @property
     def fault_free(self) -> bool:
@@ -102,6 +156,10 @@ class FaultConfig:
             and self.manager_crash_rate == 0.0
             and self.message_loss_rate == 0.0
             and self.message_delay_rate == 0.0
+            and self.partition_rate == 0.0
+            and self.byzantine_rate == 0.0
+            and self.message_duplicate_rate == 0.0
+            and self.message_reorder_rate == 0.0
         )
 
     @property
@@ -111,3 +169,13 @@ class FaultConfig:
     @property
     def lossy(self) -> bool:
         return self.message_loss_rate > 0.0 or self.message_delay_rate > 0.0
+
+    @property
+    def unreliable(self) -> bool:
+        """True when any per-message fault (loss, delay, duplication,
+        reordering) can fire, i.e. when the transport needs an RNG."""
+        return (
+            self.lossy
+            or self.message_duplicate_rate > 0.0
+            or self.message_reorder_rate > 0.0
+        )

@@ -27,7 +27,12 @@ import numpy as np
 
 from repro.faults.config import FaultConfig
 from repro.faults.metrics import FaultMetrics
-from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.schedule import (
+    NETWORK_SUBJECT,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
 from repro.faults.transport import UnreliableTransport
 from repro.utils.rng import RngStream
 
@@ -56,10 +61,15 @@ class FaultInjector:
         self._metrics = metrics or FaultMetrics()
         self._schedule = schedule or FaultSchedule(config, rng)
         self._transport = UnreliableTransport(config, rng, metrics=self._metrics)
+        self._rng = rng if rng is not None else self._schedule.rng
         self._online = np.ones(self._n, dtype=bool)
-        self._managers: dict[int, bool] = {int(m): True for m in manager_ids}
+        self._managers: dict[int, bool] = {}
+        self._byzantine: dict[int, bool] = {}
+        self._partition_side: np.ndarray | None = None
+        self._partition_heal_at: int | None = None
         self._cycle = 0
         self._obs = None
+        self.register_managers(manager_ids)
 
     def bind_observability(self, observability) -> None:
         """Publish lifecycle counters and liveness gauges into an
@@ -93,9 +103,23 @@ class FaultInjector:
         return self._cycle
 
     def register_managers(self, manager_ids: Iterable[int]) -> None:
-        """Add managers (idempotent; new ones start up)."""
+        """Add managers (idempotent; new ones start up).
+
+        Re-registering a known manager — which happens when a
+        ``DistributedSocialTrust`` layer is rebuilt around a resumed
+        injector — changes nothing and counts nothing: only genuinely
+        new ids are reported to :meth:`FaultMetrics.
+        record_managers_registered`.
+        """
+        new = 0
         for manager_id in manager_ids:
-            self._managers.setdefault(int(manager_id), True)
+            mid = int(manager_id)
+            if mid not in self._managers:
+                self._managers[mid] = True
+                new += 1
+            self._byzantine.setdefault(mid, False)
+        if new:
+            self._metrics.record_managers_registered(new)
 
     # -- liveness queries -----------------------------------------------------
 
@@ -130,7 +154,63 @@ class FaultInjector:
     def managers_up_count(self) -> int:
         return sum(1 for up in self._managers.values() if up)
 
+    # -- partition queries ----------------------------------------------------
+
+    @property
+    def partition_active(self) -> bool:
+        return self._partition_side is not None
+
+    @property
+    def partition_mask(self) -> np.ndarray | None:
+        """Read-only per-peer side mask (True = side A), or ``None``
+        while the network is whole."""
+        if self._partition_side is None:
+            return None
+        view = self._partition_side.view()
+        view.flags.writeable = False
+        return view
+
+    def same_side(self, a: int, b: int) -> bool:
+        """Whether peers ``a`` and ``b`` can currently exchange messages."""
+        if self._partition_side is None:
+            return True
+        return bool(self._partition_side[a] == self._partition_side[b])
+
+    def manager_side(self, manager_id: int) -> bool | None:
+        """Partition side of a manager, or ``None`` while whole.
+
+        Manager ``m`` is modelled as hosted on peer ``m`` when that peer
+        exists; managers outside the node-id range sit on side A.
+        """
+        if self._partition_side is None:
+            return None
+        mid = int(manager_id)
+        if 0 <= mid < self._n:
+            return bool(self._partition_side[mid])
+        return True
+
+    # -- Byzantine queries ----------------------------------------------------
+
+    def manager_byzantine(self, manager_id: int) -> bool:
+        return self._byzantine.get(int(manager_id), False)
+
+    def byzantine_managers(self) -> frozenset[int]:
+        return frozenset(m for m, bad in self._byzantine.items() if bad)
+
     # -- state transitions ------------------------------------------------------
+
+    def _draw_partition_side(self) -> np.ndarray:
+        """Side mask of a fresh partition: a random node subset of size
+        ``round(n * partition_fraction)`` (contiguous prefix when the
+        injector has no RNG, i.e. fully scripted runs)."""
+        side_size = int(round(self._n * self._config.partition_fraction))
+        side_size = max(1, min(self._n - 1, side_size))
+        mask = np.zeros(self._n, dtype=bool)
+        if self._rng is not None:
+            mask[self._rng.permutation(self._n)[:side_size]] = True
+        else:
+            mask[:side_size] = True
+        return mask
 
     def _apply(self, event: FaultEvent) -> bool:
         """Apply one event; returns False for no-ops (already in state)."""
@@ -143,19 +223,60 @@ class FaultInjector:
                 return False
             self._online[node] = target
             return True
+        if event.kind is FaultKind.PARTITION_START:
+            if self._partition_side is not None:
+                return False
+            self._partition_side = self._draw_partition_side()
+            if not self._schedule.is_scripted:
+                self._partition_heal_at = (
+                    event.cycle + self._config.partition_heal_cycles
+                )
+            return True
+        if event.kind is FaultKind.PARTITION_HEAL:
+            if self._partition_side is None:
+                return False
+            self._partition_side = None
+            self._partition_heal_at = None
+            return True
         manager_id = int(event.subject)
         if manager_id not in self._managers:
             raise KeyError(f"unknown manager {manager_id}")
+        if event.kind.is_byzantine:
+            target = event.kind is FaultKind.MANAGER_BYZANTINE
+            if target and not self._managers[manager_id]:
+                return False  # a down manager cannot serve lies
+            if self._byzantine[manager_id] == target:
+                return False
+            self._byzantine[manager_id] = target
+            return True
         target = event.kind is FaultKind.MANAGER_RECOVER
         if self._managers[manager_id] == target:
             return False
         self._managers[manager_id] = target
+        if not target:
+            # A crash wipes the corrupted in-memory state: the manager
+            # restarts honest if it ever recovers.
+            self._byzantine[manager_id] = False
         return True
 
     def advance(self) -> list[FaultEvent]:
         """Advance one simulation cycle; returns the events that applied."""
-        drawn = self._schedule.draw(self._cycle, self._online, self._managers)
         applied: list[FaultEvent] = []
+        if (
+            self._partition_heal_at is not None
+            and self._cycle >= self._partition_heal_at
+        ):
+            heal = FaultEvent(self._cycle, FaultKind.PARTITION_HEAL, NETWORK_SUBJECT)
+            if self._apply(heal):
+                self._metrics.record_event(heal)
+                applied.append(heal)
+        drawn = self._schedule.draw(
+            self._cycle,
+            self._online,
+            self._managers,
+            partition_active=self.partition_active,
+            byzantine=self._byzantine,
+        )
         for event in drawn:
             if self._apply(event):
                 self._metrics.record_event(event)
@@ -167,6 +288,12 @@ class FaultInjector:
                 registry.counter("faults.events").inc(len(applied))
             registry.gauge("faults.peers_online").set(self.peers_online)
             registry.gauge("faults.managers_up").set(self.managers_up_count)
+            registry.gauge("faults.partition_active").set(
+                1.0 if self.partition_active else 0.0
+            )
+            registry.gauge("faults.byzantine_managers").set(
+                len(self.byzantine_managers())
+            )
         return applied
 
     # -- manual controls (tests, examples, operational drills) -------------------
@@ -187,3 +314,87 @@ class FaultInjector:
 
     def restore_manager(self, manager_id: int) -> None:
         self._force(FaultKind.MANAGER_RECOVER, manager_id)
+
+    def start_partition(
+        self,
+        side: np.ndarray | None = None,
+        *,
+        heal_after: int | None = None,
+    ) -> None:
+        """Start a partition now, optionally with an explicit side mask
+        and an auto-heal delay in cycles."""
+        if self._partition_side is not None:
+            return
+        event = FaultEvent(self._cycle, FaultKind.PARTITION_START, NETWORK_SUBJECT)
+        if side is not None:
+            mask = np.asarray(side, dtype=bool)
+            if mask.shape != (self._n,):
+                raise ValueError(f"side mask must have shape ({self._n},)")
+            if mask.all() or not mask.any():
+                raise ValueError("side mask must split the nodes in two")
+            self._partition_side = mask.copy()
+            self._partition_heal_at = None
+        else:
+            self._apply(event)
+        if heal_after is not None:
+            if heal_after < 1:
+                raise ValueError(f"heal_after must be >= 1, got {heal_after}")
+            self._partition_heal_at = self._cycle + heal_after
+        self._metrics.record_event(event)
+
+    def heal_partition(self) -> None:
+        self._force(FaultKind.PARTITION_HEAL, NETWORK_SUBJECT)
+
+    def make_byzantine(self, manager_id: int) -> None:
+        self._force(FaultKind.MANAGER_BYZANTINE, manager_id)
+
+    def heal_byzantine(self, manager_id: int) -> None:
+        self._force(FaultKind.MANAGER_HEAL, manager_id)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Every mutable piece of the failure world, for cycle-boundary
+        checkpoints: liveness, chaos state, shared metrics, the retry
+        budget, and the injector's RNG stream."""
+        return {
+            "cycle": self._cycle,
+            "online": self._online.copy(),
+            "managers": [[mid, up] for mid, up in sorted(self._managers.items())],
+            "byzantine": [
+                [mid, bad] for mid, bad in sorted(self._byzantine.items())
+            ],
+            "partition_side": (
+                None if self._partition_side is None else self._partition_side.copy()
+            ),
+            "partition_heal_at": self._partition_heal_at,
+            "transport": self._transport.state_dict(),
+            "metrics": self._metrics.state_dict(),
+            "rng": None if self._rng is None else self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._cycle = int(state["cycle"])
+        online = np.asarray(state["online"], dtype=bool)
+        if online.shape != self._online.shape:
+            raise ValueError(
+                f"online mask shape {online.shape} != ({self._n},)"
+            )
+        self._online = online.copy()
+        self._managers = {int(mid): bool(up) for mid, up in state["managers"]}
+        self._byzantine = {int(mid): bool(bad) for mid, bad in state["byzantine"]}
+        side = state["partition_side"]
+        self._partition_side = (
+            None if side is None else np.asarray(side, dtype=bool).copy()
+        )
+        heal_at = state["partition_heal_at"]
+        self._partition_heal_at = None if heal_at is None else int(heal_at)
+        self._transport.restore_state(state["transport"])
+        self._metrics.restore_state(state["metrics"])
+        if state["rng"] is not None:
+            if self._rng is None:
+                raise ValueError(
+                    "checkpoint carries an injector RNG state but this "
+                    "injector was built without an rng"
+                )
+            self._rng.bit_generator.state = state["rng"]

@@ -35,9 +35,16 @@ class FaultMetrics:
         self.delays: Counter = Counter()
         #: Messages abandoned after exhausting retries/budget, by kind.
         self.timeouts: Counter = Counter()
+        #: Deliveries duplicated in flight, by message kind.
+        self.duplicates: Counter = Counter()
+        #: Deliveries arriving out of order, by message kind.
+        self.reorders: Counter = Counter()
         self._retries = 0
         self._fallbacks = 0
         self._reassignments = 0
+        self._partition_blocks = 0
+        self._byzantine_corruptions = 0
+        self._managers_registered = 0
         self._event_log: list["FaultEvent"] = []
         self._series: list[dict[str, float]] = []
 
@@ -76,6 +83,33 @@ class FaultMetrics:
             raise ValueError(f"n_nodes must be >= 0, got {n_nodes}")
         self._reassignments += n_nodes
 
+    def record_duplicate(self, kind: str) -> None:
+        self.duplicates[kind] += 1
+
+    def record_reorder(self, kind: str) -> None:
+        self.reorders[kind] += 1
+
+    def record_partition_block(self, count: int = 1) -> None:
+        """``count`` protocol exchanges skipped because the endpoints sit
+        on opposite sides of an active network partition."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._partition_blocks += count
+
+    def record_byzantine_corruption(self, count: int = 1) -> None:
+        """``count`` damping-weight rows served corrupted or stale by a
+        Byzantine manager this update."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._byzantine_corruptions += count
+
+    def record_managers_registered(self, count: int) -> None:
+        """``count`` genuinely *new* managers registered with the
+        injector (re-registrations after a resume must not be counted)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._managers_registered += count
+
     # -- cumulative counters -------------------------------------------------
 
     @property
@@ -89,6 +123,26 @@ class FaultMetrics:
     @property
     def reassignments(self) -> int:
         return self._reassignments
+
+    @property
+    def partition_blocks(self) -> int:
+        return self._partition_blocks
+
+    @property
+    def byzantine_corruptions(self) -> int:
+        return self._byzantine_corruptions
+
+    @property
+    def managers_registered(self) -> int:
+        return self._managers_registered
+
+    @property
+    def total_duplicates(self) -> int:
+        return sum(self.duplicates.values())
+
+    @property
+    def total_reorders(self) -> int:
+        return sum(self.reorders.values())
 
     @property
     def total_timeouts(self) -> int:
@@ -119,6 +173,8 @@ class FaultMetrics:
                 "timeouts": float(self.total_timeouts),
                 "fallbacks": float(self._fallbacks),
                 "reassignments": float(self._reassignments),
+                "partition_blocks": float(self._partition_blocks),
+                "byzantine_corruptions": float(self._byzantine_corruptions),
             }
         )
 
@@ -137,6 +193,10 @@ class FaultMetrics:
             "timeouts": self.total_timeouts,
             "fallbacks": self._fallbacks,
             "reassignments": self._reassignments,
+            "duplicates": self.total_duplicates,
+            "reorders": self.total_reorders,
+            "partition_blocks": self._partition_blocks,
+            "byzantine_corruptions": self._byzantine_corruptions,
         }
 
     def reset(self) -> None:
@@ -145,8 +205,62 @@ class FaultMetrics:
         self.losses.clear()
         self.delays.clear()
         self.timeouts.clear()
+        self.duplicates.clear()
+        self.reorders.clear()
         self._retries = 0
         self._fallbacks = 0
         self._reassignments = 0
+        self._partition_blocks = 0
+        self._byzantine_corruptions = 0
+        self._managers_registered = 0
         self._event_log.clear()
         self._series.clear()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-friendly snapshot of every counter, the event log, and
+        the per-cycle series (for cycle-boundary checkpoints)."""
+        return {
+            "events": dict(self.events),
+            "attempts": dict(self.attempts),
+            "losses": dict(self.losses),
+            "delays": dict(self.delays),
+            "timeouts": dict(self.timeouts),
+            "duplicates": dict(self.duplicates),
+            "reorders": dict(self.reorders),
+            "retries": self._retries,
+            "fallbacks": self._fallbacks,
+            "reassignments": self._reassignments,
+            "partition_blocks": self._partition_blocks,
+            "byzantine_corruptions": self._byzantine_corruptions,
+            "managers_registered": self._managers_registered,
+            "event_log": [
+                {"cycle": e.cycle, "kind": e.kind.value, "subject": e.subject}
+                for e in self._event_log
+            ],
+            "series": [dict(row) for row in self._series],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.faults.schedule import FaultEvent, FaultKind
+
+        self.reset()
+        self.events.update(state["events"])
+        self.attempts.update(state["attempts"])
+        self.losses.update(state["losses"])
+        self.delays.update(state["delays"])
+        self.timeouts.update(state["timeouts"])
+        self.duplicates.update(state["duplicates"])
+        self.reorders.update(state["reorders"])
+        self._retries = int(state["retries"])
+        self._fallbacks = int(state["fallbacks"])
+        self._reassignments = int(state["reassignments"])
+        self._partition_blocks = int(state["partition_blocks"])
+        self._byzantine_corruptions = int(state["byzantine_corruptions"])
+        self._managers_registered = int(state["managers_registered"])
+        self._event_log = [
+            FaultEvent(int(e["cycle"]), FaultKind(e["kind"]), int(e["subject"]))
+            for e in state["event_log"]
+        ]
+        self._series = [dict(row) for row in state["series"]]

@@ -1,0 +1,156 @@
+"""Unified retry/backoff policy for every manager-protocol send.
+
+One :class:`RetryPolicy` describes how a sender spends time on a single
+logical message: capped exponential backoff between retransmissions,
+optional multiplicative jitter, a per-message deadline (the timeout
+budget), and a hard retry cap.  The :class:`UnreliableTransport` and the
+``DistributedSocialTrust`` failover path both derive their behaviour from
+it, so "how do we retry?" has exactly one answer per
+:class:`~repro.faults.config.FaultConfig`.
+
+A shared :class:`RetryBudget` additionally bounds the *total* number of
+retransmissions a component may spend across its lifetime — the classic
+retry-budget pattern that stops retry storms from amplifying an outage.
+
+Everything here is deterministic under a seeded RNG: with
+``retry_jitter == 0`` no draws happen at all, and with jitter enabled the
+only extra draw is one uniform per backoff wait.
+
+When every rung of the ladder is exhausted the caller degrades through
+the explicit :class:`DegradationTier` ladder — retry, successor manager,
+neutral damping, skip-with-audit-event — rather than inventing its own
+fallback semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.utils.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.faults.config import FaultConfig
+
+__all__ = ["DegradationTier", "RetryBudget", "RetryPolicy"]
+
+
+class DegradationTier(enum.Enum):
+    """Graceful-degradation ladder for unreachable social information.
+
+    Ordered from least to most lossy: transparent retries, rerouting the
+    query to the ring successor of the unreachable manager, substituting
+    the conservative neutral damping weight, and finally skipping the
+    judgement entirely (leaving the rating undamped) with an audit event
+    so the deferral is visible.
+    """
+
+    RETRY = "retry"
+    SUCCESSOR = "successor"
+    NEUTRAL = "neutral_damping"
+    SKIP = "skip"
+
+
+class RetryBudget:
+    """Mutable pool of retransmissions shared across sends.
+
+    ``limit=None`` means unlimited (every :meth:`acquire` succeeds).
+    """
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be None or >= 0, got {limit}")
+        self._limit = limit
+        self._spent = 0
+
+    @property
+    def limit(self) -> int | None:
+        return self._limit
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+    @property
+    def remaining(self) -> int | None:
+        """Retries left, or ``None`` when unlimited."""
+        if self._limit is None:
+            return None
+        return max(0, self._limit - self._spent)
+
+    def acquire(self) -> bool:
+        """Consume one retry from the pool; False when exhausted."""
+        if self._limit is not None and self._spent >= self._limit:
+            return False
+        self._spent += 1
+        return True
+
+    def state_dict(self) -> dict:
+        return {"limit": self._limit, "spent": self._spent}
+
+    def restore_state(self, state: dict) -> None:
+        self._limit = state["limit"]
+        self._spent = int(state["spent"])
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + capped jittered exponential backoff + retry cap."""
+
+    #: Retransmissions allowed after the first attempt of one message.
+    max_retries: int = 3
+    #: First backoff interval; see :meth:`backoff`.
+    backoff_base: float = 1.0
+    #: Cap on any single backoff interval (before jitter).
+    backoff_cap: float = 8.0
+    #: Total time (backoff + delivery delay) allowed per message.
+    deadline: float = 30.0
+    #: Uniform jitter fraction: each wait is scaled by ``1 + jitter * u``
+    #: with ``u ~ U[0, 1)``.  Zero performs no RNG draw.
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @classmethod
+    def from_config(cls, config: "FaultConfig") -> "RetryPolicy":
+        """The single policy a :class:`FaultConfig` implies."""
+        return cls(
+            max_retries=config.max_retries,
+            backoff_base=config.backoff_base,
+            backoff_cap=config.backoff_cap,
+            deadline=config.timeout_budget,
+            jitter=config.retry_jitter,
+        )
+
+    def backoff(self, attempt: int, rng: RngStream | None = None) -> float:
+        """Wait before retransmitting after failed attempt ``attempt``
+        (1-based): ``min(backoff_cap, backoff_base * 2**(attempt-1))``,
+        jittered when :attr:`jitter` is non-zero.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        wait = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError("a jittered policy needs an rng")
+            wait *= 1.0 + self.jitter * float(rng.random())
+        return wait
+
+    def admits_retry(self, attempts: int, elapsed: float) -> bool:
+        """Whether another retransmission is allowed after ``attempts``
+        sends and ``elapsed`` time spent."""
+        return attempts <= self.max_retries and elapsed <= self.deadline
+
+    def within_deadline(self, elapsed: float) -> bool:
+        return elapsed <= self.deadline

@@ -23,7 +23,7 @@ import numpy as np
 from repro.faults.config import FaultConfig
 from repro.utils.rng import RngStream
 
-__all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "NETWORK_SUBJECT"]
 
 
 class FaultKind(enum.Enum):
@@ -34,10 +34,28 @@ class FaultKind(enum.Enum):
     PEER_JOIN = "peer_join"
     MANAGER_CRASH = "manager_crash"
     MANAGER_RECOVER = "manager_recover"
+    #: A network partition bisects the node set (subject is ignored;
+    #: use :data:`NETWORK_SUBJECT`).
+    PARTITION_START = "partition_start"
+    #: The active partition heals.
+    PARTITION_HEAL = "partition_heal"
+    #: An up manager turns Byzantine: it keeps answering, but serves
+    #: corrupted or stale damping weights for its rows.
+    MANAGER_BYZANTINE = "manager_byzantine"
+    #: A Byzantine manager heals and serves honest weights again.
+    MANAGER_HEAL = "manager_heal"
 
     @property
     def is_peer(self) -> bool:
         return self in (FaultKind.PEER_LEAVE, FaultKind.PEER_CRASH, FaultKind.PEER_JOIN)
+
+    @property
+    def is_partition(self) -> bool:
+        return self in (FaultKind.PARTITION_START, FaultKind.PARTITION_HEAL)
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self in (FaultKind.MANAGER_BYZANTINE, FaultKind.MANAGER_HEAL)
 
     @property
     def takes_down(self) -> bool:
@@ -47,6 +65,11 @@ class FaultKind(enum.Enum):
             FaultKind.PEER_CRASH,
             FaultKind.MANAGER_CRASH,
         )
+
+
+#: Subject id used by network-wide events (partitions have no single
+#: subject node).
+NETWORK_SUBJECT = -1
 
 
 @dataclass(frozen=True)
@@ -104,17 +127,26 @@ class FaultSchedule:
     def is_scripted(self) -> bool:
         return self._script is not None
 
+    @property
+    def rng(self) -> RngStream | None:
+        return self._rng
+
     def draw(
         self,
         cycle: int,
         online: np.ndarray,
         managers_up: Mapping[int, bool],
+        *,
+        partition_active: bool = False,
+        byzantine: Mapping[int, bool] | None = None,
     ) -> list[FaultEvent]:
         """Fault events for ``cycle`` given the current liveness state.
 
         ``online`` is the boolean per-peer liveness mask; ``managers_up``
-        maps manager id → up.  Events for already-down (or already-up)
-        subjects are filtered by the injector, not here.
+        maps manager id → up; ``partition_active`` / ``byzantine`` convey
+        the injector's chaos state so the stochastic schedule knows which
+        transitions are drawable.  Events for already-down (or
+        already-up) subjects are filtered by the injector, not here.
         """
         if self._script is not None:
             return list(self._script.get(int(cycle), ()))
@@ -145,5 +177,30 @@ class FaultSchedule:
                 elif draw < cfg.manager_recovery_rate:
                     events.append(
                         FaultEvent(cycle, FaultKind.MANAGER_RECOVER, manager_id)
+                    )
+        if cfg.partition_rate and not partition_active:
+            rng = self._rng
+            assert rng is not None
+            if float(rng.random()) < cfg.partition_rate:
+                events.append(
+                    FaultEvent(cycle, FaultKind.PARTITION_START, NETWORK_SUBJECT)
+                )
+        if cfg.byzantine_rate or cfg.byzantine_recovery_rate:
+            rng = self._rng
+            assert rng is not None
+            corrupted = byzantine or {}
+            for manager_id in sorted(managers_up):
+                draw = float(rng.random())
+                if not managers_up[manager_id]:
+                    # A down manager serves nothing, honest or otherwise.
+                    continue
+                if corrupted.get(manager_id, False):
+                    if draw < cfg.byzantine_recovery_rate:
+                        events.append(
+                            FaultEvent(cycle, FaultKind.MANAGER_HEAL, manager_id)
+                        )
+                elif draw < cfg.byzantine_rate:
+                    events.append(
+                        FaultEvent(cycle, FaultKind.MANAGER_BYZANTINE, manager_id)
                     )
         return events

@@ -1,16 +1,25 @@
-"""Lossy message transport with retries.
+"""Lossy message transport with a unified retry policy.
 
 Models the only part of the network a Section 4.3 manager can see: a send
-either arrives (possibly delayed) or vanishes.  The sender retries lost
-messages with capped exponential backoff until either the retry cap or a
-total timeout budget is exhausted — the standard recipe for P2P RPC
-layers — and reports what happened so callers can fall back gracefully
-(the distributed SocialTrust layer substitutes a conservative neutral
-damping weight for pairs whose social information never arrives).
+either arrives (possibly delayed, duplicated, or out of order) or
+vanishes.  The sender retries lost messages under the single
+:class:`~repro.faults.policy.RetryPolicy` derived from its
+:class:`FaultConfig` — capped (optionally jittered) exponential backoff
+until the retry cap, the per-message deadline, or the shared
+:class:`~repro.faults.policy.RetryBudget` is exhausted — and reports what
+happened so callers can degrade gracefully (the distributed SocialTrust
+layer walks the :class:`~repro.faults.policy.DegradationTier` ladder for
+pairs whose social information never arrives).
+
+Duplication and reordering model the delivery anomalies of epidemic /
+gossip dissemination (cf. the differential-gossip line of work): the
+manager protocol is idempotent per interval — reports are keyed by
+(rater, ratee) pair and aggregated at interval boundaries — so both
+anomalies are absorbed semantically, but they are drawn, counted, and
+reported so chaos experiments can verify that claim.
 
 The fault-free fast path performs no RNG draws at all, so attaching a
-transport with zero loss/delay rates is exactly equivalent to not having
-one.
+transport with zero fault rates is exactly equivalent to not having one.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.faults.config import FaultConfig
 from repro.faults.metrics import FaultMetrics
+from repro.faults.policy import RetryBudget, RetryPolicy
 from repro.utils.rng import RngStream
 
 __all__ = ["DeliveryReport", "UnreliableTransport"]
@@ -33,6 +43,12 @@ class DeliveryReport:
     attempts: int
     #: Total time spent: delivery delays plus backoff waits.
     latency: float
+    #: Extra copies delivered alongside the original (idempotent
+    #: receivers deduplicate; counted for observability).
+    duplicates: int = 0
+    #: Whether the message arrived out of order relative to the
+    #: sender's stream (absorbed by interval-boundary aggregation).
+    reordered: bool = False
 
     @property
     def retries(self) -> int:
@@ -40,7 +56,7 @@ class DeliveryReport:
 
 
 class UnreliableTransport:
-    """Message channel with loss, delay, and a retry policy."""
+    """Message channel with loss, delay, duplication, and reordering."""
 
     def __init__(
         self,
@@ -49,11 +65,13 @@ class UnreliableTransport:
         *,
         metrics: FaultMetrics | None = None,
     ) -> None:
-        if config.lossy and rng is None:
-            raise ValueError("a lossy transport needs an rng")
+        if config.unreliable and rng is None:
+            raise ValueError("an unreliable transport needs an rng")
         self._config = config
         self._rng = rng
         self._metrics = metrics or FaultMetrics()
+        self._policy = RetryPolicy.from_config(config)
+        self._budget = RetryBudget(config.retry_budget)
 
     @property
     def config(self) -> FaultConfig:
@@ -63,24 +81,34 @@ class UnreliableTransport:
     def metrics(self) -> FaultMetrics:
         return self._metrics
 
+    @property
+    def policy(self) -> RetryPolicy:
+        """The retry policy every send follows."""
+        return self._policy
+
+    @property
+    def retry_budget(self) -> RetryBudget:
+        """Lifetime retransmission pool shared by all sends."""
+        return self._budget
+
     def send(self, kind: str) -> DeliveryReport:
         """Attempt delivery of one ``kind`` message, retrying on loss.
 
-        Retransmission ``k`` waits ``min(backoff_cap, backoff_base *
-        2**(k-1))`` first; the loop stops once the retry cap is hit or the
-        accumulated latency (backoff + delivery delay) would exceed the
-        timeout budget.
+        Retransmission ``k`` waits ``policy.backoff(k)`` first; the loop
+        stops once the retry cap, the per-message deadline, or the
+        lifetime retry budget is exhausted.
         """
         cfg = self._config
         metrics = self._metrics
-        if not cfg.lossy:
+        if not cfg.unreliable:
             metrics.record_attempt(kind)
             return DeliveryReport(delivered=True, attempts=1, latency=0.0)
         rng = self._rng
         assert rng is not None
+        policy = self._policy
         elapsed = 0.0
         attempts = 0
-        while attempts <= cfg.max_retries:
+        while True:
             attempts += 1
             metrics.record_attempt(kind)
             if rng.random() >= cfg.message_loss_rate:
@@ -89,17 +117,44 @@ class UnreliableTransport:
                     delay = float(rng.exponential(cfg.mean_delay))
                     metrics.record_delay(kind)
                 elapsed += delay
-                if elapsed > cfg.timeout_budget:
+                if not policy.within_deadline(elapsed):
                     # Delivered, but after the sender stopped waiting — a
                     # late response is a timeout from the caller's side.
                     break
                 metrics.record_retries(attempts - 1)
-                return DeliveryReport(True, attempts, elapsed)
+                duplicates = 0
+                if (
+                    cfg.message_duplicate_rate > 0.0
+                    and rng.random() < cfg.message_duplicate_rate
+                ):
+                    duplicates = 1
+                    metrics.record_duplicate(kind)
+                reordered = False
+                if (
+                    cfg.message_reorder_rate > 0.0
+                    and rng.random() < cfg.message_reorder_rate
+                ):
+                    reordered = True
+                    metrics.record_reorder(kind)
+                return DeliveryReport(
+                    True, attempts, elapsed, duplicates=duplicates, reordered=reordered
+                )
             metrics.record_loss(kind)
-            backoff = min(cfg.backoff_cap, cfg.backoff_base * (2 ** (attempts - 1)))
-            elapsed += backoff
-            if elapsed > cfg.timeout_budget:
+            elapsed += policy.backoff(attempts, rng)
+            if not policy.admits_retry(attempts, elapsed):
+                break
+            if not self._budget.acquire():
                 break
         metrics.record_retries(attempts - 1)
         metrics.record_timeout(kind)
         return DeliveryReport(False, attempts, elapsed)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Mutable transport state (the retry budget; the RNG is shared
+        with the injector and serialized there)."""
+        return {"budget": self._budget.state_dict()}
+
+    def restore_state(self, state: dict) -> None:
+        self._budget.restore_state(state["budget"])

@@ -32,8 +32,12 @@ __all__ = ["AuditEvent", "DetectorAuditLog"]
 THRESHOLD_NAMES = ("T+", "T-", "TR", "Tcl", "Tch", "Tsl", "Tsh")
 #: Behaviour classes an event's ``behaviors`` tuple may contain.
 BEHAVIOR_NAMES = ("B1", "B2", "B3", "B4")
-#: Valid decisions.
-DECISIONS = ("damped", "accepted")
+#: Valid decisions.  ``"damped"`` / ``"accepted"`` come from the detector
+#: itself; ``"degraded_neutral"`` (social information unreachable — the
+#: pair got the conservative neutral damping weight) and ``"skipped"``
+#: (judgement deferred, e.g. across an active network partition) come
+#: from the distributed manager layer's graceful-degradation ladder.
+DECISIONS = ("damped", "accepted", "degraded_neutral", "skipped")
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,13 @@ class DetectorAuditLog:
 
     def accepted(self) -> tuple[AuditEvent, ...]:
         return tuple(e for e in self._events if e.decision == "accepted")
+
+    def degraded(self) -> tuple[AuditEvent, ...]:
+        """Events recorded by the manager layer's degradation ladder
+        (``degraded_neutral`` and ``skipped``)."""
+        return tuple(
+            e for e in self._events if e.decision in ("degraded_neutral", "skipped")
+        )
 
     def by_behavior(self) -> dict[str, int]:
         """Damped-event count per behaviour class (an event matching two

@@ -178,7 +178,17 @@ class BatchedQueryEngine:
         Reputations and the churn mask are constant between reputation
         updates, so available, qualified and weighted-cdf structures are
         built once here instead of once per request.
+
+        The hoisted structures assume every online server is reachable
+        from every client, which a network partition breaks — partitioned
+        intervals must run through the scalar reference loop instead
+        (:class:`~repro.p2p.simulator.Simulation` routes them there).
         """
+        if self._injector is not None and self._injector.partition_active:
+            raise RuntimeError(
+                "batched engine cannot run a partitioned interval; "
+                "route partition cycles through the scalar loop"
+            )
         with self._tracer.span("engine.candidate_build", interests=self._k):
             self._begin_interval(reputations)
 

@@ -126,6 +126,32 @@ class MetricsCollector:
             return 0.0
         return self.served_by(nodes) / total
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Routing counters and snapshot history.  The fault sink is *not*
+        serialized here: when an injector is attached, :meth:`attach_faults`
+        shares the injector's own :class:`FaultMetrics`, which the injector
+        checkpoints — restoring it twice would fork the instance."""
+        return {
+            "served": self._served.copy(),
+            "issued": self._issued.copy(),
+            "unserved": self._unserved,
+            "snapshots": [s.copy() for s in self._snapshots],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        served = np.asarray(state["served"], dtype=np.int64)
+        issued = np.asarray(state["issued"], dtype=np.int64)
+        if served.shape != (self._n,) or issued.shape != (self._n,):
+            raise ValueError("routing counter shape does not match collector")
+        self._served = served.copy()
+        self._issued = issued.copy()
+        self._unserved = int(state["unserved"])
+        self._snapshots = [
+            np.asarray(s, dtype=np.float64).copy() for s in state["snapshots"]
+        ]
+
     # -- reputation history -----------------------------------------------------
 
     def snapshot(self, reputations: np.ndarray) -> None:

@@ -204,12 +204,18 @@ class Simulation:
             return int(choices[0])
         return int(self._rng.choice(choices, p=self._interest_weights[node]))
 
-    def _run_query_cycle(self, remaining_capacity: np.ndarray) -> None:
+    def _run_query_cycle(
+        self,
+        remaining_capacity: np.ndarray,
+        partition: np.ndarray | None = None,
+    ) -> None:
         """Seed scalar query-cycle loop (:attr:`EngineMode.SCALAR`).
 
         Kept verbatim as the reference implementation; the batched engine
         in :mod:`repro.p2p.engine` is property-tested to be bit-identical
-        to it.
+        to it.  ``partition`` is the injector's boolean side mask during a
+        network partition: clients can only reach servers on their own
+        side, and cross-side collusion bursts cannot happen either.
         """
         rng = self._rng
         population = self._population
@@ -231,6 +237,10 @@ class Simulation:
             candidates = self._overlay.candidate_servers(client, interest)
             if churned:
                 candidates = candidates[online[candidates]]
+            if partition is not None:
+                candidates = candidates[
+                    partition[candidates] == partition[client]
+                ]
             server = select_server(
                 candidates,
                 reputations,
@@ -253,9 +263,13 @@ class Simulation:
             self._profiles.record_request(client, interest)
             self._metrics.record_request(client, server)
         # Collusion bursts: ratings + interactions, no genuine requests.
-        # Offline colluders cannot exchange ratings either.
+        # Offline colluders cannot exchange ratings either, and a network
+        # partition silences cross-side rating exchange.
         for burst in self._collusion.bursts(rng):
             if churned and not (online[burst.rater] and online[burst.ratee]):
+                continue
+            if partition is not None and partition[burst.rater] != partition[burst.ratee]:
+                self._metrics.faults.record_partition_block()
                 continue
             self._ledger.record_batch(
                 burst.rater, burst.ratee, burst.value, burst.count
@@ -280,7 +294,15 @@ class Simulation:
                     self._interactions.decay_nodes(
                         offline, self._injector.config.offline_decay
                     )
-        if self._engine is not None:
+        # During a network partition, route the interval through the
+        # scalar reference loop: it consumes the identical RNG stream
+        # (the batched engine is bit-compatible with it), and partition
+        # filtering is a per-client candidate restriction that the
+        # engine's hoisted per-interest structures do not model.
+        partition = None
+        if self._injector is not None and self._injector.partition_active:
+            partition = self._injector.partition_mask
+        if self._engine is not None and partition is None:
             # Reputations and the churn mask are fixed for the whole
             # interval; hoist the per-interest selection structures once.
             self._engine.begin_interval(self._system.reputations)
@@ -289,7 +311,7 @@ class Simulation:
         else:
             with tracer.span("engine.scalar_interval"):
                 for _ in range(self._config.query_cycles_per_simulation_cycle):
-                    self._run_query_cycle(self._remaining_capacity)
+                    self._run_query_cycle(self._remaining_capacity, partition)
         interval = self._ledger.drain()
         with tracer.span("reputation.update", system=self._system.name):
             reputations = self._system.update(interval)
@@ -305,6 +327,56 @@ class Simulation:
         if self._obs is not None:
             self._metrics.publish(self._obs.metrics, cycles_run=self._cycles_run)
         return reputations
+
+    # -- checkpoint / recovery -----------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Full mutable state at a simulation-cycle boundary.
+
+        Everything a resumed process needs to continue **bit-identically**
+        to the uninterrupted run: the shared RNG stream, the reputation
+        system (including SocialTrust's detector/recidivism state and the
+        Ωc/Ωs value caches, whose incremental updates are not bitwise
+        equal to a rebuild), the three behavioural ledgers, the metrics
+        history, and — when chaos is wired in — the fault injector with
+        its schedule RNG, partition/Byzantine state and retry budget.
+        Static structure (population, overlay, social graph, collusion
+        schedule) is *not* included; it is reconstructed deterministically
+        from the build configuration by the caller
+        (:func:`repro.chaos.checkpoint.save_checkpoint` stores that
+        configuration next to this payload).
+        """
+        return {
+            "cycles_run": self._cycles_run,
+            "rng": self._rng.bit_generator.state,
+            "system": self._system.state_dict(),
+            "ledger": self._ledger.state_dict(),
+            "interactions": self._interactions.state_dict(),
+            "profiles": self._profiles.state_dict(),
+            "metrics": self._metrics.state_dict(),
+            "injector": (
+                self._injector.state_dict() if self._injector is not None else None
+            ),
+        }
+
+    def resume(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint` payload into a freshly built,
+        identically configured simulation."""
+        injector_state = state.get("injector")
+        if injector_state is not None and self._injector is None:
+            raise ValueError(
+                "checkpoint carries fault-injector state but this "
+                "simulation was built without an injector"
+            )
+        self._cycles_run = int(state["cycles_run"])
+        self._rng.bit_generator.state = state["rng"]
+        self._system.restore_state(state["system"])
+        self._ledger.restore_state(state["ledger"])
+        self._interactions.restore_state(state["interactions"])
+        self._profiles.restore_state(state["profiles"])
+        self._metrics.restore_state(state["metrics"])
+        if self._injector is not None and injector_state is not None:
+            self._injector.restore_state(injector_state)
 
     def run(self, simulation_cycles: int | None = None) -> MetricsCollector:
         """Run the configured number of simulation cycles; returns metrics."""

@@ -20,9 +20,13 @@ rewrite must pass through:
   reputation backend × engine mode and cross-checks the shared
   invariants;
 * :mod:`repro.qa.cache_audit` — recomputes Ωc/Ωs from scratch and diffs
-  the incremental matrices (the ``decay_nodes`` divergence class).
+  the incremental matrices (the ``decay_nodes`` divergence class);
+* :mod:`repro.qa.reconvergence` — injects scripted chaos (partitions,
+  Byzantine managers), heals it, and asserts every backend's reputation
+  aggregates return within tolerance of the fault-free twin.
 
-CLI: ``repro qa record`` / ``repro qa check`` / ``repro qa fuzz``.
+CLI: ``repro qa record`` / ``repro qa check`` / ``repro qa fuzz`` /
+``repro qa reconverge``.
 """
 
 from __future__ import annotations
@@ -46,6 +50,11 @@ from repro.qa.fuzz import (
     build_engine_machine,
     build_manager_machine,
     run_fuzz,
+)
+from repro.qa.reconvergence import (
+    ReconvergenceReport,
+    ReconvergenceResult,
+    run_reconvergence,
 )
 from repro.qa.golden import (
     Divergence,
@@ -77,6 +86,8 @@ __all__ = [
     "GoldenScenario",
     "InvariantViolation",
     "ManagerFuzzHarness",
+    "ReconvergenceReport",
+    "ReconvergenceResult",
     "TraceDiff",
     "assert_caches_consistent",
     "audit_caches",
@@ -90,5 +101,6 @@ __all__ = [
     "record_trace",
     "run_differential",
     "run_fuzz",
+    "run_reconvergence",
     "write_trace",
 ]

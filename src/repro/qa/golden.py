@@ -40,6 +40,7 @@ __all__ = [
     "GoldenScenario",
     "Divergence",
     "TraceDiff",
+    "record_cycles",
     "record_trace",
     "write_trace",
     "load_trace",
@@ -143,38 +144,22 @@ def _json_restore(value: Any) -> Any:
     return value
 
 
-def record_trace(scenario: GoldenScenario) -> list[dict[str, Any]]:
-    """Run ``scenario`` from scratch and return its trace lines.
+def record_cycles(simulation, cycles: int) -> list[dict[str, Any]]:
+    """Drive ``simulation`` for ``cycles`` more cycles, capturing one trace
+    entry per cycle (cycle numbers continue from ``simulation.cycles_run``).
 
-    The scenario is rebuilt via the public facade, then driven one
-    simulation cycle at a time so every intermediate decision can be
-    captured: the post-update reputation vector, the SocialTrust
-    detector's thresholds/findings/damping weights, and digests of the
-    exact Ωc/Ωs matrices the detector consumed.
+    The per-cycle capture of :func:`record_trace`, exposed separately so
+    the chaos kill-and-resume tests can record an *already running* (or
+    freshly resumed) simulation and strict-diff the pieces.  SocialTrust
+    detail (detector decisions, Ωc/Ωs digests) is captured for both the
+    centralised wrapper and the distributed manager execution — anything
+    exposing ``last_detection``.
     """
-    # Imported here, not at module top: repro.api imports the full
-    # simulation stack, and the differ half of this module must stay
-    # importable in contexts that only read/compare traces.
-    from repro.api import build_scenario
-    from repro.core import SocialTrust
-
-    built = build_scenario(seed=scenario.seed, **scenario.build)
-    simulation = built.world.simulation
-    system = built.world.system
-    social = system if isinstance(system, SocialTrust) else None
-
-    lines: list[dict[str, Any]] = [
-        {
-            "type": "header",
-            "format_version": FORMAT_VERSION,
-            "name": scenario.name,
-            "seed": scenario.seed,
-            "cycles": scenario.cycles,
-            "build": dict(scenario.build),
-            "system": system.name,
-        }
-    ]
-    for cycle in range(scenario.cycles):
+    system = simulation.system
+    social = system if hasattr(system, "last_detection") else None
+    lines: list[dict[str, Any]] = []
+    for _ in range(cycles):
+        cycle = simulation.cycles_run
         reputations = simulation.run_simulation_cycle()
         entry: dict[str, Any] = {
             "type": "cycle",
@@ -192,6 +177,39 @@ def record_trace(scenario: GoldenScenario) -> list[dict[str, Any]]:
                 social.similarity_computer.similarity_matrix()
             )
         lines.append(entry)
+    return lines
+
+
+def record_trace(scenario: GoldenScenario) -> list[dict[str, Any]]:
+    """Run ``scenario`` from scratch and return its trace lines.
+
+    The scenario is rebuilt via the public facade, then driven one
+    simulation cycle at a time so every intermediate decision can be
+    captured: the post-update reputation vector, the SocialTrust
+    detector's thresholds/findings/damping weights, and digests of the
+    exact Ωc/Ωs matrices the detector consumed.
+    """
+    # Imported here, not at module top: repro.api imports the full
+    # simulation stack, and the differ half of this module must stay
+    # importable in contexts that only read/compare traces.
+    from repro.api import build_scenario
+
+    built = build_scenario(seed=scenario.seed, **scenario.build)
+    simulation = built.world.simulation
+    system = built.world.system
+
+    lines: list[dict[str, Any]] = [
+        {
+            "type": "header",
+            "format_version": FORMAT_VERSION,
+            "name": scenario.name,
+            "seed": scenario.seed,
+            "cycles": scenario.cycles,
+            "build": dict(scenario.build),
+            "system": system.name,
+        }
+    ]
+    lines.extend(record_cycles(simulation, scenario.cycles))
     metrics = simulation.metrics
     config = built.config
     final = metrics.final_reputations()

@@ -134,3 +134,13 @@ class EBayModel(ReputationSystem):
     def reset(self) -> None:
         self._scores[:] = 0.0
         self._intervals_seen = 0
+
+    def state_dict(self) -> dict:
+        return {
+            "scores": self._scores.copy(),
+            "intervals_seen": self._intervals_seen,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._scores = np.asarray(state["scores"], dtype=np.float64).copy()
+        self._intervals_seen = int(state["intervals_seen"])

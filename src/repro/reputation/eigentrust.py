@@ -162,3 +162,15 @@ class EigenTrust(ReputationSystem):
         self._local[:] = 0.0
         self._t = self._p.copy()
         self._last_iterations = 0
+
+    def state_dict(self) -> dict:
+        return {
+            "local": self._local.copy(),
+            "t": self._t.copy(),
+            "last_iterations": self._last_iterations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._local = np.asarray(state["local"], dtype=np.float64).copy()
+        self._t = np.asarray(state["t"], dtype=np.float64).copy()
+        self._last_iterations = int(state["last_iterations"])

@@ -142,3 +142,23 @@ class GossipTrust(ReputationSystem):
         self._reputations[:] = 0.0
         self._last_rounds = 0
         self._last_disagreement = 0.0
+
+    def state_dict(self) -> dict:
+        """Includes the internal gossip-pairing RNG stream — it advances
+        every update, so a bit-identical resume must restore it."""
+        return {
+            "local": self._local.copy(),
+            "reputations": self._reputations.copy(),
+            "last_rounds": self._last_rounds,
+            "last_disagreement": self._last_disagreement,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._local = np.asarray(state["local"], dtype=np.float64).copy()
+        self._reputations = np.asarray(
+            state["reputations"], dtype=np.float64
+        ).copy()
+        self._last_rounds = int(state["last_rounds"])
+        self._last_disagreement = float(state["last_disagreement"])
+        self._rng.bit_generator.state = state["rng"]

@@ -103,3 +103,22 @@ class RatingLedger:
         out = self._interval
         self._interval = IntervalRatings(self._n)
         return out
+
+    def state_dict(self) -> dict:
+        """In-flight interval aggregates plus the lifetime count.  At a
+        cycle boundary the interval is freshly drained (all zeros), but
+        mid-interval checkpoints are supported too."""
+        return {
+            "value_sum": self._interval.value_sum.copy(),
+            "pos_counts": self._interval.pos_counts.copy(),
+            "neg_counts": self._interval.neg_counts.copy(),
+            "total_recorded": self._total_recorded,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        interval = IntervalRatings(self._n)
+        interval.value_sum[:] = np.asarray(state["value_sum"], dtype=np.float64)
+        interval.pos_counts[:] = np.asarray(state["pos_counts"], dtype=np.float64)
+        interval.neg_counts[:] = np.asarray(state["neg_counts"], dtype=np.float64)
+        self._interval = interval
+        self._total_recorded = int(state["total_recorded"])

@@ -124,3 +124,15 @@ class PowerTrust(ReputationSystem):
         self._local[:] = 0.0
         self._t = np.full(self._n, 1.0 / self._n)
         self._power_nodes = ()
+
+    def state_dict(self) -> dict:
+        return {
+            "local": self._local.copy(),
+            "t": self._t.copy(),
+            "power_nodes": list(self._power_nodes),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._local = np.asarray(state["local"], dtype=np.float64).copy()
+        self._t = np.asarray(state["t"], dtype=np.float64).copy()
+        self._power_nodes = tuple(int(v) for v in state["power_nodes"])

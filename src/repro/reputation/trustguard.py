@@ -120,3 +120,17 @@ class SimilarityWeightedModel(ReputationSystem):
         self._value_sum[:] = 0.0
         self._counts[:] = 0.0
         self._reputations[:] = 0.0
+
+    def state_dict(self) -> dict:
+        return {
+            "value_sum": self._value_sum.copy(),
+            "counts": self._counts.copy(),
+            "reputations": self._reputations.copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._value_sum = np.asarray(state["value_sum"], dtype=np.float64).copy()
+        self._counts = np.asarray(state["counts"], dtype=np.float64).copy()
+        self._reputations = np.asarray(
+            state["reputations"], dtype=np.float64
+        ).copy()

@@ -146,3 +146,23 @@ class InteractionLedger:
     def reset(self) -> None:
         self._counts[:] = 0.0
         self._touch_rows(np.arange(self._n))
+
+    def state_dict(self) -> dict:
+        """Counts plus both version counters — the versions key the Ωc
+        cache, so a checkpoint must carry them verbatim for the resumed
+        run's cache hits/misses to replay identically."""
+        return {
+            "counts": self._counts.copy(),
+            "version": self._version,
+            "row_versions": self._row_versions.copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        counts = np.asarray(state["counts"], dtype=np.float64)
+        if counts.shape != self._counts.shape:
+            raise ValueError(
+                f"counts shape {counts.shape} != {self._counts.shape}"
+            )
+        self._counts = counts.copy()
+        self._version = int(state["version"])
+        self._row_versions = np.asarray(state["row_versions"], dtype=np.int64).copy()

@@ -159,3 +159,33 @@ class InterestProfiles:
             "mean_declared_size": float(sizes.mean()),
             "total_requests": float(self._requests.sum()),
         }
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Declared sets, request counters, and all three version
+        counters (they key the Ωs cache)."""
+        return {
+            "declared": [sorted(vals) for vals in self._declared],
+            "requests": self._requests.copy(),
+            "version": self._version,
+            "row_versions": self._row_versions.copy(),
+            "declared_version": self._declared_version,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        declared = state["declared"]
+        if len(declared) != self._n:
+            raise ValueError(
+                f"declared sets cover {len(declared)} nodes, store has {self._n}"
+            )
+        self._declared = [frozenset(int(v) for v in vals) for vals in declared]
+        requests = np.asarray(state["requests"], dtype=np.float64)
+        if requests.shape != self._requests.shape:
+            raise ValueError(
+                f"requests shape {requests.shape} != {self._requests.shape}"
+            )
+        self._requests = requests.copy()
+        self._version = int(state["version"])
+        self._row_versions = np.asarray(state["row_versions"], dtype=np.int64).copy()
+        self._declared_version = int(state["declared_version"])

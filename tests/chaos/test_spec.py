@@ -1,0 +1,88 @@
+"""ChaosSpec validation, event compilation, and round-tripping."""
+
+import pytest
+
+from repro.chaos import ByzantineSpec, ChaosSpec, PartitionSpec
+from repro.faults import FaultConfig, FaultKind, NETWORK_SUBJECT
+
+
+class TestPartitionSpec:
+    def test_events(self):
+        spec = PartitionSpec(start_cycle=2, heal_cycle=5)
+        events = spec.events()
+        assert [(e.cycle, e.kind, e.subject) for e in events] == [
+            (2, FaultKind.PARTITION_START, NETWORK_SUBJECT),
+            (5, FaultKind.PARTITION_HEAL, NETWORK_SUBJECT),
+        ]
+
+    def test_heal_must_follow_start(self):
+        with pytest.raises(ValueError, match="heal_cycle"):
+            PartitionSpec(start_cycle=3, heal_cycle=3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start_cycle"):
+            PartitionSpec(start_cycle=-1, heal_cycle=2)
+
+
+class TestByzantineSpec:
+    def test_open_ended_window(self):
+        spec = ByzantineSpec(manager_id=1, start_cycle=4)
+        events = spec.events()
+        assert len(events) == 1
+        assert events[0].kind is FaultKind.MANAGER_BYZANTINE
+        assert events[0].subject == 1
+
+    def test_healing_window(self):
+        spec = ByzantineSpec(manager_id=0, start_cycle=1, heal_cycle=6)
+        kinds = [e.kind for e in spec.events()]
+        assert kinds == [FaultKind.MANAGER_BYZANTINE, FaultKind.MANAGER_HEAL]
+
+    def test_heal_before_start_rejected(self):
+        with pytest.raises(ValueError, match="heal_cycle"):
+            ByzantineSpec(manager_id=0, start_cycle=5, heal_cycle=5)
+
+
+class TestChaosSpec:
+    def test_events_sorted_by_cycle(self):
+        spec = ChaosSpec(
+            partitions=(PartitionSpec(4, 8),),
+            byzantines=(ByzantineSpec(0, 1, 6),),
+        )
+        cycles = [e.cycle for e in spec.events()]
+        assert cycles == sorted(cycles) == [1, 4, 6, 8]
+
+    def test_overlapping_partitions_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ChaosSpec(partitions=(PartitionSpec(1, 5), PartitionSpec(4, 8)))
+
+    def test_back_to_back_partitions_allowed(self):
+        spec = ChaosSpec(partitions=(PartitionSpec(1, 4), PartitionSpec(4, 7)))
+        assert len(spec.events()) == 4
+
+    def test_empty(self):
+        assert ChaosSpec().empty
+        assert not ChaosSpec(partitions=(PartitionSpec(0, 1),)).empty
+
+    def test_to_schedule_is_scripted_and_keeps_config(self):
+        config = FaultConfig(partition_fraction=0.25, byzantine_mode="stale")
+        spec = ChaosSpec(partitions=(PartitionSpec(2, 4),))
+        schedule = spec.to_schedule(config)
+        assert schedule.is_scripted
+        assert schedule.config.partition_fraction == 0.25
+        assert schedule.config.byzantine_mode == "stale"
+        import numpy as np
+
+        events = schedule.draw(2, np.ones(4, dtype=bool), {})
+        assert [e.kind for e in events] == [FaultKind.PARTITION_START]
+        assert schedule.draw(3, np.ones(4, dtype=bool), {}) == []
+
+    def test_dict_round_trip(self):
+        spec = ChaosSpec(
+            partitions=(PartitionSpec(1, 3),),
+            byzantines=(ByzantineSpec(2, 1, None), ByzantineSpec(0, 2, 5)),
+        )
+        assert ChaosSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ChaosSpec.from_dict({"partitions": [], "typo": []})

@@ -1,0 +1,124 @@
+"""The degradation ladder's audited tiers: neutral damping and skip.
+
+Builds one distributed SocialTrust world with observability attached and
+drives the detector into the two lossy tiers of the
+:class:`~repro.faults.policy.DegradationTier` ladder, asserting each
+deferral shows up in the detector audit log and the metrics registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSocialTrust
+from repro.faults import FaultConfig, FaultInjector
+from repro.obs import Observability
+from repro.p2p import Population
+from repro.reputation import EigenTrust
+from repro.reputation.ledger import RatingLedger
+from repro.social import InteractionLedger, InterestProfiles
+from repro.social.generators import paper_social_network
+from repro.utils.rng import spawn_rng
+
+N = 20
+N_MANAGERS = 4
+PRETRUSTED = (0, 1)
+COLLUDERS = tuple(range(2, 8))
+
+
+class DegradationWorld:
+    """Distributed system + injector + audit log, with enough collusion
+    traffic that the detector always has findings to degrade."""
+
+    def __init__(self, seed: int = 13) -> None:
+        rng = spawn_rng(seed, 1)
+        population = Population.build(
+            N,
+            rng,
+            pretrusted_ids=PRETRUSTED,
+            malicious_ids=COLLUDERS,
+            n_interests=5,
+            interests_per_node=(1, 4),
+            malicious_authentic_prob=0.3,
+        )
+        network = paper_social_network(N, COLLUDERS, rng)
+        self.interactions = InteractionLedger(N)
+        profiles = InterestProfiles(N, 5)
+        for spec in population:
+            profiles.set_declared(spec.node_id, spec.interests)
+        self.obs = Observability()
+        self.injector = FaultInjector(N, config=FaultConfig())
+        self.system = DistributedSocialTrust(
+            EigenTrust(N, PRETRUSTED, pretrust_weight=0.05),
+            network,
+            self.interactions,
+            profiles,
+            n_managers=N_MANAGERS,
+            injector=self.injector,
+            observability=self.obs,
+        )
+        self.ledger = RatingLedger(N)
+
+    def load_collusion_traffic(self) -> None:
+        pairs = [
+            (a, b)
+            for i, a in enumerate(COLLUDERS)
+            for b in COLLUDERS[i + 1 :]
+        ]
+        for a, b in pairs[:6]:
+            for rater, ratee in ((a, b), (b, a)):
+                self.ledger.record_batch(rater, ratee, 1.0, 8)
+                self.interactions.record(rater, ratee, 8)
+        for rater in range(N):
+            ratee = (rater + 1) % N
+            self.ledger.record_batch(rater, ratee, 1.0, 2)
+            self.interactions.record(rater, ratee, 2)
+
+    def flush(self) -> None:
+        self.system.update(self.ledger.drain())
+
+
+@pytest.fixture
+def world():
+    return DegradationWorld()
+
+
+def test_all_managers_down_audits_every_finding_as_neutral(world):
+    world.load_collusion_traffic()
+    for manager_id in range(N_MANAGERS):
+        world.injector.fail_manager(manager_id)
+    world.flush()
+    findings = world.system.last_detection.findings
+    assert findings, "collusion traffic must produce findings"
+    degraded = world.obs.audit.degraded()
+    assert len(degraded) == len(findings)
+    assert {e.decision for e in degraded} == {"degraded_neutral"}
+    assert world.injector.metrics.fallbacks == len(findings)
+    counter = world.obs.metrics.counter("manager.degraded.degraded_neutral")
+    assert counter.value == len(findings)
+
+
+def test_cross_partition_findings_audited_as_skipped(world):
+    world.load_collusion_traffic()
+    # Alternating side mask: managers 0/2 (peers 0, 2) end up on side A,
+    # managers 1/3 on side B, so cross-manager findings cross the cut.
+    side = np.zeros(N, dtype=bool)
+    side[::2] = True
+    world.injector.start_partition(side)
+    world.flush()
+    skipped = [
+        e for e in world.obs.audit.degraded() if e.decision == "skipped"
+    ]
+    assert skipped, "some finding must straddle the partition"
+    # A skipped judgement defers damping entirely: weight 1.0 applied.
+    for event in skipped:
+        assert event.weight == 1.0
+    assert world.injector.metrics.partition_blocks >= len(skipped)
+    counter = world.obs.metrics.counter("manager.degraded.skipped")
+    assert counter.value == len(skipped)
+
+
+def test_fault_free_flush_audits_no_degradation(world):
+    world.load_collusion_traffic()
+    world.flush()
+    assert world.system.last_detection.findings
+    assert world.obs.audit.degraded() == ()

@@ -148,3 +148,160 @@ class TestStochasticLifecycle:
         assert injector.peers_online == N
         assert injector.managers_up_count == 2
         assert np.array_equal(injector.online_mask, np.ones(N, dtype=bool))
+
+
+class TestPartitionLifecycle:
+    def test_starts_whole(self):
+        injector = FaultInjector(N, (0, 1))
+        assert not injector.partition_active
+        assert injector.partition_mask is None
+        assert injector.same_side(0, N - 1)
+        assert injector.manager_side(0) is None
+
+    def test_explicit_side_mask(self):
+        injector = FaultInjector(N, (0, 1))
+        side = np.zeros(N, dtype=bool)
+        side[: N // 2] = True
+        injector.start_partition(side)
+        assert injector.partition_active
+        assert injector.same_side(0, 1)
+        assert not injector.same_side(0, N - 1)
+        assert injector.manager_side(0) is True
+        mask = injector.partition_mask
+        assert not mask.flags.writeable
+
+    def test_degenerate_side_mask_rejected(self):
+        injector = FaultInjector(N, (0, 1))
+        with pytest.raises(ValueError, match="split"):
+            injector.start_partition(np.ones(N, dtype=bool))
+        with pytest.raises(ValueError, match="shape"):
+            injector.start_partition(np.zeros(N + 1, dtype=bool))
+
+    def test_drawn_side_splits_nodes(self):
+        config = FaultConfig(partition_fraction=0.5)
+        injector = FaultInjector(N, (0, 1), config=config, rng=spawn_rng(5, 0))
+        injector.start_partition()
+        mask = injector.partition_mask
+        assert 0 < mask.sum() < N
+
+    def test_heal_restores_whole_network(self):
+        injector = FaultInjector(N, (0, 1), rng=spawn_rng(5, 0))
+        injector.start_partition()
+        injector.heal_partition()
+        assert not injector.partition_active
+        assert injector.same_side(0, N - 1)
+
+    def test_double_start_is_a_noop(self):
+        injector = FaultInjector(N, (0, 1), rng=spawn_rng(5, 0))
+        injector.start_partition()
+        mask = injector.partition_mask.copy()
+        injector.start_partition()
+        assert np.array_equal(injector.partition_mask, mask)
+
+    def test_auto_heal_after_delay(self):
+        injector = FaultInjector(N, (0, 1), rng=spawn_rng(5, 0))
+        injector.start_partition(heal_after=2)
+        injector.advance()  # cycle 0: still partitioned
+        injector.advance()  # cycle 1: still partitioned
+        assert injector.partition_active
+        injector.advance()  # cycle 2 >= heal_at: heals before the draws
+        assert not injector.partition_active
+
+    def test_partition_blocks_counted_via_metrics(self):
+        injector = FaultInjector(N, (0, 1), rng=spawn_rng(5, 0))
+        injector.start_partition()
+        injector.metrics.record_partition_block()
+        assert injector.metrics.partition_blocks == 1
+
+
+class TestByzantineLifecycle:
+    def test_starts_honest(self):
+        injector = FaultInjector(N, (0, 1, 2))
+        assert injector.byzantine_managers() == frozenset()
+        assert not injector.manager_byzantine(1)
+
+    def test_turn_and_heal(self):
+        injector = FaultInjector(N, (0, 1, 2))
+        injector.make_byzantine(1)
+        assert injector.manager_byzantine(1)
+        assert injector.byzantine_managers() == frozenset({1})
+        injector.heal_byzantine(1)
+        assert injector.byzantine_managers() == frozenset()
+
+    def test_unknown_manager_rejected(self):
+        injector = FaultInjector(N, (0, 1))
+        with pytest.raises(KeyError):
+            injector.make_byzantine(7)
+
+    def test_byzantine_manager_stays_up(self):
+        # Byzantine is a *lying* manager, not a crashed one.
+        injector = FaultInjector(N, (0, 1))
+        injector.make_byzantine(0)
+        assert injector.manager_up(0)
+
+
+class TestStateRoundTrip:
+    def _mutated_injector(self):
+        injector = FaultInjector(
+            N,
+            (0, 1, 2),
+            config=FaultConfig(message_loss_rate=0.5, retry_budget=20),
+            rng=spawn_rng(9, 0),
+        )
+        injector.fail_peer(3)
+        injector.fail_manager(2)
+        injector.make_byzantine(1)
+        injector.start_partition(heal_after=4)
+        injector.transport.send("info_request")
+        injector.advance()
+        return injector
+
+    def test_state_dict_restores_everything(self):
+        source = self._mutated_injector()
+        clone = FaultInjector(
+            N,
+            (0, 1, 2),
+            config=FaultConfig(message_loss_rate=0.5, retry_budget=20),
+            rng=spawn_rng(1234, 5),  # deliberately different stream
+        )
+        clone.restore_state(source.state_dict())
+        assert clone.cycle == source.cycle
+        assert np.array_equal(clone.online_mask, source.online_mask)
+        assert clone.down_managers() == source.down_managers()
+        assert clone.byzantine_managers() == source.byzantine_managers()
+        assert np.array_equal(clone.partition_mask, source.partition_mask)
+        assert (
+            clone.transport.retry_budget.spent
+            == source.transport.retry_budget.spent
+        )
+        # The restored RNG stream continues identically.
+        assert clone._rng.random() == source._rng.random()
+
+    def test_restored_auto_heal_still_fires(self):
+        source = self._mutated_injector()  # heal_after=4, one advance done
+        clone = FaultInjector(
+            N,
+            (0, 1, 2),
+            config=FaultConfig(message_loss_rate=0.5, retry_budget=20),
+            rng=spawn_rng(9, 0),
+        )
+        clone.restore_state(source.state_dict())
+        # heal_at = 4; both are at cycle 1, so 4 more advances reach it.
+        for injector in (source, clone):
+            for _ in range(4):
+                injector.advance()
+        assert not source.partition_active
+        assert not clone.partition_active
+
+    def test_mismatched_shape_rejected(self):
+        state = self._mutated_injector().state_dict()
+        other = FaultInjector(N + 1, (0, 1, 2), rng=spawn_rng(9, 0))
+        with pytest.raises(ValueError, match="shape"):
+            other.restore_state(state)
+
+    def test_rng_state_without_rng_rejected(self):
+        state = self._mutated_injector().state_dict()
+        state["partition_side"] = None  # avoid unrelated paths
+        other = FaultInjector(N, (0, 1, 2))
+        with pytest.raises(ValueError, match="rng"):
+            other.restore_state(state)

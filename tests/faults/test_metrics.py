@@ -17,6 +17,10 @@ class TestCounters:
             "timeouts": 0,
             "fallbacks": 0,
             "reassignments": 0,
+            "duplicates": 0,
+            "reorders": 0,
+            "partition_blocks": 0,
+            "byzantine_corruptions": 0,
         }
 
     def test_records_by_kind(self):

@@ -1,0 +1,106 @@
+"""Unit tests for the unified retry policy and retry budget."""
+
+import pytest
+
+from repro.faults import FaultConfig, RetryBudget, RetryPolicy
+from repro.utils.rng import spawn_rng
+
+
+class TestRetryPolicyValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError, match="backoff_cap"):
+            RetryPolicy(backoff_base=4.0, backoff_cap=2.0)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            RetryPolicy(deadline=0.0)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestBackoff:
+    def test_doubles_then_caps(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=8.0)
+        waits = [policy.backoff(attempt) for attempt in range(1, 7)]
+        assert waits == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().backoff(0)
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            RetryPolicy(jitter=0.5).backoff(1)
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(backoff_base=2.0, jitter=0.5)
+        waits = [policy.backoff(1, spawn_rng(7, i)) for i in range(20)]
+        assert all(2.0 <= w < 3.0 for w in waits)
+        assert policy.backoff(1, spawn_rng(7, 0)) == waits[0]
+
+    def test_zero_jitter_never_draws(self):
+        # No rng passed: a draw attempt would raise.
+        assert RetryPolicy(jitter=0.0).backoff(3) == 4.0
+
+
+class TestAdmission:
+    def test_retry_cap(self):
+        policy = RetryPolicy(max_retries=2, deadline=1000.0)
+        assert policy.admits_retry(2, 0.0)
+        assert not policy.admits_retry(3, 0.0)
+
+    def test_deadline(self):
+        policy = RetryPolicy(max_retries=10, deadline=5.0)
+        assert policy.admits_retry(1, 5.0)
+        assert not policy.admits_retry(1, 5.1)
+        assert policy.within_deadline(5.0)
+        assert not policy.within_deadline(5.01)
+
+    def test_from_config_mirrors_knobs(self):
+        config = FaultConfig(
+            max_retries=5,
+            backoff_base=0.5,
+            backoff_cap=4.0,
+            timeout_budget=12.0,
+            retry_jitter=0.25,
+        )
+        policy = RetryPolicy.from_config(config)
+        assert policy == RetryPolicy(
+            max_retries=5,
+            backoff_base=0.5,
+            backoff_cap=4.0,
+            deadline=12.0,
+            jitter=0.25,
+        )
+
+
+class TestRetryBudget:
+    def test_unlimited_by_default(self):
+        budget = RetryBudget()
+        assert budget.limit is None and budget.remaining is None
+        assert all(budget.acquire() for _ in range(100))
+        assert budget.spent == 100
+
+    def test_exhaustion(self):
+        budget = RetryBudget(2)
+        assert budget.acquire() and budget.acquire()
+        assert not budget.acquire()
+        assert budget.spent == 2 and budget.remaining == 0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError, match="limit"):
+            RetryBudget(-1)
+
+    def test_state_round_trip(self):
+        budget = RetryBudget(5)
+        budget.acquire()
+        budget.acquire()
+        clone = RetryBudget()
+        clone.restore_state(budget.state_dict())
+        assert clone.limit == 5 and clone.spent == 2 and clone.remaining == 3

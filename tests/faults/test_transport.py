@@ -121,3 +121,84 @@ class TestDelay:
         report = transport.send("x")
         assert not report.delivered
         assert metrics.total_timeouts == 1
+
+
+class TestDuplicationAndReordering:
+    def test_certain_duplication_flagged_and_counted(self):
+        metrics = FaultMetrics()
+        transport = UnreliableTransport(
+            FaultConfig(message_duplicate_rate=1.0),
+            spawn_rng(3, 0),
+            metrics=metrics,
+        )
+        report = transport.send("rating_report")
+        assert report.delivered
+        assert report.duplicates == 1
+        assert metrics.duplicates["rating_report"] == 1
+
+    def test_certain_reordering_flagged_and_counted(self):
+        metrics = FaultMetrics()
+        transport = UnreliableTransport(
+            FaultConfig(message_reorder_rate=1.0),
+            spawn_rng(3, 0),
+            metrics=metrics,
+        )
+        report = transport.send("rating_report")
+        assert report.delivered
+        assert report.reordered
+        assert metrics.reorders["rating_report"] == 1
+
+    def test_zero_rates_never_fire(self):
+        transport = UnreliableTransport(
+            FaultConfig(message_loss_rate=0.2), spawn_rng(3, 0)
+        )
+        reports = [transport.send("x") for _ in range(100)]
+        assert all(r.duplicates == 0 and not r.reordered for r in reports)
+
+    def test_dropped_message_is_never_duplicated(self):
+        transport = UnreliableTransport(
+            FaultConfig(
+                message_loss_rate=1.0, message_duplicate_rate=1.0, max_retries=1
+            ),
+            spawn_rng(3, 0),
+        )
+        report = transport.send("x")
+        assert not report.delivered and report.duplicates == 0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_reports(self):
+        """Drop/delay/duplicate decisions replay exactly under one seed."""
+        config = FaultConfig(
+            message_loss_rate=0.4,
+            message_delay_rate=0.3,
+            mean_delay=1.0,
+            message_duplicate_rate=0.2,
+            message_reorder_rate=0.2,
+            max_retries=3,
+            timeout_budget=50.0,
+        )
+        transports = [
+            UnreliableTransport(config, spawn_rng(11, 0)) for _ in range(2)
+        ]
+        runs = [[t.send("x") for _ in range(120)] for t in transports]
+        assert runs[0] == runs[1]
+        assert any(r.attempts > 1 for r in runs[0])  # losses actually occurred
+        assert any(r.duplicates for r in runs[0])
+
+    def test_different_streams_differ(self):
+        config = FaultConfig(message_loss_rate=0.4, timeout_budget=50.0)
+        a = UnreliableTransport(config, spawn_rng(11, 0))
+        b = UnreliableTransport(config, spawn_rng(11, 1))
+        assert [a.send("x") for _ in range(60)] != [
+            b.send("x") for _ in range(60)
+        ]
+
+    def test_state_round_trip_restores_budget(self):
+        config = FaultConfig(message_loss_rate=1.0, max_retries=1, retry_budget=10)
+        transport = UnreliableTransport(config, spawn_rng(11, 0))
+        for _ in range(3):
+            transport.send("x")
+        clone = UnreliableTransport(config, spawn_rng(11, 0))
+        clone.restore_state(transport.state_dict())
+        assert clone.retry_budget.spent == transport.retry_budget.spent

@@ -1,0 +1,112 @@
+"""Reconvergence harness: metric helpers and the full backend sweep."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ByzantineSpec, ChaosSpec, PartitionSpec
+from repro.qa.differential import BACKENDS
+from repro.qa.reconvergence import (
+    _cycles_to_reconverge,
+    _group_error_series,
+    _last_heal_cycle,
+    run_reconvergence,
+)
+
+
+class TestCyclesToReconverge:
+    def test_never_above_tolerance(self):
+        errors = np.array([0.001, 0.002, 0.001])
+        assert _cycles_to_reconverge(errors, heal_cycle=1, tolerance=0.01) == 0
+
+    def test_recovers_after_heal(self):
+        errors = np.array([0.0, 0.5, 0.5, 0.03, 0.001, 0.001])
+        assert _cycles_to_reconverge(errors, heal_cycle=3, tolerance=0.01) == 1
+
+    def test_counts_last_excursion_not_first(self):
+        # Dips below tolerance then bounces back above: not reconverged
+        # until the *last* above-tolerance cycle has passed.
+        errors = np.array([0.5, 0.001, 0.5, 0.001, 0.001])
+        assert _cycles_to_reconverge(errors, heal_cycle=0, tolerance=0.01) == 3
+
+    def test_still_above_at_end_is_none(self):
+        errors = np.array([0.0, 0.5, 0.5])
+        assert _cycles_to_reconverge(errors, heal_cycle=1, tolerance=0.01) is None
+
+
+class TestGroupErrorSeries:
+    def test_max_over_groups(self):
+        ref = np.zeros((2, 6))
+        chaos = np.zeros((2, 6))
+        chaos[1, :3] = 0.3  # group A mean moves by 0.3 in cycle 1
+        errors = _group_error_series(ref, chaos, ([0, 1, 2], [3, 4, 5]))
+        assert errors == pytest.approx([0.0, 0.3])
+
+    def test_small_groups_excluded(self):
+        ref = np.zeros((1, 6))
+        chaos = np.ones((1, 6))
+        chaos[0, 2:] = 0.0  # only the 2-node group diverges
+        errors = _group_error_series(ref, chaos, ([0, 1], [2, 3, 4, 5]))
+        assert errors == pytest.approx([0.0])
+
+    def test_no_eligible_group_rejected(self):
+        ref = np.zeros((1, 4))
+        with pytest.raises(ValueError, match="group"):
+            _group_error_series(ref, ref, ([0, 1], [2, 3]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            _group_error_series(np.zeros((2, 4)), np.zeros((3, 4)), ([0, 1, 2],))
+
+
+class TestLastHealCycle:
+    def test_open_ended_byzantine_never_heals(self):
+        spec = ChaosSpec(byzantines=(ByzantineSpec(0, 2),))
+        assert _last_heal_cycle(spec, cycles=10) == 10
+
+    def test_max_over_windows(self):
+        spec = ChaosSpec(
+            partitions=(PartitionSpec(1, 6),),
+            byzantines=(ByzantineSpec(0, 2, 4),),
+        )
+        assert _last_heal_cycle(spec, cycles=10) == 6
+
+
+class TestRunValidation:
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            run_reconvergence(chaos=ChaosSpec())
+
+    def test_heal_past_end_rejected(self):
+        spec = ChaosSpec(partitions=(PartitionSpec(1, 20),))
+        with pytest.raises(ValueError, match="heal"):
+            run_reconvergence(cycles=6, chaos=spec)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_reconvergence(backends=("eigentrust", "nope"))
+
+    def test_zero_managers_rejected(self):
+        with pytest.raises(ValueError, match="n_managers"):
+            run_reconvergence(n_managers=0)
+
+
+class TestFullSweep:
+    def test_every_backend_reconverges(self):
+        """The acceptance criterion: default chaos (one partition + a
+        Byzantine window per manager), heal, and every backend's group
+        aggregates return within tolerance inside the budget."""
+        report = run_reconvergence(seed=0, cycles=12)
+        assert [r.backend for r in report.results] == list(BACKENDS)
+        for result in report.results:
+            assert result.peak_error > 0.0, result.backend
+            assert result.ok, report.summary()
+        assert report.ok
+
+    def test_report_is_json_round_trippable(self):
+        import json
+
+        report = run_reconvergence(seed=0, cycles=12)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert len(payload["results"]) == len(BACKENDS)
+        assert payload["chaos"]["partitions"]

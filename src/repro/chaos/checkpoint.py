@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any
 
 import numpy as np
+from scipy import sparse
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
@@ -44,10 +45,23 @@ def encode_state(value: Any) -> Any:
     """Recursively encode a state payload into JSON-safe data.
 
     ndarrays become ``{"__ndarray__": b64, "dtype": ..., "shape": ...}``
-    over the raw (C-contiguous, little-endian) bytes, numpy scalars
+    over the raw (C-contiguous, little-endian) bytes, SciPy sparse
+    matrices become ``{"__csr__": ...}`` over their CSR constituent
+    arrays (data/indices/indptr — exact, the sparse Ωc caches must
+    resume bit-identically just like the dense ones), numpy scalars
     become Python scalars, and non-finite floats are tagged the same way
     the golden traces tag them.
     """
+    if sparse.issparse(value):
+        mat = value.tocsr()
+        return {
+            "__csr__": {
+                "data": encode_state(np.asarray(mat.data)),
+                "indices": encode_state(np.asarray(mat.indices)),
+                "indptr": encode_state(np.asarray(mat.indptr)),
+            },
+            "shape": list(mat.shape),
+        }
     if isinstance(value, np.ndarray):
         # ascontiguousarray promotes 0-d to 1-d, so keep the true shape.
         contiguous = np.ascontiguousarray(value)
@@ -73,6 +87,16 @@ def encode_state(value: Any) -> Any:
 def decode_state(value: Any) -> Any:
     """Inverse of :func:`encode_state`."""
     if isinstance(value, dict):
+        if set(value) == {"__csr__", "shape"}:
+            parts = value["__csr__"]
+            return sparse.csr_matrix(
+                (
+                    decode_state(parts["data"]),
+                    decode_state(parts["indices"]),
+                    decode_state(parts["indptr"]),
+                ),
+                shape=tuple(value["shape"]),
+            )
         if set(value) == {"__ndarray__", "dtype", "shape"}:
             raw = base64.b64decode(value["__ndarray__"])
             arr = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))

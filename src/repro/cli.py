@@ -206,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--collusion", default="pcm", choices=["none", "pcm", "mcm", "mmm"]
     )
+    diff.add_argument(
+        "--sparse",
+        action="store_true",
+        help="also compare the dense and sparse coefficient backends "
+        "(tolerance mode) across every cell",
+    )
 
     reconv = qa_sub.add_parser(
         "reconverge",
@@ -561,7 +567,16 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             seed=args.seed, cycles=args.cycles, collusion=args.collusion
         )
         print(report.summary())
-        return 0 if report.ok else 1
+        ok = report.ok
+        if args.sparse:
+            from repro.qa import run_coefficient_differential
+
+            coeff_report = run_coefficient_differential(
+                seed=args.seed, cycles=args.cycles, collusion=args.collusion
+            )
+            print(coeff_report.summary())
+            ok = ok and coeff_report.ok
+        return 0 if ok else 1
 
     if args.qa_command == "reconverge":
         import json

@@ -41,7 +41,13 @@ recomputed exactly) and ``T2 = F@A`` (updated with the low-rank correction
 ``F[:, D] @ ΔA[D]``).  When more than half the rows are dirty — the normal
 case between reputation intervals — the cache falls back to a full exact
 rebuild, which is both faster than the correction and bit-identical to the
-seed path.  :meth:`ClosenessComputer.rater_band` and
+seed path.  The low-rank correction is exact in exact arithmetic but not
+bitwise, so its float drift would grow without bound across long
+churn-heavy runs; an update counter forces an exact rebuild after every
+``SocialTrustConfig.cache_rebuild_interval`` consecutive corrections,
+which pins the worst-case drift to what ``cache_rebuild_interval``
+applications can accumulate (the ``cache_audit`` regression test asserts
+that bound over thousands of updates).  :meth:`ClosenessComputer.rater_band` and
 :meth:`ClosenessComputer.global_band` read from the cached matrix, so they
 can never diverge from :meth:`ClosenessComputer.closeness_matrix` after
 ``decay_nodes`` the way the per-pair scalar walk silently could.
@@ -87,6 +93,12 @@ class ClosenessComputer:
         self._cached_t1: np.ndarray | None = None
         self._cached_t2: np.ndarray | None = None
         self._cached_version = -1
+        # Consecutive low-rank T2 corrections since the last exact rebuild.
+        # The correction is exact in exact arithmetic but accumulates float
+        # drift; after ``config.cache_rebuild_interval`` applications the
+        # next evaluation rebuilds T2 (and T1/A) from scratch so the drift
+        # stays bounded over arbitrarily long churn-heavy runs.
+        self._t2_updates = 0
 
     @property
     def n_nodes(self) -> int:
@@ -121,6 +133,7 @@ class ClosenessComputer:
         self._cached_t1 = None
         self._cached_t2 = None
         self._cached_version = -1
+        self._t2_updates = 0
 
     # -- checkpointing -------------------------------------------------------
 
@@ -144,22 +157,34 @@ class ClosenessComputer:
             "t1": _copy(self._cached_t1),
             "t2": _copy(self._cached_t2),
             "version": self._cached_version,
+            "t2_updates": self._t2_updates,
         }
 
     def restore_state(self, state: dict) -> None:
-        def _arr(value) -> np.ndarray | None:
+        n = self.n_nodes
+
+        def _arr(value, name: str) -> np.ndarray | None:
             if value is None:
                 return None
-            return np.asarray(value, dtype=np.float64).copy()
+            arr = np.asarray(value, dtype=np.float64).copy()
+            if arr.shape != (n, n):
+                raise ValueError(
+                    f"closeness cache {name!r} has shape {arr.shape}, but this "
+                    f"computer covers {n} nodes (expected {(n, n)}) — is the "
+                    f"checkpoint from a different network size?"
+                )
+            return arr
 
-        matrix = _arr(state["matrix"])
+        matrix = _arr(state["matrix"], "matrix")
         if matrix is not None:
             matrix.flags.writeable = False  # the live cache is read-only
         self._cached_matrix = matrix
-        self._cached_adj_close = _arr(state["adj_close"])
-        self._cached_t1 = _arr(state["t1"])
-        self._cached_t2 = _arr(state["t2"])
+        self._cached_adj_close = _arr(state["adj_close"], "adj_close")
+        self._cached_t1 = _arr(state["t1"], "t1")
+        self._cached_t2 = _arr(state["t2"], "t2")
         self._cached_version = int(state["version"])
+        # Absent in pre-drift-fix checkpoints; 0 re-arms the rebuild clock.
+        self._t2_updates = int(state.get("t2_updates", 0))
 
     def _structure(self) -> tuple[np.ndarray, np.ndarray]:
         """(relationship-factor matrix, boolean adjacency matrix), cached."""
@@ -233,6 +258,18 @@ class ClosenessComputer:
             common_counts = adj_f @ adj_f
             need_fallback = (~adjacency) & (common_counts == 0)
             np.fill_diagonal(need_fallback, False)
+            if need_fallback.any():
+                # Pairs in different connected components have no path, so
+                # their fallback value is the 0 the matrix already holds —
+                # skip the per-pair BFS for them (pure speedup, the values
+                # are bit-identical).  On community-structured graphs this
+                # is the difference between O(n + m) and O(n^2) BFS walks.
+                from scipy.sparse import csgraph, csr_matrix
+
+                _, labels = csgraph.connected_components(
+                    csr_matrix(adjacency), directed=False
+                )
+                need_fallback &= labels[:, None] == labels[None, :]
             self._adj_float = adj_f
             self._common_counts = common_counts
             self._fallback_pairs = np.argwhere(need_fallback)
@@ -283,11 +320,16 @@ class ClosenessComputer:
             if self._cached_matrix is not None
             else None
         )
-        if dirty is None or dirty.size > self.n_nodes // 2:
+        if (
+            dirty is None
+            or dirty.size > self.n_nodes // 2
+            or self._t2_updates >= self._config.cache_rebuild_interval
+        ):
             adj_close = factors * shares * adjacency
             self._cached_adj_close = adj_close
             self._cached_t1 = adj_close @ adj_f
             self._cached_t2 = adj_f @ adj_close
+            self._t2_updates = 0
         elif dirty.size:
             new_rows = factors[dirty] * shares[dirty] * adjacency[dirty]
             delta = new_rows - self._cached_adj_close[dirty]
@@ -296,11 +338,20 @@ class ClosenessComputer:
             self._cached_t1[dirty] = new_rows @ adj_f
             # T2 takes the low-rank correction F[:, D] @ ΔA[D].
             self._cached_t2 += adj_f[:, dirty] @ delta
+            self._t2_updates += 1
         out = self._assemble()
         out.flags.writeable = False
         self._cached_matrix = out
         self._cached_version = version
         return out
+
+    def pair_values(self, raters, ratees) -> np.ndarray:
+        """``Ωc`` over pair arrays — same gather API as the sparse backend
+        (reads from the cached matrix)."""
+        matrix = self.closeness_matrix()
+        i = np.asarray(raters, dtype=np.int64)
+        j = np.asarray(ratees, dtype=np.int64)
+        return np.asarray(matrix[i, j], dtype=np.float64)
 
     # -- band summaries ---------------------------------------------------------
 

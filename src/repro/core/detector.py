@@ -33,10 +33,12 @@ import enum
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.closeness import ClosenessComputer
-from repro.core.config import GaussianCenter, SocialTrustConfig
+from repro.core.config import CoefficientBackend, GaussianCenter, SocialTrustConfig
 from repro.core.similarity import SimilarityComputer
+from repro.core.sparse import SparseClosenessComputer, SparseSimilarityComputer
 from repro.obs import Observability
 from repro.reputation.base import IntervalRatings
 
@@ -45,6 +47,7 @@ __all__ = [
     "Finding",
     "DerivedThresholds",
     "DetectionResult",
+    "SparseDetectionResult",
     "CollusionDetector",
 ]
 
@@ -95,6 +98,35 @@ class DetectionResult:
     @property
     def n_adjusted(self) -> int:
         return len(self.findings)
+
+
+@dataclass(frozen=True)
+class SparseDetectionResult:
+    """Outcome of one interval's sparse analysis — per-pair, never ``n x n``.
+
+    Only the adjusted pairs are materialised; every unlisted pair has
+    implicit weight 1.0.  :meth:`weights_dense` scatters into a dense
+    matrix for small-n interop with the dense engine path.
+    """
+
+    #: Adjusted rater→ratee pairs, shape ``(m, 2)``, row-major order.
+    pairs: np.ndarray
+    #: Damping weights for exactly those pairs, shape ``(m,)``.
+    pair_weights: np.ndarray
+    findings: tuple[Finding, ...]
+    thresholds: DerivedThresholds
+    n_nodes: int
+
+    @property
+    def n_adjusted(self) -> int:
+        return len(self.findings)
+
+    def weights_dense(self) -> np.ndarray:
+        """Dense weight matrix (1.0 except at the adjusted pairs)."""
+        out = np.ones((self.n_nodes, self.n_nodes), dtype=np.float64)
+        if self.pairs.size:
+            out[self.pairs[:, 0], self.pairs[:, 1]] = self.pair_weights
+        return out
 
 
 def _band_arrays(
@@ -161,8 +193,8 @@ class CollusionDetector:
 
     def __init__(
         self,
-        closeness: ClosenessComputer,
-        similarity: SimilarityComputer,
+        closeness: ClosenessComputer | SparseClosenessComputer,
+        similarity: SimilarityComputer | SparseSimilarityComputer,
         config: SocialTrustConfig | None = None,
         *,
         observability: Observability | None = None,
@@ -231,6 +263,23 @@ class CollusionDetector:
             )
         return float(pos_thr), float(neg_thr)
 
+    def _pinned_band_defaults(self) -> tuple[float, float, float, float]:
+        """Band thresholds reported when no pair was examined this interval.
+
+        Pinned configuration values are in force whether or not any pair
+        trips a frequency threshold, so the early-return thresholds must
+        echo them; only the *derived* thresholds (which need observed
+        coefficients to exist) fall back to the never-fires sentinels
+        ``(0.0, inf)``.
+        """
+        cfg = self._config
+        return (
+            cfg.closeness_low if cfg.closeness_low is not None else 0.0,
+            cfg.closeness_high if cfg.closeness_high is not None else np.inf,
+            cfg.similarity_low if cfg.similarity_low is not None else 0.0,
+            cfg.similarity_high if cfg.similarity_high is not None else np.inf,
+        )
+
     @staticmethod
     def _band_thresholds(
         values: np.ndarray, low: float | None, high: float | None
@@ -280,6 +329,20 @@ class CollusionDetector:
             Number of *earlier* intervals each pair was flagged in; drives
             the recidivism escalation.  ``None`` means no history.
         """
+        if self._config.coefficient_backend is CoefficientBackend.SPARSE:
+            # Dense-input interop path: the engine still hands dense
+            # interval matrices at moderate n; the analysis itself runs
+            # over the flagged pair set only.
+            result = self.analyze_sparse(
+                sparse.csr_matrix(interval.pos_counts),
+                sparse.csr_matrix(interval.neg_counts),
+                reputations,
+                sparse.csr_matrix(rated_mask),
+                sparse.csr_matrix(flag_counts) if flag_counts is not None else None,
+            )
+            return DetectionResult(
+                result.weights_dense(), result.findings, result.thresholds
+            )
         n = self.n_nodes
         cfg = self._config
         obs = self._obs
@@ -294,7 +357,8 @@ class CollusionDetector:
         ones = np.ones((n, n), dtype=np.float64)
         if not (flagged_pos.any() or flagged_neg.any()):
             thresholds = DerivedThresholds(
-                pos_thr, neg_thr, self._low_reputation(), 0.0, np.inf, 0.0, np.inf
+                pos_thr, neg_thr, self._low_reputation(),
+                *self._pinned_band_defaults(),
             )
             return DetectionResult(ones, (), thresholds)
 
@@ -399,6 +463,353 @@ class CollusionDetector:
                 b1, b2, b3, b4, weights,
             )
         return DetectionResult(weights, tuple(findings), thresholds)
+
+    @staticmethod
+    def _nonzero_row_ids(mat: sparse.csr_matrix, row: int) -> np.ndarray:
+        """Column ids of a CSR row's genuinely nonzero entries."""
+        lo, hi = mat.indptr[row], mat.indptr[row + 1]
+        idx = mat.indices[lo:hi]
+        return np.asarray(idx[mat.data[lo:hi] != 0], dtype=np.int64)
+
+    def analyze_sparse(
+        self,
+        pos_counts: sparse.spmatrix,
+        neg_counts: sparse.spmatrix,
+        reputations: np.ndarray,
+        rated: sparse.spmatrix,
+        flag_counts: sparse.spmatrix | None = None,
+    ) -> SparseDetectionResult:
+        """Analyse one interval without materialising any ``n x n`` array.
+
+        Mirrors :meth:`analyze` over CSR inputs: ``pos_counts`` /
+        ``neg_counts`` are the interval's rating-count matrices, ``rated``
+        the cumulative rated mask, ``flag_counts`` the recidivism history.
+        Thresholds, behaviours B1–B4, leave-one-out bands and the Gaussian
+        damping are all evaluated only over the frequency-flagged pair set
+        (plus, for bands, the flagged raters' rated neighbourhoods), which
+        is what makes a ``10^5``-node interval tractable.  All pair
+        enumeration is row-major, so findings come out in the same order
+        as the dense pass.
+        """
+        n = self.n_nodes
+        cfg = self._config
+        obs = self._obs
+        interval_index = self._interval_index
+        self._interval_index += 1
+        if obs is not None:
+            obs.metrics.counter("detector.intervals").inc()
+        pos = pos_counts.tocsr()
+        pos.sort_indices()
+        neg = neg_counts.tocsr()
+        neg.sort_indices()
+
+        pos_thr = cfg.pos_frequency_threshold
+        if pos_thr is None:
+            observed = pos.data[pos.data > 0]
+            pos_thr = (
+                cfg.theta * float(np.median(observed)) if observed.size else np.inf
+            )
+        neg_thr = cfg.neg_frequency_threshold
+        if neg_thr is None:
+            observed = neg.data[neg.data > 0]
+            neg_thr = (
+                cfg.theta * float(np.median(observed)) if observed.size else np.inf
+            )
+        pos_thr, neg_thr = float(pos_thr), float(neg_thr)
+
+        pos_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(pos.indptr))
+        neg_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(neg.indptr))
+        keys_pos = (pos_rows * np.int64(n) + pos.indices.astype(np.int64))[
+            pos.data > pos_thr
+        ]
+        keys_neg = (neg_rows * np.int64(n) + neg.indices.astype(np.int64))[
+            neg.data > neg_thr
+        ]
+        no_pairs = np.empty((0, 2), dtype=np.int64)
+        if keys_pos.size == 0 and keys_neg.size == 0:
+            thresholds = DerivedThresholds(
+                pos_thr, neg_thr, self._low_reputation(),
+                *self._pinned_band_defaults(),
+            )
+            return SparseDetectionResult(
+                no_pairs, np.empty(0, dtype=np.float64), (), thresholds, n
+            )
+
+        # Active transaction pairs (counts > 0, off-diagonal), row-major —
+        # the population the derived band thresholds and global band see.
+        total = (pos + neg).tocsr()
+        total.sort_indices()
+        act_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(total.indptr))
+        act_cols = total.indices.astype(np.int64)
+        act_keep = (total.data > 0) & (act_rows != act_cols)
+        act_i, act_j = act_rows[act_keep], act_cols[act_keep]
+        observed_c = self._closeness.pair_values(act_i, act_j)
+        observed_s = self._similarity.pair_values(act_i, act_j)
+
+        t_cl, t_ch = self._band_thresholds(
+            observed_c, cfg.closeness_low, cfg.closeness_high
+        )
+        t_sl, t_sh = self._band_thresholds(
+            observed_s, cfg.similarity_low, cfg.similarity_high
+        )
+        t_r = self._low_reputation()
+
+        # The flagged pair set, row-major with per-pair flag provenance.
+        keys = np.union1d(keys_pos, keys_neg)
+        fi = keys // n
+        fj = keys % n
+        off_diag = fi != fj
+        keys, fi, fj = keys[off_diag], fi[off_diag], fj[off_diag]
+        flag_pos = np.isin(keys, keys_pos)
+        flag_neg = np.isin(keys, keys_neg)
+        m = keys.size
+        pos_cnt = np.asarray(pos[fi, fj], dtype=np.float64).ravel()
+        neg_cnt = np.asarray(neg[fi, fj], dtype=np.float64).ravel()
+        omega_c = self._closeness.pair_values(fi, fj)
+        omega_s = self._similarity.pair_values(fi, fj)
+
+        false_col = np.zeros(m, dtype=bool)
+        low_rep = np.asarray(reputations, dtype=np.float64)[fj] < t_r
+        b1 = flag_pos & (omega_c < t_cl) if cfg.use_closeness else false_col
+        b2 = flag_pos & (omega_c > t_ch) & low_rep if cfg.use_closeness else false_col
+        b3 = flag_pos & (omega_s < t_sl) if cfg.use_similarity else false_col
+        b4 = flag_neg & (omega_s > t_sh) if cfg.use_similarity else false_col
+        adjust = b1 | b2 | b3 | b4
+
+        thresholds = DerivedThresholds(pos_thr, neg_thr, t_r, t_cl, t_ch, t_sl, t_sh)
+        if not adjust.any():
+            if obs is not None:
+                self._emit_audit_sparse(
+                    interval_index, reputations, thresholds, fi, fj,
+                    flag_pos, flag_neg, pos_cnt, neg_cnt, omega_c, omega_s,
+                    b1, b2, b3, b4, np.ones(m, dtype=np.float64),
+                )
+            return SparseDetectionResult(
+                no_pairs, np.empty(0, dtype=np.float64), (), thresholds, n
+            )
+
+        exponent = np.zeros(m, dtype=np.float64)
+        rated_csr = rated.tocsr()
+        rated_csr.sort_indices()
+        for use_dim, computer, omega, observed in (
+            (cfg.use_closeness, self._closeness, omega_c, observed_c),
+            (cfg.use_similarity, self._similarity, omega_s, observed_s),
+        ):
+            if not use_dim:
+                continue
+            centers, spreads = self._sparse_bands(
+                fi, fj, omega, observed, computer, rated_csr, total
+            )
+            c = np.maximum(spreads, cfg.spread_floor)
+            exponent += (omega - centers) ** 2 / (2.0 * c * c)
+        damping = cfg.alpha * np.exp(-np.minimum(exponent, 700.0))
+        if cfg.cap_flagged_frequency:
+            pos_cap = np.where(
+                flag_pos,
+                np.minimum(1.0, pos_thr / np.maximum(pos_cnt, 1.0)),
+                1.0,
+            )
+            neg_cap = np.where(
+                flag_neg,
+                np.minimum(1.0, neg_thr / np.maximum(neg_cnt, 1.0)),
+                1.0,
+            )
+            damping = damping * pos_cap * neg_cap
+        if flag_counts is not None and cfg.recidivism_decay < 1.0:
+            history = np.asarray(
+                flag_counts.tocsr()[fi, fj], dtype=np.float64
+            ).ravel()
+            damping = damping * np.power(cfg.recidivism_decay, history)
+        weights = np.where(adjust, damping, 1.0)
+
+        findings = []
+        for t in np.flatnonzero(adjust):
+            reasons = SuspicionReason(0)
+            if b1[t]:
+                reasons |= SuspicionReason.B1
+            if b2[t]:
+                reasons |= SuspicionReason.B2
+            if b3[t]:
+                reasons |= SuspicionReason.B3
+            if b4[t]:
+                reasons |= SuspicionReason.B4
+            findings.append(
+                Finding(
+                    rater=int(fi[t]),
+                    ratee=int(fj[t]),
+                    reasons=reasons,
+                    closeness=float(omega_c[t]),
+                    similarity=float(omega_s[t]),
+                    weight=float(weights[t]),
+                )
+            )
+        if obs is not None:
+            self._emit_audit_sparse(
+                interval_index, reputations, thresholds, fi, fj,
+                flag_pos, flag_neg, pos_cnt, neg_cnt, omega_c, omega_s,
+                b1, b2, b3, b4, weights,
+            )
+        pairs = np.stack([fi[adjust], fj[adjust]], axis=1)
+        return SparseDetectionResult(
+            pairs, weights[adjust], tuple(findings), thresholds, n
+        )
+
+    def _sparse_bands(
+        self,
+        fi: np.ndarray,
+        fj: np.ndarray,
+        omega: np.ndarray,
+        observed: np.ndarray,
+        computer,
+        rated_csr: sparse.csr_matrix,
+        total_csr: sparse.csr_matrix,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-flagged-pair (center, spread) under the centring policy.
+
+        Leave-one-out semantics identical to the dense ``_band_arrays``:
+        the band for pair ``(i, j)`` covers the other nodes ``i`` has
+        rated (cumulative ∪ this interval's active partners, which always
+        contain ``j``); removing the judged value exposes the runner-up
+        extrema, with duplicates self-consistent.  Only the flagged
+        raters' neighbourhoods are ever gathered.
+        """
+        cfg = self._config
+        if observed.size:
+            g_center = float(observed.mean())
+            g_spread = float(observed.max() - observed.min())
+        else:
+            g_center, g_spread = 0.0, 0.0
+        m = fi.size
+        centers = np.full(m, g_center)
+        spreads = np.full(m, g_spread)
+        if cfg.center is GaussianCenter.GLOBAL:
+            return centers, spreads
+        # Per-rater band statistics (sum, extrema and runner-up extrema),
+        # gathered once per distinct flagged rater.
+        stats: dict[int, tuple[int, float, float, float, float, float]] = {}
+        for rater in np.unique(fi):
+            rater = int(rater)
+            ids = np.union1d(
+                self._nonzero_row_ids(rated_csr, rater),
+                self._nonzero_row_ids(total_csr, rater),
+            )
+            ids = ids[ids != rater]
+            if ids.size == 0:
+                continue
+            values = computer.pair_values(
+                np.full(ids.size, rater, dtype=np.int64), ids
+            )
+            vmax = float(values.max())
+            vmin = float(values.min())
+            if values.size >= 2:
+                vmax2 = float(np.partition(values, -2)[-2])
+                vmin2 = float(np.partition(values, 1)[1])
+            else:
+                vmax2, vmin2 = vmax, vmin
+            stats[rater] = (
+                int(values.size), float(values.sum()), vmax, vmax2, vmin, vmin2
+            )
+        for t in range(m):
+            entry = stats.get(int(fi[t]))
+            if entry is None:
+                continue
+            size, vsum, vmax, vmax2, vmin, vmin2 = entry
+            loo_size = size - 1  # the judged ratee is always in the set
+            if loo_size <= 0:
+                continue
+            if cfg.center is GaussianCenter.AUTO and loo_size < cfg.min_band_size:
+                continue
+            x = omega[t]
+            centers[t] = (vsum - x) / loo_size
+            loo_max = vmax2 if x == vmax else vmax
+            loo_min = vmin2 if x == vmin else vmin
+            spreads[t] = loo_max - loo_min
+        return centers, spreads
+
+    def _emit_audit_sparse(
+        self,
+        interval_index: int,
+        reputations: np.ndarray,
+        thresholds: DerivedThresholds,
+        fi: np.ndarray,
+        fj: np.ndarray,
+        flag_pos: np.ndarray,
+        flag_neg: np.ndarray,
+        pos_cnt: np.ndarray,
+        neg_cnt: np.ndarray,
+        omega_c: np.ndarray,
+        omega_s: np.ndarray,
+        b1: np.ndarray,
+        b2: np.ndarray,
+        b3: np.ndarray,
+        b4: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """Sparse mirror of :meth:`_emit_audit`: one event per flagged pair."""
+        from repro.obs import AuditEvent
+
+        assert self._obs is not None
+        audit = self._obs.audit
+        metrics = self._obs.metrics
+        cfg = self._config
+        threshold_values = {
+            "T+": float(thresholds.pos_frequency),
+            "T-": float(thresholds.neg_frequency),
+            "TR": float(thresholds.low_reputation),
+            "Tcl": float(thresholds.closeness_low),
+            "Tch": float(thresholds.closeness_high),
+            "Tsl": float(thresholds.similarity_low),
+            "Tsh": float(thresholds.similarity_high),
+        }
+        n_damped = 0
+        for t in range(fi.size):
+            i, j = int(fi[t]), int(fj[t])
+            fired = []
+            if flag_pos[t]:
+                fired.append("T+")
+            if flag_neg[t]:
+                fired.append("T-")
+            if float(reputations[j]) < thresholds.low_reputation:
+                fired.append("TR")
+            if cfg.use_closeness:
+                if omega_c[t] < thresholds.closeness_low:
+                    fired.append("Tcl")
+                if omega_c[t] > thresholds.closeness_high:
+                    fired.append("Tch")
+            if cfg.use_similarity:
+                if omega_s[t] < thresholds.similarity_low:
+                    fired.append("Tsl")
+                if omega_s[t] > thresholds.similarity_high:
+                    fired.append("Tsh")
+            behaviors = []
+            if b1[t]:
+                behaviors.append("B1")
+            if b2[t]:
+                behaviors.append("B2")
+            if b3[t]:
+                behaviors.append("B3")
+            if b4[t]:
+                behaviors.append("B4")
+            damped = bool(behaviors)
+            n_damped += damped
+            audit.record(
+                AuditEvent(
+                    interval=interval_index,
+                    rater=i,
+                    ratee=j,
+                    decision="damped" if damped else "accepted",
+                    behaviors=tuple(behaviors),
+                    fired=tuple(fired),
+                    closeness=float(omega_c[t]),
+                    similarity=float(omega_s[t]),
+                    weight=float(weights[t]) if damped else 1.0,
+                    pos_count=float(pos_cnt[t]),
+                    neg_count=float(neg_cnt[t]),
+                    thresholds=threshold_values,
+                )
+            )
+        metrics.counter("detector.pairs_examined").inc(int(fi.size))
+        metrics.counter("detector.pairs_damped").inc(n_damped)
 
     def _emit_audit(
         self,

@@ -31,9 +31,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.closeness import ClosenessComputer
-from repro.core.config import SocialTrustConfig
+from repro.core.config import CoefficientBackend, SocialTrustConfig
 from repro.core.detector import CollusionDetector, DetectionResult, Finding
 from repro.core.similarity import SimilarityComputer
+from repro.core.sparse import SparseClosenessComputer, SparseSimilarityComputer
 from repro.faults.injector import FaultInjector
 from repro.obs import NULL_TRACER, Observability
 from repro.p2p.dht import ChordRing
@@ -149,8 +150,16 @@ class DistributedSocialTrust(ReputationSystem):
         self._tracer = (
             observability.tracer if observability is not None else NULL_TRACER
         )
-        self._closeness = ClosenessComputer(social_view, interactions, self._config)
-        self._similarity = SimilarityComputer(profiles, self._config)
+        if self._config.coefficient_backend is CoefficientBackend.SPARSE:
+            self._closeness = SparseClosenessComputer(
+                social_view, interactions, self._config
+            )
+            self._similarity = SparseSimilarityComputer(profiles, self._config)
+        else:
+            self._closeness = ClosenessComputer(
+                social_view, interactions, self._config
+            )
+            self._similarity = SimilarityComputer(profiles, self._config)
         self._detector = CollusionDetector(
             self._closeness, self._similarity, self._config,
             observability=observability,
@@ -179,11 +188,11 @@ class DistributedSocialTrust(ReputationSystem):
         return self._last_result
 
     @property
-    def closeness_computer(self) -> ClosenessComputer:
+    def closeness_computer(self) -> ClosenessComputer | SparseClosenessComputer:
         return self._closeness
 
     @property
-    def similarity_computer(self) -> SimilarityComputer:
+    def similarity_computer(self) -> SimilarityComputer | SparseSimilarityComputer:
         return self._similarity
 
     def manager_of(self, node: int) -> ResourceManager:

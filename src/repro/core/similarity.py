@@ -72,15 +72,25 @@ class SimilarityComputer:
         }
 
     def restore_state(self, state: dict) -> None:
-        matrix = state["matrix"]
+        n = self.n_nodes
+
+        def _arr(value, name: str) -> np.ndarray | None:
+            if value is None:
+                return None
+            arr = np.asarray(value, dtype=np.float64).copy()
+            if arr.shape != (n, n):
+                raise ValueError(
+                    f"similarity cache {name!r} has shape {arr.shape}, but "
+                    f"this computer covers {n} nodes (expected {(n, n)}) — is "
+                    f"the checkpoint from a different network size?"
+                )
+            return arr
+
+        matrix = _arr(state["matrix"], "matrix")
         if matrix is not None:
-            matrix = np.asarray(matrix, dtype=np.float64).copy()
             matrix.flags.writeable = False  # the live cache is read-only
         self._cached_matrix = matrix
-        numer = state["numer"]
-        self._cached_numer = (
-            None if numer is None else np.asarray(numer, dtype=np.float64).copy()
-        )
+        self._cached_numer = _arr(state["numer"], "numer")
         self._cached_req_version = int(state["req_version"])
         self._cached_decl_version = int(state["decl_version"])
 
@@ -184,6 +194,14 @@ class SimilarityComputer:
         self._cached_decl_version = decl_version
         self._cached_req_version = req_version
         return out
+
+    def pair_values(self, a, b) -> np.ndarray:
+        """``Ωs`` over pair arrays — same gather API as the sparse backend
+        (reads from the cached matrix)."""
+        matrix = self.similarity_matrix()
+        i = np.asarray(a, dtype=np.int64)
+        j = np.asarray(b, dtype=np.int64)
+        return np.asarray(matrix[i, j], dtype=np.float64)
 
     def rater_band(self, rater: int, rated: frozenset[int] | set[int]) -> RaterBand | None:
         """Band over the rater's similarity to every node it has rated.

@@ -15,9 +15,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.closeness import ClosenessComputer
-from repro.core.config import SocialTrustConfig
+from repro.core.config import CoefficientBackend, SocialTrustConfig
 from repro.core.detector import CollusionDetector, DetectionResult
 from repro.core.similarity import SimilarityComputer
+from repro.core.sparse import SparseClosenessComputer, SparseSimilarityComputer
 from repro.obs import NULL_TRACER, Observability
 from repro.reputation.base import IntervalRatings, ReputationSystem
 from repro.social.graph import SocialView
@@ -70,8 +71,16 @@ class SocialTrust(ReputationSystem):
         self._config = config or SocialTrustConfig()
         self._obs = observability
         self._tracer = observability.tracer if observability is not None else NULL_TRACER
-        self._closeness = ClosenessComputer(social_view, interactions, self._config)
-        self._similarity = SimilarityComputer(profiles, self._config)
+        if self._config.coefficient_backend is CoefficientBackend.SPARSE:
+            self._closeness = SparseClosenessComputer(
+                social_view, interactions, self._config
+            )
+            self._similarity = SparseSimilarityComputer(profiles, self._config)
+        else:
+            self._closeness = ClosenessComputer(
+                social_view, interactions, self._config
+            )
+            self._similarity = SimilarityComputer(profiles, self._config)
         self._detector = CollusionDetector(
             self._closeness, self._similarity, self._config,
             observability=observability,
@@ -93,11 +102,11 @@ class SocialTrust(ReputationSystem):
         return self._config
 
     @property
-    def closeness_computer(self) -> ClosenessComputer:
+    def closeness_computer(self) -> ClosenessComputer | SparseClosenessComputer:
         return self._closeness
 
     @property
-    def similarity_computer(self) -> SimilarityComputer:
+    def similarity_computer(self) -> SimilarityComputer | SparseSimilarityComputer:
         return self._similarity
 
     @property

@@ -183,6 +183,10 @@ class WorldConfig:
     def __post_init__(self) -> None:
         if not isinstance(self.engine, EngineMode):
             object.__setattr__(self, "engine", EngineMode(self.engine))
+        if isinstance(self.socialtrust, dict):
+            object.__setattr__(
+                self, "socialtrust", SocialTrustConfig(**self.socialtrust)
+            )
         if isinstance(self.faults, dict):
             object.__setattr__(self, "faults", FaultConfig(**self.faults))
         if isinstance(self.chaos, dict):

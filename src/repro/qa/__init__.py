@@ -38,8 +38,11 @@ from repro.qa.cache_audit import (
 )
 from repro.qa.differential import (
     BACKENDS,
+    BackendComparison,
     CellResult,
+    CoefficientDifferentialReport,
     DifferentialReport,
+    run_coefficient_differential,
     run_differential,
 )
 from repro.qa.fuzz import (
@@ -75,8 +78,10 @@ from repro.qa.scenarios import (
 
 __all__ = [
     "BACKENDS",
+    "BackendComparison",
     "CacheAuditReport",
     "CellResult",
+    "CoefficientDifferentialReport",
     "DEFAULT_GOLDEN_DIR",
     "DifferentialReport",
     "Divergence",
@@ -99,6 +104,7 @@ __all__ = [
     "load_trace",
     "record_all",
     "record_trace",
+    "run_coefficient_differential",
     "run_differential",
     "run_fuzz",
     "run_reconvergence",

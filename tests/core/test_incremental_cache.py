@@ -137,6 +137,40 @@ class TestClosenessCache:
         assert band.center == pytest.approx(sum(values) / len(values))
 
 
+class TestRestoreStateShapeChecks:
+    """Satellite: a checkpoint from a different network size must be
+    rejected with a clear error, not silently installed as a poisoned
+    cache that every later incremental patch builds on."""
+
+    def test_closeness_rejects_wrong_shape(self):
+        network, ledger, profiles, rng = make_world()
+        apply_step("bulk", ledger, profiles, rng)
+        cc = ClosenessComputer(network, ledger, SocialTrustConfig())
+        cc.closeness_matrix()
+        bad = cc.state_dict()
+        bad["t2"] = np.zeros((N + 1, N + 1))
+        with pytest.raises(ValueError, match="different network size"):
+            cc.restore_state(bad)
+
+    def test_similarity_rejects_wrong_shape(self):
+        network, ledger, profiles, rng = make_world()
+        sc = SimilarityComputer(profiles, SocialTrustConfig())
+        sc.similarity_matrix()
+        bad = sc.state_dict()
+        bad["matrix"] = np.zeros((N - 2, N - 2))
+        with pytest.raises(ValueError, match="different network size"):
+            sc.restore_state(bad)
+
+    def test_roundtrip_still_bit_identical(self):
+        network, ledger, profiles, rng = make_world()
+        apply_step("bulk", ledger, profiles, rng)
+        cc = ClosenessComputer(network, ledger, SocialTrustConfig())
+        before = cc.closeness_matrix().copy()
+        other = ClosenessComputer(network, ledger, SocialTrustConfig())
+        other.restore_state(cc.state_dict())
+        np.testing.assert_array_equal(other.closeness_matrix(), before)
+
+
 class TestSimilarityCache:
     @settings(max_examples=25, deadline=None)
     @given(

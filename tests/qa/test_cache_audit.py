@@ -76,6 +76,47 @@ class TestCorruptedCaches:
             run_system.closeness_computer.invalidate_cache()
 
 
+class TestChurnHeavyDrift:
+    """Satellite regression: the incremental Ωc ``T2`` low-rank corrections
+    plus the periodic exact rebuild (``cache_rebuild_interval``) must keep
+    drift inside the audit tolerance over churn-heavy runs — the exact
+    failure mode the T2 drift bug produced before the rebuild counter."""
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_drift_bounded_over_200_churn_steps(self, backend):
+        scenario = build_scenario(
+            seed=29,
+            system="EigenTrust+SocialTrust",
+            collusion="pcm",
+            n_nodes=16,
+            n_pretrusted=2,
+            n_colluders=3,
+            n_interests=5,
+            interests_per_node=(1, 3),
+            query_cycles=2,
+            simulation_cycles=2,
+            socialtrust={
+                "coefficient_backend": backend,
+                "cache_rebuild_interval": 8,
+            },
+        )
+        scenario.run(2)
+        system = scenario.world.system
+        ledger = system.closeness_computer.interactions
+        rng = np.random.default_rng(29)
+        for step in range(200):
+            i, j = (int(v) for v in rng.integers(0, 16, 2))
+            if i != j:
+                ledger.record(i, j, float(rng.integers(1, 4)))
+            if step % 3 == 0:
+                ledger.decay_nodes(np.unique(rng.integers(0, 16, 3)), 0.5)
+            # Re-evaluate every step so the cache stays on the dirty-row
+            # incremental path instead of collapsing to one full rebuild.
+            system.closeness_computer.closeness_matrix()
+        report = assert_caches_consistent(system)
+        assert report.closeness_max_abs_diff <= 1e-9
+
+
 def test_audit_works_on_distributed_socialtrust():
     from repro.qa.fuzz import ManagerFuzzHarness
 

@@ -1,0 +1,180 @@
+"""Streaming service throughput/latency benchmark.
+
+Builds one :class:`~repro.serve.ReputationService` world, synthesizes a
+deterministic event stream (ratings with a thin interaction/churn mix,
+a reputation query every ``query_every`` events), and streams it through
+the synchronous ingestion path with the ``interval_events``
+auto-watermark closing a reputation interval every 6,000 events — so the
+measured rate is *sustained* throughput including the full SocialTrust
+detector + damping + inner update passes, not just ledger increments.
+Query latency comes from the service's own ``serve.query.latency``
+histogram (the same instrument ``repro serve`` reports).
+
+Results land in ``BENCH_serve.json`` at the repo root (override with
+``BENCH_SERVE_OUT``) using the shared ``{"name", "config", "results",
+"timestamp"}`` artifact schema.
+
+Profiles (``BENCH_SERVE_PROFILE`` environment variable):
+
+* ``full`` (default) — n = 1,000 nodes, 60,000 events (10 reputation
+  intervals); asserts sustained >= 5,000 events/sec;
+* ``smoke`` — n = 200 nodes, 12,000 events (4 intervals), floor
+  1,000 events/sec (the CI serve-smoke job; finishes in seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.api import ScenarioSpec
+from repro.serve import (
+    ChurnEvent,
+    InteractionEvent,
+    QueryRequest,
+    RatingEvent,
+    ReputationService,
+)
+
+PROFILES = {
+    "full": {
+        "n_nodes": 1_000,
+        "n_pretrusted": 20,
+        "n_events": 60_000,
+        "interval_events": 6_000,
+        "min_events_per_second": 5_000.0,
+    },
+    "smoke": {
+        "n_nodes": 200,
+        "n_pretrusted": 5,
+        "n_events": 12_000,
+        "interval_events": 3_000,
+        "min_events_per_second": 1_000.0,
+    },
+}
+
+QUERY_EVERY = 100
+CHURN_EVERY = 2_000
+SEED = 42
+
+
+def _profile() -> tuple[str, dict]:
+    name = os.environ.get("BENCH_SERVE_PROFILE", "full")
+    if name not in PROFILES:
+        raise ValueError(f"BENCH_SERVE_PROFILE must be one of {sorted(PROFILES)}")
+    return name, PROFILES[name]
+
+
+def _synthesize_events(n_nodes: int, n_events: int, seed: int = SEED) -> list:
+    """A deterministic mixed stream: ~94% ratings (10% negative), ~5%
+    bare interactions, plus a small churn-decay event every
+    ``CHURN_EVERY`` mutations and a node query every ``QUERY_EVERY``."""
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, n_nodes, size=n_events)
+    offsets = rng.integers(1, n_nodes, size=n_events)
+    targets = (sources + offsets) % n_nodes
+    kinds = rng.random(n_events)
+    values = np.where(rng.random(n_events) < 0.1, -1.0, 1.0)
+    interests = rng.integers(0, 16, size=n_events)
+    events: list = []
+    for i in range(n_events):
+        src, dst = int(sources[i]), int(targets[i])
+        if i and i % CHURN_EVERY == 0:
+            events.append(ChurnEvent(nodes=(src, dst), factor=0.9))
+        elif kinds[i] < 0.05:
+            events.append(InteractionEvent(source=src, target=dst))
+        else:
+            events.append(
+                RatingEvent(
+                    rater=src,
+                    ratee=dst,
+                    value=float(values[i]),
+                    interest=int(interests[i]),
+                )
+            )
+        if i % QUERY_EVERY == 0:
+            events.append(QueryRequest(node=src))
+    return events
+
+
+def test_serve_throughput_and_latency(bench_artifact):
+    profile_name, profile = _profile()
+    spec = ScenarioSpec(
+        system="EigenTrust+SocialTrust",
+        collusion="none",
+        seed=SEED,
+        world=dict(
+            n_nodes=profile["n_nodes"],
+            n_pretrusted=profile["n_pretrusted"],
+            n_colluders=0,
+        ),
+    )
+    build_start = time.perf_counter()
+    service = ReputationService(
+        spec, interval_events=profile["interval_events"]
+    )
+    build_seconds = time.perf_counter() - build_start
+
+    events = _synthesize_events(profile["n_nodes"], profile["n_events"])
+    stream_start = time.perf_counter()
+    consumed = service.serve_events(events)
+    elapsed = time.perf_counter() - stream_start
+
+    events_per_second = service.events_applied / elapsed
+    metrics = service.metrics.as_dict()
+    latency = metrics["serve.query.latency"]
+    update = metrics["serve.update.seconds"]
+
+    expected_intervals = profile["n_events"] // profile["interval_events"]
+    assert consumed == len(events)
+    assert service.events_applied == profile["n_events"]
+    assert service.intervals_run == expected_intervals
+    assert latency["count"] > 0
+
+    print(
+        f"\nserve[{profile_name}]: n={profile['n_nodes']}, "
+        f"{service.events_applied} events / {elapsed:.2f}s = "
+        f"{events_per_second:,.0f} ev/s over {service.intervals_run} "
+        f"intervals; query p50 {latency['p50'] * 1e6:.1f}µs "
+        f"p99 {latency['p99'] * 1e6:.1f}µs; "
+        f"update p99 {update['p99'] * 1e3:.1f}ms"
+    )
+
+    bench_artifact(
+        "serve",
+        config={
+            "profile": profile_name,
+            "n_nodes": profile["n_nodes"],
+            "n_pretrusted": profile["n_pretrusted"],
+            "n_events": profile["n_events"],
+            "interval_events": profile["interval_events"],
+            "query_every": QUERY_EVERY,
+            "system": "EigenTrust+SocialTrust",
+            "seed": SEED,
+        },
+        results={
+            "build_seconds": build_seconds,
+            "stream_seconds": elapsed,
+            "events_applied": service.events_applied,
+            "events_per_second": events_per_second,
+            "intervals_run": service.intervals_run,
+            "queries": latency["count"],
+            "query_p50_seconds": latency["p50"],
+            "query_p90_seconds": latency["p90"],
+            "query_p99_seconds": latency["p99"],
+            "update_p50_seconds": update["p50"],
+            "update_p99_seconds": update["p99"],
+            "flood_top_rater_share": metrics["serve.flood.top_rater_share"][
+                "value"
+            ],
+        },
+        out=os.environ.get("BENCH_SERVE_OUT"),
+    )
+
+    floor = profile["min_events_per_second"]
+    assert events_per_second >= floor, (
+        f"sustained throughput {events_per_second:,.0f} ev/s below the "
+        f"{floor:,.0f} ev/s floor ({profile_name} profile)"
+    )

@@ -8,15 +8,24 @@ GossipTrust and a TrustGuard-like baseline), the PCM/MCM/MMM collusion
 models, and a calibrated synthetic Overstock marketplace.
 
 Start at :mod:`repro.api` for the one-call facade
-(:func:`~repro.api.build_scenario` / :func:`~repro.api.run_scenario`),
-:mod:`repro.core` for the SocialTrust mechanism itself,
-:mod:`repro.experiments` for the table/figure reproductions, and the
-repository README for a guided tour.
+(:func:`~repro.api.build_scenario` / :func:`~repro.api.run_scenario`, the
+typed :class:`~repro.api.ScenarioSpec`), :mod:`repro.core` for the
+SocialTrust mechanism itself, :mod:`repro.serve` for the streaming
+reputation service and its typed events, :mod:`repro.experiments` for the
+table/figure reproductions, and the repository README for a guided tour.
 """
 
 from repro.api import (
+    API_VERSION,
+    ChurnEvent,
+    InteractionEvent,
+    QueryRequest,
+    QueryResult,
+    RatingEvent,
     Scenario,
     ScenarioResult,
+    ScenarioSpec,
+    WatermarkEvent,
     build_scenario,
     list_experiments,
     run_experiment,
@@ -24,15 +33,35 @@ from repro.api import (
 )
 from repro.obs import Observability
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "API_VERSION",
     "Scenario",
     "ScenarioResult",
+    "ScenarioSpec",
     "Observability",
+    "ReputationService",
+    "RatingEvent",
+    "InteractionEvent",
+    "ChurnEvent",
+    "WatermarkEvent",
+    "QueryRequest",
+    "QueryResult",
     "build_scenario",
     "run_scenario",
     "list_experiments",
     "run_experiment",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy for the same reason as repro.api: the service sits above the
+    # facade, so importing it eagerly here would cycle through a
+    # partially initialised repro.serve.
+    if name == "ReputationService":
+        from repro.serve.service import ReputationService
+
+        return ReputationService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

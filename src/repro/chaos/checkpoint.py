@@ -116,6 +116,7 @@ def save_checkpoint(
     build: dict[str, Any],
     seed: int = 0,
     run_index: int = 0,
+    kind: str = "simulation",
 ) -> Path:
     """Capture ``simulation`` at its current cycle boundary into ``path``.
 
@@ -124,12 +125,21 @@ def save_checkpoint(
     exactly what :class:`~repro.qa.golden.GoldenScenario` stores.  The
     file is written atomically (temp file + rename) so a crash mid-write
     never leaves a truncated checkpoint behind.
+
+    ``simulation`` is duck-typed: anything with a ``checkpoint()`` dict
+    and a ``cycles_run`` count.  ``kind`` names the producer so recovery
+    routes correctly — ``"simulation"`` resumes via
+    :func:`resume_scenario`, ``"service"`` via
+    :meth:`repro.serve.ReputationService.from_checkpoint`.  The key is
+    additive (absent means ``"simulation"``), so the format version is
+    unchanged.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     header = {
         "type": "header",
         "format_version": CHECKPOINT_FORMAT_VERSION,
+        "kind": str(kind),
         "build": dict(build),
         "seed": int(seed),
         "run_index": int(run_index),
@@ -178,6 +188,13 @@ def resume_scenario(path: Path | str):
     from repro.api import build_scenario
 
     header, state = load_checkpoint(path)
+    kind = header.get("kind", "simulation")
+    if kind != "simulation":
+        raise ValueError(
+            f"{path}: checkpoint kind {kind!r} is not a batch-simulation "
+            f"checkpoint; service checkpoints resume via "
+            f"repro.serve.ReputationService.from_checkpoint"
+        )
     scenario = build_scenario(
         seed=header["seed"], run_index=header["run_index"], **header["build"]
     )

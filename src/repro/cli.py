@@ -9,6 +9,11 @@
   ``--partition``/``--byzantine``/``--managers`` script chaos windows;
   ``--checkpoint FILE --checkpoint-every N`` writes crash-safe
   checkpoints and ``--resume FILE`` continues one bit-identically);
+* ``serve``       — the streaming reputation service of :mod:`repro.serve`:
+  ``--record`` captures a scenario's batch run as a replayable event
+  stream, ``--events`` streams events (file or stdin) through a live
+  service, ``--resume`` continues from a mid-stream service checkpoint,
+  and ``--listen`` exposes the line-JSON socket endpoint;
 * ``obs``         — validate an exported trace and print the
   phases/metrics/audit report;
 * ``trace``       — generate a synthetic Overstock trace to a JSON file;
@@ -23,6 +28,18 @@
 so the CLI exercises the same audited path as the example scripts.
 Wall-clock timings printed by ``run``/``simulate`` use
 :func:`time.perf_counter` — the same monotonic clock as the tracer.
+
+Exit codes are contractual so scripts and CI can branch on *why* a
+command failed:
+
+* ``0`` — success;
+* ``1`` — the command ran, but its check failed (golden divergence,
+  fuzz invariant violation, differential mismatch, reconvergence miss);
+* ``2`` — configuration error: bad flags or flag values, missing or
+  malformed input files — the run never started (argparse uses the
+  same code for unparseable command lines);
+* ``3`` — runtime error: the run started and then failed (I/O mid-run,
+  malformed event mid-stream, unexpected internal errors).
 """
 
 from __future__ import annotations
@@ -35,7 +52,23 @@ from time import perf_counter
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_CONFIG",
+    "EXIT_RUNTIME",
+]
+
+#: The command succeeded.
+EXIT_OK = 0
+#: The command ran to completion but its check/assertion failed.
+EXIT_FAILURE = 1
+#: Bad configuration — flags, values, or input files; nothing ran.
+EXIT_CONFIG = 2
+#: The run started and then failed.
+EXIT_RUNTIME = 3
 
 #: Experiments that run on the trace substrate and take no run/cycle knobs.
 TRACE_EXPERIMENTS = frozenset({"fig1", "fig2", "fig3", "fig4"})
@@ -136,6 +169,93 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="resume from a checkpoint file; the scenario comes from its "
         "header, so other scenario flags are ignored",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="streaming reputation service (record / stream / resume)"
+    )
+    serve.add_argument("--nodes", type=int, default=100)
+    serve.add_argument("--pretrusted", type=int, default=5)
+    serve.add_argument("--colluders", type=int, default=15)
+    serve.add_argument(
+        "--system",
+        default="EigenTrust+SocialTrust",
+        help="reputation stack, e.g. EigenTrust or eBay+SocialTrust",
+    )
+    serve.add_argument(
+        "--collusion", default="pcm", choices=["none", "pcm", "mcm", "mmm"]
+    )
+    serve.add_argument("--colluder-b", type=float, default=0.2)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--cycles",
+        type=int,
+        default=6,
+        help="simulation cycles to capture with --record",
+    )
+    serve.add_argument(
+        "--record",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record the scenario's batch run as a replayable event stream",
+    )
+    serve.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="stream events from FILE ('-' = stdin) through a live service; "
+        "a stream header's scenario spec overrides the scenario flags",
+    )
+    serve.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="resume a service from a mid-stream checkpoint, then stream "
+        "--events if given",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the line-JSON socket endpoint until interrupted",
+    )
+    serve.add_argument(
+        "--interval-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="auto-watermark: run the reputation update every N mutation "
+        "events (streams with explicit watermarks don't need this)",
+    )
+    serve.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="service checkpoint target (see --snapshot-every)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint every N watermarks (requires --snapshot)",
+    )
+    serve.add_argument(
+        "--verify-snapshot",
+        action="store_true",
+        help="after streaming: write a final snapshot, reload it into a "
+        "fresh service, and require bit-identical reputations",
+    )
+    serve.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the service stats (throughput, latency percentiles, "
+        "backpressure counters) as JSON to FILE",
     )
 
     obs = sub.add_parser(
@@ -337,7 +457,7 @@ def _cmd_simulate_resume(args: argparse.Namespace) -> int:
         scenario = resume_scenario(args.resume)
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: cannot resume {args.resume}: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_CONFIG
     simulation = scenario.world.simulation
     total = int(header["build"].get("simulation_cycles", args.cycles))
     print(f"resumed {args.resume} at cycle {simulation.cycles_run}/{total}")
@@ -355,7 +475,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     if args.checkpoint_every and args.checkpoint is None and args.resume is None:
         print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
-        return 1
+        return EXIT_CONFIG
     if args.resume is not None:
         return _cmd_simulate_resume(args)
     if args.trace is not None:
@@ -364,10 +484,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         parent = args.trace.resolve().parent
         if not parent.is_dir():
             print(f"error: trace directory does not exist: {parent}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
         if not os.access(parent, os.W_OK):
             print(f"error: trace directory is not writable: {parent}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
     chaos = None
     if args.partition or args.byzantine:
         try:
@@ -377,7 +497,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             }
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
     start = perf_counter()
     if chaos is not None or args.managers or args.checkpoint is not None:
         # Chaos / checkpoint path: drive the cycles by hand so the run
@@ -405,7 +525,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
         _drive_with_checkpoints(
             scenario.world.simulation, args.cycles, args, build, args.seed
         )
@@ -435,6 +555,217 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_spec_from_args(args: argparse.Namespace):
+    from repro.api import ScenarioSpec
+
+    return ScenarioSpec.from_kwargs(
+        system=args.system,
+        collusion=args.collusion,
+        seed=args.seed,
+        n_nodes=args.nodes,
+        n_pretrusted=args.pretrusted,
+        n_colluders=args.colluders,
+        colluder_b=args.colluder_b,
+        simulation_cycles=args.cycles,
+    )
+
+
+def _serve_summary(service, elapsed: float, applied: int) -> dict:
+    """Throughput/latency digest printed and written by ``serve``.
+
+    ``applied`` is the number of mutation events applied during *this*
+    run (a resumed service's restored totals must not inflate ev/s).
+    """
+    stats = service.stats()
+    latency = stats["metrics"].get("serve.query.latency", {})
+    stats["elapsed_seconds"] = elapsed
+    stats["events_per_second"] = applied / elapsed if elapsed > 0 else 0.0
+    stats["query_p50_seconds"] = latency.get("p50", 0.0)
+    stats["query_p99_seconds"] = latency.get("p99", 0.0)
+    return stats
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import ScenarioSpec
+    from repro.serve import (
+        EventDecodeError,
+        ReputationService,
+        read_event_stream,
+        record_scenario_events,
+        write_event_stream,
+    )
+    from repro.serve.driver import drive_lines
+
+    modes = [
+        name
+        for name, value in (
+            ("--record", args.record),
+            ("--events", args.events),
+            ("--resume", args.resume),
+            ("--listen", args.listen),
+        )
+        if value is not None
+    ]
+    if not modes:
+        print(
+            "error: serve needs a mode: --record, --events, --resume or --listen",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG
+    if args.record is not None and len(modes) > 1:
+        print(
+            f"error: --record cannot be combined with {modes[1]}",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG
+    if args.snapshot_every is not None and args.snapshot is None:
+        print("error: --snapshot-every requires --snapshot", file=sys.stderr)
+        return EXIT_CONFIG
+    if args.verify_snapshot and args.snapshot is None:
+        print("error: --verify-snapshot requires --snapshot", file=sys.stderr)
+        return EXIT_CONFIG
+
+    # -- record: batch run → event stream file -------------------------------
+    if args.record is not None:
+        try:
+            spec = _serve_spec_from_args(args)
+        except (ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+        start = perf_counter()
+        recorded = record_scenario_events(spec, args.cycles)
+        n = write_event_stream(args.record, recorded.events, spec=recorded.spec)
+        print(
+            f"wrote {args.record}: {n} events over {args.cycles} intervals "
+            f"(n={args.nodes}) [{perf_counter() - start:.1f}s]"
+        )
+        return EXIT_OK
+
+    # -- build or resume the service -----------------------------------------
+    service_kwargs = dict(
+        interval_events=args.interval_events,
+        snapshot_path=args.snapshot,
+        snapshot_every=args.snapshot_every,
+    )
+    stream_events = None
+    if args.events is not None and args.events != "-":
+        events_path = Path(args.events)
+        if not events_path.is_file():
+            print(f"error: events file not found: {events_path}", file=sys.stderr)
+            return EXIT_CONFIG
+        try:
+            loaded = read_event_stream(events_path)
+        except EventDecodeError as exc:
+            print(f"error: malformed event stream {events_path}: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+        stream_events = loaded.events
+    if args.resume is not None:
+        try:
+            service = ReputationService.from_checkpoint(args.resume, **service_kwargs)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot resume {args.resume}: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+        print(
+            f"resumed {args.resume}: {service.intervals_run} intervals, "
+            f"{service.events_applied} events applied"
+        )
+    else:
+        if args.events is not None and args.events != "-" and loaded.spec is not None:
+            spec = ScenarioSpec.from_dict(loaded.spec)
+        else:
+            try:
+                spec = _serve_spec_from_args(args)
+            except (ValueError, TypeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_CONFIG
+        service = ReputationService(spec, **service_kwargs)
+
+    # -- listen: line-JSON socket endpoint -----------------------------------
+    if args.listen is not None:
+        import asyncio
+
+        from repro.serve.driver import serve_socket
+
+        host, sep, port_text = args.listen.rpartition(":")
+        try:
+            if not sep or not host:
+                raise ValueError
+            port = int(port_text)
+        except ValueError:
+            print(
+                f"error: --listen expects HOST:PORT, got {args.listen!r}",
+                file=sys.stderr,
+            )
+            return EXIT_CONFIG
+
+        async def _serve_forever() -> None:
+            server = await serve_socket(service, host, port)
+            bound = server.sockets[0].getsockname()
+            print(
+                f"serving line-JSON events on {bound[0]}:{bound[1]}",
+                flush=True,
+            )
+            ingest = asyncio.ensure_future(service.run())
+            try:
+                async with server:
+                    await server.serve_forever()
+            finally:
+                await service.stop()
+                await ingest
+
+        try:
+            asyncio.run(_serve_forever())
+        except KeyboardInterrupt:
+            print("interrupted; service stopped")
+        return EXIT_OK
+
+    # -- stream: apply events (file or stdin) --------------------------------
+    applied_before = service.events_applied
+    start = perf_counter()
+    if args.events == "-":
+        # stdin is decoded as it streams: a malformed line aborts a run
+        # that is already underway, which is a runtime failure — unlike a
+        # malformed --events file, which is rejected before starting.
+        try:
+            consumed = drive_lines(service, sys.stdin, out=sys.stdout)
+        except EventDecodeError as exc:
+            print(f"error: malformed event on stdin: {exc}", file=sys.stderr)
+            return EXIT_RUNTIME
+    elif stream_events is not None:
+        consumed = service.serve_events(stream_events)
+    else:
+        consumed = 0
+    elapsed = perf_counter() - start
+    summary = _serve_summary(
+        service, elapsed, service.events_applied - applied_before
+    )
+    print(
+        f"streamed {consumed} events: {service.intervals_run} intervals, "
+        f"{summary['events_per_second']:.0f} ev/s, "
+        f"query p99 {summary['query_p99_seconds'] * 1e6:.1f}µs "
+        f"[{elapsed:.1f}s]"
+    )
+
+    if args.snapshot is not None:
+        path = service.save_snapshot(args.snapshot)
+        print(f"snapshot: {path}")
+        if args.verify_snapshot:
+            restored = ReputationService.from_checkpoint(args.snapshot)
+            if np.array_equal(restored.reputations, service.reputations) and (
+                restored.intervals_run == service.intervals_run
+            ):
+                print("snapshot round-trip: OK (bit-identical reputations)")
+            else:
+                print("error: snapshot round-trip diverged", file=sys.stderr)
+                return EXIT_FAILURE
+    if args.report is not None:
+        args.report.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {args.report}")
+    return EXIT_OK
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import SchemaError, render_file_report, validate_jsonl
 
@@ -442,10 +773,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         counts = validate_jsonl(args.input)
     except SchemaError as exc:
         print(f"error: invalid trace {args.input}: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_CONFIG
     except OSError as exc:
         print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_CONFIG
     total = sum(counts.values())
     by_kind = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
     print(f"validated {total} events ({by_kind or 'empty trace'})")
@@ -515,7 +846,7 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             )
         except (FileExistsError, KeyError) as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
         for path in written:
             print(f"wrote {path}")
         return 0
@@ -532,7 +863,7 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             )
         except (FileNotFoundError, KeyError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
         report_lines = []
         failed = False
         for name, diff in results.items():
@@ -546,7 +877,7 @@ def _cmd_qa(args: argparse.Namespace) -> int:
         if args.report is not None:
             args.report.write_text("\n".join(report_lines) + "\n")
             print(f"wrote {args.report}")
-        return 1 if failed else 0
+        return EXIT_FAILURE if failed else EXIT_OK
 
     if args.qa_command == "fuzz":
         start = perf_counter()
@@ -556,11 +887,11 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
         for report in reports:
             print(report.summary())
         print(f"  [{perf_counter() - start:.1f}s]")
-        return 0 if all(r.ok for r in reports) else 1
+        return EXIT_OK if all(r.ok for r in reports) else EXIT_FAILURE
 
     if args.qa_command == "diff":
         report = run_differential(
@@ -576,7 +907,7 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             )
             print(coeff_report.summary())
             ok = ok and coeff_report.ok
-        return 0 if ok else 1
+        return EXIT_OK if ok else EXIT_FAILURE
 
     if args.qa_command == "reconverge":
         import json
@@ -593,26 +924,26 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_CONFIG
         print(report.summary())
         print(f"  [{perf_counter() - start:.1f}s]")
         if args.report is not None:
             args.report.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
             print(f"wrote {args.report}")
-        return 0 if report.ok else 1
+        return EXIT_OK if report.ok else EXIT_FAILURE
 
     raise AssertionError(f"unhandled qa command {args.qa_command!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "trace":
@@ -622,6 +953,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "qa":
         return _cmd_qa(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (ValueError, TypeError, KeyError, FileNotFoundError) as exc:
+        # Bad flag values or inputs that slipped past the explicit guards:
+        # the run never meaningfully started.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:  # noqa: BLE001 — contractual exit code 3
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
 
 
 if __name__ == "__main__":

@@ -135,6 +135,21 @@ class SocialTrust(ReputationSystem):
     def reputations(self) -> np.ndarray:
         return self._inner.reputations
 
+    def pair_weight(self, rater: int, ratee: int) -> float:
+        """Live Gaussian damping weight for one rater→ratee pair.
+
+        Reads the most recent detector result without recomputing
+        anything — the streaming service's damping-query path.  1.0 when
+        the pair was not adjusted last interval (or before any update).
+        """
+        if not (0 <= rater < self.n_nodes and 0 <= ratee < self.n_nodes):
+            raise ValueError(
+                f"pair ({rater}, {ratee}) out of range [0, {self.n_nodes})"
+            )
+        if self._last_result is None:
+            return 1.0
+        return float(self._last_result.weights[rater, ratee])
+
     @property
     def flag_counts(self) -> np.ndarray:
         """Read-only per-pair count of intervals each pair was flagged in."""

@@ -1,0 +1,105 @@
+"""Line-JSON drivers: feed a service from a text stream or a socket.
+
+Two transports share one wire format — the tagged line-JSON of
+:mod:`repro.serve.events`:
+
+* :func:`drive_lines` — synchronous: read events from any text handle
+  (stdin, a recorded stream file), apply them in order, write query
+  results (one JSON line each) to ``out``.  This is what
+  ``repro serve --events`` uses;
+* :func:`serve_socket` — an ``asyncio.start_server`` endpoint: each
+  connection sends events line-by-line; mutation events are submitted to
+  the service's ingestion queue (backpressure propagates to the socket),
+  queries are answered on the same connection in arrival order.  Used by
+  ``repro serve --listen`` and the in-process socket tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TextIO
+
+from repro.serve.events import (
+    EventDecodeError,
+    QueryRequest,
+    decode_event,
+    iter_event_lines,
+)
+from repro.serve.service import ReputationService
+
+__all__ = ["drive_lines", "serve_socket"]
+
+
+def drive_lines(
+    service: ReputationService,
+    handle: TextIO,
+    *,
+    out: TextIO | None = None,
+) -> int:
+    """Apply every event line from ``handle``; returns events consumed.
+
+    Query results are written to ``out`` (one compact JSON line each)
+    when it is given, and discarded otherwise.
+    """
+    consumed = 0
+    for event in iter_event_lines(handle):
+        result = service.apply(event)
+        consumed += 1
+        if out is not None and isinstance(event, QueryRequest):
+            out.write(json.dumps(result.to_dict(), separators=(",", ":")))
+            out.write("\n")
+    return consumed
+
+
+async def serve_socket(
+    service: ReputationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Start a line-JSON socket endpoint in front of ``service``.
+
+    The service's ingestion loop must be running (``service.run()``)
+    on the same event loop.  Returns the started server; the bound
+    address is ``server.sockets[0].getsockname()`` (port 0 picks a free
+    one).  Malformed lines answer with an ``{"t": "error"}`` line and
+    close the connection rather than poisoning the queue.
+    """
+
+    async def handle_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                try:
+                    event = decode_event(json.loads(line))
+                except (json.JSONDecodeError, EventDecodeError) as exc:
+                    payload = {"t": "error", "error": str(exc)}
+                    writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+                    await writer.drain()
+                    break
+                if isinstance(event, QueryRequest):
+                    result = await service.query_async(event)
+                    writer.write(
+                        json.dumps(
+                            result.to_dict(), separators=(",", ":")
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    await writer.drain()
+                else:
+                    await service.submit(event)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.start_server(handle_connection, host, port)

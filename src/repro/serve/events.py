@@ -1,0 +1,360 @@
+"""Typed events and the line-JSON codec of the streaming service.
+
+The streaming service consumes four event kinds, mirroring exactly what
+the batch simulator's query-cycle loop does to the behavioural ledgers:
+
+* :class:`RatingEvent` — one rating exchange (possibly a burst of
+  ``count`` identical ratings, which is how collusion bursts stream).  A
+  rating is *composite*: it updates the interval rating ledger, the
+  interaction-frequency ledger, and — when it carries an ``interest`` —
+  the behavioural request counters, in that order, matching the scalar
+  simulation loop rating-for-service path.  Burst ratings carry no
+  interest (a rating exchange without a genuine resource transfer leaves
+  no request trace);
+* :class:`InteractionEvent` — an interaction with no rating attached
+  (e.g. an unrated resource transfer);
+* :class:`ChurnEvent` — peer departure aging: decay the listed nodes'
+  interaction history by ``factor`` (the simulator's churn decay);
+* :class:`WatermarkEvent` — close the current rating interval: drain the
+  ledger, run the detector + damping + inner reputation update.  Recorded
+  streams carry explicit watermarks so replay reproduces the batch run's
+  interval boundaries bit-for-bit; live streams may instead rely on the
+  service's ``interval_events`` auto-watermark.
+
+:class:`QueryRequest` / :class:`QueryResult` are the read path: a
+reputation lookup (one node or the full vector) or a rater→ratee damping
+weight probe, answered from the live caches without touching state.
+
+Events serialise to single-line JSON objects tagged by ``"t"`` (see
+:func:`encode_event` / :func:`decode_event`).  A stream file is line-JSON
+with an optional leading header line carrying the
+:class:`~repro.api.ScenarioSpec` that describes the world the events were
+recorded against — a stream file is self-describing the same way golden
+traces and checkpoints are.  :data:`EVENT_SCHEMA_VERSION` is bumped on
+incompatible layout changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, TextIO, Union
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "RatingEvent",
+    "InteractionEvent",
+    "ChurnEvent",
+    "WatermarkEvent",
+    "QueryRequest",
+    "QueryResult",
+    "Event",
+    "EventDecodeError",
+    "encode_event",
+    "decode_event",
+    "write_event_stream",
+    "read_event_stream",
+    "iter_event_lines",
+]
+
+#: Bumped whenever the line-JSON event layout changes incompatibly.
+EVENT_SCHEMA_VERSION = 1
+
+
+class EventDecodeError(ValueError):
+    """A line could not be decoded into a known event."""
+
+
+@dataclass(frozen=True)
+class RatingEvent:
+    """``count`` identical ratings ``rater → ratee`` of ``value`` (±1).
+
+    ``interest`` marks a genuine serviced request (and feeds the
+    behavioural interest counters); collusion bursts leave it ``None``.
+    """
+
+    rater: int
+    ratee: int
+    value: float
+    count: int = 1
+    interest: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.rater == self.ratee:
+            raise ValueError("self-ratings are not allowed")
+        if self.interest is not None and self.count != 1:
+            raise ValueError(
+                "a genuine (interest-carrying) rating is a single service "
+                "outcome; bursts must not carry an interest"
+            )
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """``count`` interactions initiated by ``source`` toward ``target``
+    with no rating attached."""
+
+    source: int
+    target: int
+    count: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+        if self.source == self.target:
+            raise ValueError("self-interactions are not meaningful")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """Decay the listed nodes' interaction history by ``factor``."""
+
+    nodes: tuple[int, ...]
+    factor: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(int(n) for n in self.nodes))
+        if not 0.0 <= self.factor <= 1.0:
+            raise ValueError(f"factor must be in [0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class WatermarkEvent:
+    """Close the current rating interval and run the reputation update.
+
+    ``cycle`` is informational (the batch cycle index in recorded
+    streams); the service asserts monotonicity when it is set.
+    """
+
+    cycle: int | None = None
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A read-only probe of the live service state.
+
+    * ``node`` set → that node's current reputation;
+    * ``rater``/``ratee`` set → the pair's current Gaussian damping
+      weight (1.0 unless the detector flagged the pair last interval);
+    * neither → the full reputation vector.
+    """
+
+    node: int | None = None
+    rater: int | None = None
+    ratee: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.rater is None) != (self.ratee is None):
+            raise ValueError("damping queries need both rater and ratee")
+        if self.node is not None and self.rater is not None:
+            raise ValueError("query either a reputation or a damping weight")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one :class:`QueryRequest`, stamped with service progress."""
+
+    request: QueryRequest
+    #: Scalar reputation / damping weight, or the full vector as a list.
+    value: float | list[float]
+    #: Reputation-update intervals the service had applied when answering.
+    intervals_run: int
+    #: Mutation events applied when answering.
+    events_applied: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "t": "result",
+            "value": self.value,
+            "intervals_run": self.intervals_run,
+            "events_applied": self.events_applied,
+        }
+
+
+Event = Union[RatingEvent, InteractionEvent, ChurnEvent, WatermarkEvent, QueryRequest]
+
+
+def encode_event(event: Event) -> dict[str, Any]:
+    """One event → its tagged JSON-safe dict (defaults elided)."""
+    if isinstance(event, RatingEvent):
+        out: dict[str, Any] = {
+            "t": "rating",
+            "rater": event.rater,
+            "ratee": event.ratee,
+            "value": event.value,
+        }
+        if event.count != 1:
+            out["count"] = event.count
+        if event.interest is not None:
+            out["interest"] = event.interest
+        return out
+    if isinstance(event, InteractionEvent):
+        out = {"t": "interaction", "source": event.source, "target": event.target}
+        if event.count != 1.0:
+            out["count"] = event.count
+        return out
+    if isinstance(event, ChurnEvent):
+        return {"t": "churn", "nodes": list(event.nodes), "factor": event.factor}
+    if isinstance(event, WatermarkEvent):
+        out = {"t": "watermark"}
+        if event.cycle is not None:
+            out["cycle"] = event.cycle
+        return out
+    if isinstance(event, QueryRequest):
+        out = {"t": "query"}
+        if event.node is not None:
+            out["node"] = event.node
+        if event.rater is not None:
+            out["rater"] = event.rater
+            out["ratee"] = event.ratee
+        return out
+    raise TypeError(f"not a service event: {type(event).__name__}")
+
+
+def decode_event(data: dict[str, Any]) -> Event:
+    """Inverse of :func:`encode_event`; raises :class:`EventDecodeError`."""
+    if not isinstance(data, dict):
+        raise EventDecodeError(f"event must be a JSON object, got {type(data).__name__}")
+    tag = data.get("t")
+    try:
+        if tag == "rating":
+            return RatingEvent(
+                rater=int(data["rater"]),
+                ratee=int(data["ratee"]),
+                value=float(data["value"]),
+                count=int(data.get("count", 1)),
+                interest=(
+                    int(data["interest"]) if data.get("interest") is not None else None
+                ),
+            )
+        if tag == "interaction":
+            return InteractionEvent(
+                source=int(data["source"]),
+                target=int(data["target"]),
+                count=float(data.get("count", 1.0)),
+            )
+        if tag == "churn":
+            return ChurnEvent(
+                nodes=tuple(int(n) for n in data["nodes"]),
+                factor=float(data["factor"]),
+            )
+        if tag == "watermark":
+            cycle = data.get("cycle")
+            return WatermarkEvent(cycle=int(cycle) if cycle is not None else None)
+        if tag == "query":
+            node = data.get("node")
+            rater = data.get("rater")
+            ratee = data.get("ratee")
+            return QueryRequest(
+                node=int(node) if node is not None else None,
+                rater=int(rater) if rater is not None else None,
+                ratee=int(ratee) if ratee is not None else None,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EventDecodeError(f"malformed {tag!r} event: {exc}") from None
+    raise EventDecodeError(f"unknown event tag {tag!r}")
+
+
+def write_event_stream(
+    path: Path | str,
+    events: Iterable[Event],
+    *,
+    spec: Any | None = None,
+) -> int:
+    """Write an event stream file; returns the number of event lines.
+
+    ``spec`` (a :class:`~repro.api.ScenarioSpec`) goes into a leading
+    header line so the stream is self-describing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with path.open("w", encoding="utf-8") as handle:
+        if spec is not None:
+            header = {
+                "t": "header",
+                "schema_version": EVENT_SCHEMA_VERSION,
+                "spec": spec.to_dict(),
+            }
+            handle.write(json.dumps(header, separators=(",", ":")))
+            handle.write("\n")
+        for event in events:
+            handle.write(json.dumps(encode_event(event), separators=(",", ":")))
+            handle.write("\n")
+            written += 1
+    return written
+
+
+def iter_event_lines(handle: TextIO) -> Iterator[Event]:
+    """Decode events line-by-line from an open text stream.
+
+    A header line, if present, must come first and is skipped (version
+    checked); blank lines are ignored.
+    """
+    for number, raw in enumerate(handle, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise EventDecodeError(f"line {number}: invalid JSON ({exc})") from None
+        if isinstance(data, dict) and data.get("t") == "header":
+            if number != 1:
+                raise EventDecodeError(f"line {number}: header must be the first line")
+            version = data.get("schema_version")
+            if version != EVENT_SCHEMA_VERSION:
+                raise EventDecodeError(
+                    f"event schema version {version!r} != supported "
+                    f"{EVENT_SCHEMA_VERSION}"
+                )
+            continue
+        try:
+            yield decode_event(data)
+        except EventDecodeError as exc:
+            raise EventDecodeError(f"line {number}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class _LoadedStream:
+    """Result of :func:`read_event_stream`: spec dict (or None) + events."""
+
+    spec: dict[str, Any] | None
+    events: tuple[Event, ...] = field(default_factory=tuple)
+
+
+def read_event_stream(path: Path | str) -> _LoadedStream:
+    """Load a whole stream file: ``(spec_dict_or_None, events)``."""
+    path = Path(path)
+    spec: dict[str, Any] | None = None
+    events: list[Event] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise EventDecodeError(f"line {number}: invalid JSON ({exc})") from None
+            if isinstance(data, dict) and data.get("t") == "header":
+                if number != 1:
+                    raise EventDecodeError(
+                        f"line {number}: header must be the first line"
+                    )
+                version = data.get("schema_version")
+                if version != EVENT_SCHEMA_VERSION:
+                    raise EventDecodeError(
+                        f"event schema version {version!r} != supported "
+                        f"{EVENT_SCHEMA_VERSION}"
+                    )
+                spec = data.get("spec")
+                continue
+            try:
+                events.append(decode_event(data))
+            except EventDecodeError as exc:
+                raise EventDecodeError(f"line {number}: {exc}") from None
+    return _LoadedStream(spec=spec, events=tuple(events))

@@ -1,0 +1,206 @@
+"""Record a batch scenario run as a replayable event stream.
+
+The recorder runs a scenario through the *scalar* simulation loop (the
+seed reference implementation, property-tested bit-identical to the
+batched engine) with the three behavioural ledgers instrumented, and
+writes down every mutation the loop performs as a typed service event:
+
+* ``ledger.record`` (a genuine serviced request) →
+  :class:`~repro.serve.events.RatingEvent` carrying the interest.  The
+  loop's companion ``interactions.record`` / ``profiles.record_request``
+  calls are folded into that composite event, not emitted separately —
+  the service re-expands a rating into exactly those three ledger calls;
+* ``ledger.record_batch`` (a collusion burst) → a ``count``-carrying
+  :class:`~repro.serve.events.RatingEvent` with no interest (its paired
+  ``interactions.record`` is folded in the same way);
+* any other ``interactions.record`` →
+  :class:`~repro.serve.events.InteractionEvent`;
+* ``interactions.decay_nodes`` (churn aging) →
+  :class:`~repro.serve.events.ChurnEvent`;
+* each completed simulation cycle →
+  :class:`~repro.serve.events.WatermarkEvent`.
+
+Because the instrumentation wraps-and-forwards (the original methods
+still run), the recording run is numerically identical to an
+uninstrumented one; the recorder also captures the per-cycle reputation
+vectors so equivalence tests can compare a streamed replay against the
+*same process's* batch history bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import ScenarioSpec, build_scenario
+from repro.serve.events import (
+    ChurnEvent,
+    Event,
+    InteractionEvent,
+    RatingEvent,
+    WatermarkEvent,
+)
+
+__all__ = ["RecordedStream", "record_scenario_events"]
+
+
+@dataclass(frozen=True)
+class RecordedStream:
+    """One recorded run: the spec it replays against, the events, and the
+    batch run's per-cycle reputation history for strict comparison."""
+
+    spec: ScenarioSpec
+    events: tuple[Event, ...]
+    #: Post-update reputation vectors, shape ``(cycles, n_nodes)``.
+    batch_history: np.ndarray
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+
+class _LedgerTap:
+    """Instance-level instrumentation of one scenario's three ledgers."""
+
+    def __init__(self, simulation) -> None:
+        self.events: list[Event] = []
+        # The composite-rating fold: after a rating is recorded, the loop
+        # immediately records the implied interaction (and, for genuine
+        # requests, the interest).  Those calls are consumed silently.
+        self._fold_interaction: tuple[int, int, float] | None = None
+        self._fold_profile: tuple[int, int] | None = None
+        self._ledger = simulation.ledger
+        self._interactions = simulation.interactions
+        self._profiles = simulation.profiles
+        orig_record = self._ledger.record
+        orig_record_batch = self._ledger.record_batch
+        orig_interaction = self._interactions.record
+        orig_decay = self._interactions.decay_nodes
+        orig_request = self._profiles.record_request
+
+        def tap_record(rating):
+            self._flush_folds()
+            self.events.append(
+                RatingEvent(
+                    rater=rating.rater,
+                    ratee=rating.ratee,
+                    value=rating.value,
+                    count=1,
+                    interest=rating.interest,
+                )
+            )
+            self._fold_interaction = (rating.rater, rating.ratee, 1.0)
+            if rating.interest is not None:
+                self._fold_profile = (rating.rater, rating.interest)
+            return orig_record(rating)
+
+        def tap_record_batch(rater, ratee, value, count):
+            self._flush_folds()
+            self.events.append(
+                RatingEvent(
+                    rater=rater, ratee=ratee, value=value, count=count
+                )
+            )
+            self._fold_interaction = (rater, ratee, float(count))
+            return orig_record_batch(rater, ratee, value, count)
+
+        def tap_record_many(*args, **kwargs):
+            raise RuntimeError(
+                "event recording requires the scalar engine; a batched "
+                "record_many slipped through"
+            )
+
+        def tap_interaction(i, j, count=1.0):
+            if self._fold_interaction == (i, j, float(count)):
+                self._fold_interaction = None
+            else:
+                self._flush_folds()
+                self.events.append(
+                    InteractionEvent(source=i, target=j, count=float(count))
+                )
+            return orig_interaction(i, j, count)
+
+        def tap_decay(nodes, factor):
+            self._flush_folds()
+            idx = np.asarray(nodes, dtype=np.int64)
+            if idx.size and factor != 1.0:
+                self.events.append(
+                    ChurnEvent(nodes=tuple(int(n) for n in idx), factor=float(factor))
+                )
+            return orig_decay(nodes, factor)
+
+        def tap_request(node, interest, count=1.0):
+            if self._fold_profile == (node, interest) and count == 1.0:
+                self._fold_profile = None
+            else:
+                raise RuntimeError(
+                    f"unexpected profile request ({node}, {interest}) with "
+                    f"no preceding rating — the recorder's fold model no "
+                    f"longer matches the simulation loop"
+                )
+            return orig_request(node, interest, count)
+
+        self._taps = {
+            (self._ledger, "record"): tap_record,
+            (self._ledger, "record_batch"): tap_record_batch,
+            (self._ledger, "record_many"): tap_record_many,
+            (self._interactions, "record"): tap_interaction,
+            (self._interactions, "decay_nodes"): tap_decay,
+            (self._profiles, "record_request"): tap_request,
+        }
+        for (target, name), tap in self._taps.items():
+            setattr(target, name, tap)
+
+    def _flush_folds(self) -> None:
+        """A pending fold that was never consumed means the loop changed
+        shape; fail loudly rather than drop a ledger mutation."""
+        if self._fold_interaction is not None or self._fold_profile is not None:
+            raise RuntimeError(
+                "recorder fold left unconsumed — the simulation loop no "
+                "longer pairs ratings with interactions/requests as the "
+                "recorder assumes"
+            )
+
+    def close(self) -> None:
+        self._flush_folds()
+        for target, name in self._taps:
+            try:
+                delattr(target, name)
+            except AttributeError:
+                pass
+
+
+def record_scenario_events(spec: ScenarioSpec, cycles: int | None = None) -> RecordedStream:
+    """Run ``spec`` in batch (scalar engine) and capture its event stream.
+
+    ``spec`` is normalised to ``engine="scalar"`` for the recording run —
+    the scalar loop is bit-identical to the batched engine, and its
+    per-rating ledger calls are what the taps observe.  The returned
+    stream's :attr:`~RecordedStream.spec` carries that normalisation, so
+    replaying it builds the world the events were recorded against.
+    """
+    spec = spec.with_updates(engine="scalar")
+    scenario = build_scenario(spec)
+    simulation = scenario.world.simulation
+    cycles = (
+        cycles
+        if cycles is not None
+        else scenario.config.simulation_cycles
+    )
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    tap = _LedgerTap(simulation)
+    history: list[np.ndarray] = []
+    try:
+        for cycle in range(cycles):
+            reputations = simulation.run_simulation_cycle()
+            tap.events.append(WatermarkEvent(cycle=cycle))
+            history.append(np.array(reputations, dtype=np.float64, copy=True))
+    finally:
+        tap.close()
+    return RecordedStream(
+        spec=spec,
+        events=tuple(tap.events),
+        batch_history=np.vstack(history),
+    )

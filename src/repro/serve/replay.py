@@ -1,0 +1,91 @@
+"""Batch-vs-streamed equivalence harness.
+
+The contract the streaming service stands on: applying a recorded
+scenario's events one at a time reproduces the batch run's reputation
+vectors at every interval watermark.  This module packages the two sides
+— :func:`record_scenario_events` produces the stream plus the batch
+history, :func:`replay_events` streams it into a fresh
+:class:`~repro.serve.service.ReputationService` — and
+:func:`replay_report` diffs the two histories, strict (bit-identical,
+the same-machine guarantee) or within golden tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.api import ScenarioSpec
+from repro.serve.events import Event
+from repro.serve.recorder import RecordedStream, record_scenario_events
+from repro.serve.service import ReputationService
+
+__all__ = [
+    "ReplayReport",
+    "compare_histories",
+    "replay_events",
+    "replay_recorded",
+    "replay_report",
+]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one batch-vs-streamed comparison."""
+
+    intervals: int
+    n_nodes: int
+    #: Largest absolute reputation difference across all watermarks.
+    max_abs_diff: float
+    #: True when every watermark vector matched bit-for-bit.
+    bitwise_equal: bool
+
+    def within(self, rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Golden-tolerance acceptance (trivially true when bitwise)."""
+        return self.bitwise_equal or self.max_abs_diff <= atol + rtol
+
+
+def replay_events(
+    spec: ScenarioSpec,
+    events: Iterable[Event],
+    **service_kwargs,
+) -> ReputationService:
+    """Build a fresh service for ``spec`` and stream ``events`` through it
+    synchronously; returns the service (its ``history`` holds the
+    per-watermark reputation vectors)."""
+    service = ReputationService(spec, **service_kwargs)
+    service.serve_events(events)
+    return service
+
+
+def replay_recorded(
+    recorded: RecordedStream, **service_kwargs
+) -> tuple[ReputationService, ReplayReport]:
+    """Stream a recorded run and compare against its batch history."""
+    service = replay_events(recorded.spec, recorded.events, **service_kwargs)
+    report = compare_histories(recorded.batch_history, service.history)
+    return service, report
+
+
+def compare_histories(batch: np.ndarray, stream: np.ndarray) -> ReplayReport:
+    """Elementwise comparison of two ``(intervals, n)`` histories."""
+    if batch.shape != stream.shape:
+        raise ValueError(
+            f"history shapes differ: batch {batch.shape} vs stream {stream.shape}"
+        )
+    diff = float(np.abs(stream - batch).max()) if batch.size else 0.0
+    return ReplayReport(
+        intervals=int(batch.shape[0]),
+        n_nodes=int(batch.shape[1]) if batch.ndim == 2 else 0,
+        max_abs_diff=diff,
+        bitwise_equal=bool(np.array_equal(stream, batch)),
+    )
+
+
+def replay_report(spec: ScenarioSpec, cycles: int | None = None) -> ReplayReport:
+    """Record ``spec`` in batch and stream it back; returns the diff."""
+    recorded = record_scenario_events(spec, cycles)
+    _, report = replay_recorded(recorded)
+    return report

@@ -1,0 +1,545 @@
+"""The long-lived streaming reputation service.
+
+:class:`ReputationService` owns one scenario world (built from a
+:class:`~repro.api.ScenarioSpec`) and keeps its reputation state live
+while events arrive, instead of running the batch cycle loop:
+
+* mutation events (:class:`~repro.serve.events.RatingEvent`,
+  :class:`~repro.serve.events.InteractionEvent`,
+  :class:`~repro.serve.events.ChurnEvent`) are applied directly to the
+  incremental ledgers — the same dirty-row-versioned structures the
+  Ωc/Ωs caches key on, so each watermark's detector pass recomputes only
+  what the interval's events touched;
+* a :class:`~repro.serve.events.WatermarkEvent` (or the
+  ``interval_events`` auto-watermark) drains the interval ledger and runs
+  the full SocialTrust detector + damping + inner reputation update;
+* :class:`~repro.serve.events.QueryRequest` reads — reputation lookups
+  and damping-weight probes — are answered from the live caches in O(1)
+  without touching state.
+
+Because every ledger increment is an exact float64 integer step and the
+update at a watermark consumes exactly the drained interval, streaming a
+recorded scenario event-by-event reproduces the batch run's reputation
+vectors **bit-identically** at each watermark (pinned by the replay
+equivalence tests in ``tests/serve/``).
+
+The service runs sync (:meth:`ReputationService.apply` /
+:meth:`ReputationService.serve_events`) or async: an
+``asyncio.Queue``-fed ingestion loop (:meth:`ReputationService.run`)
+with backpressure-aware :meth:`ReputationService.submit`, load-shedding
+:meth:`ReputationService.submit_nowait`, and future-based
+:meth:`ReputationService.query_async`.  Operational state — queue depth,
+shed counts, per-kind event counters, per-interval top-rater share (the
+rating-flood signal), update duration and query latency histograms —
+is published through a :class:`repro.obs.MetricsRegistry`.
+
+Snapshots reuse the chaos checkpoint codec: :meth:`save_snapshot` writes
+a ``kind="service"`` checkpoint carrying the simulation state plus the
+service's own progress counters, and
+:meth:`ReputationService.from_checkpoint` resumes it, mid-stream, to the
+exact pre-kill state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, AsyncIterable, Iterable, Mapping
+
+import numpy as np
+
+from repro.api import ScenarioSpec, build_scenario
+from repro.obs import MetricsRegistry, Observability
+from repro.serve.events import (
+    ChurnEvent,
+    Event,
+    InteractionEvent,
+    QueryRequest,
+    QueryResult,
+    RatingEvent,
+    WatermarkEvent,
+)
+
+__all__ = ["ReputationService", "ServiceError"]
+
+#: Query-latency buckets: service reads are in-memory lookups, so the
+#: default seconds-oriented buckets would collapse everything into the
+#: first bin; these resolve 1µs–100ms.
+_QUERY_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4,
+    2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+)
+
+#: Sentinel that tells the ingestion loop to drain out and stop.
+_STOP = object()
+
+
+class ServiceError(RuntimeError):
+    """The service cannot make progress (not a malformed-input error)."""
+
+
+class ReputationService:
+    """Event-driven, query-serving wrapper around one scenario world.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to serve.  The world (population, social graph,
+        reputation stack, collusion *structure* — not its scripted
+        traffic) is built exactly as :func:`repro.api.build_scenario`
+        would, so a recorded batch run and a streamed replay share their
+        initial state bit-for-bit.
+    interval_events:
+        Auto-watermark: run the reputation update after this many
+        mutation events when the stream carries no explicit
+        :class:`~repro.serve.events.WatermarkEvent`.  ``None`` (default)
+        means watermarks are driven only by events / explicit calls.
+    observability:
+        Metrics/tracing bundle; created (tracing off) when omitted.
+    queue_maxsize:
+        Capacity of the async ingestion queue; :meth:`submit` blocks
+        (backpressure) and :meth:`submit_nowait` sheds when full.
+    snapshot_path / snapshot_every:
+        When both are set, a service checkpoint is written to
+        ``snapshot_path`` after every ``snapshot_every``-th watermark.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        interval_events: int | None = None,
+        observability: Observability | None = None,
+        queue_maxsize: int = 8192,
+        snapshot_path: Any | None = None,
+        snapshot_every: int | None = None,
+    ) -> None:
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError(
+                f"spec must be a ScenarioSpec, got {type(spec).__name__}"
+            )
+        if interval_events is not None and interval_events < 1:
+            raise ValueError(f"interval_events must be >= 1, got {interval_events}")
+        if snapshot_every is not None:
+            if snapshot_every < 1:
+                raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+            if snapshot_path is None:
+                raise ValueError("snapshot_every requires snapshot_path")
+        self._spec = spec
+        self._obs = observability or Observability(tracing=False)
+        self._scenario = build_scenario(spec)
+        self._sim = self._scenario.world.simulation
+        self._system = self._sim.system
+        self._ledger = self._sim.ledger
+        self._interactions = self._sim.interactions
+        self._profiles = self._sim.profiles
+        self._n = self._ledger.n_nodes
+        self._interval_events = interval_events
+        self._snapshot_path = snapshot_path
+        self._snapshot_every = snapshot_every
+        self._events_applied = 0
+        self._events_this_interval = 0
+        self._intervals_run = 0
+        self._history: list[np.ndarray] = []
+        # Per-rater mutation-event counts within the current interval —
+        # the RepRank-style rating-flood signal.  O(1) per event; the
+        # top-share gauge is published at each watermark.
+        self._interval_rater_events = np.zeros(self._n, dtype=np.int64)
+        self._queue: asyncio.Queue | None = None
+        self._queue_maxsize = queue_maxsize
+        self._running = False
+        metrics = self._obs.metrics
+        self._c_rating = metrics.counter("serve.events.rating")
+        self._c_interaction = metrics.counter("serve.events.interaction")
+        self._c_churn = metrics.counter("serve.events.churn")
+        self._c_watermark = metrics.counter("serve.events.watermark")
+        self._c_queries = metrics.counter("serve.queries")
+        self._c_shed = metrics.counter("serve.queue.shed")
+        self._g_depth = metrics.gauge("serve.queue.depth")
+        self._g_flood = metrics.gauge("serve.flood.top_rater_share")
+        self._h_query = metrics.histogram(
+            "serve.query.latency", buckets=_QUERY_LATENCY_BUCKETS
+        )
+        self._h_update = metrics.histogram("serve.update.seconds")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self._spec
+
+    @property
+    def observability(self) -> Observability:
+        return self._obs
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._obs.metrics
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def events_applied(self) -> int:
+        """Mutation events applied since construction/restore."""
+        return self._events_applied
+
+    @property
+    def intervals_run(self) -> int:
+        """Reputation-update watermarks run since construction/restore."""
+        return self._intervals_run
+
+    @property
+    def cycles_run(self) -> int:
+        """Alias of :attr:`intervals_run` (checkpoint-header duck type)."""
+        return self._intervals_run
+
+    @property
+    def reputations(self) -> np.ndarray:
+        """The live reputation vector (read-only view semantics: copy)."""
+        return np.array(self._system.reputations, dtype=np.float64, copy=True)
+
+    @property
+    def history(self) -> np.ndarray:
+        """Post-watermark reputation snapshots, shape ``(intervals, n)``."""
+        if not self._history:
+            return np.zeros((0, self._n), dtype=np.float64)
+        return np.vstack(self._history)
+
+    # -- the synchronous core ------------------------------------------------
+
+    def apply(self, event: Event) -> QueryResult | np.ndarray | None:
+        """Apply one event to the live state.
+
+        Returns the :class:`QueryResult` for a query, the post-update
+        reputation vector for a watermark, ``None`` otherwise.
+        """
+        if isinstance(event, RatingEvent):
+            self._apply_rating(event)
+        elif isinstance(event, InteractionEvent):
+            self._apply_interaction(event)
+        elif isinstance(event, ChurnEvent):
+            self._apply_churn(event)
+        elif isinstance(event, WatermarkEvent):
+            return self._apply_watermark(event)
+        elif isinstance(event, QueryRequest):
+            return self.query(event)
+        else:
+            raise TypeError(f"not a service event: {type(event).__name__}")
+        if (
+            self._interval_events is not None
+            and self._events_this_interval >= self._interval_events
+        ):
+            return self.run_watermark()
+        return None
+
+    def _bump(self, rater: int) -> None:
+        self._events_applied += 1
+        self._events_this_interval += 1
+        self._interval_rater_events[rater] += 1
+
+    def _apply_rating(self, event: RatingEvent) -> None:
+        # Order matches the scalar simulation loop: rating ledger, then
+        # interaction frequency, then (genuine requests only) the
+        # behavioural interest counter.
+        self._ledger.record_batch(
+            event.rater, event.ratee, event.value, event.count
+        )
+        self._interactions.record(event.rater, event.ratee, float(event.count))
+        if event.interest is not None:
+            self._profiles.record_request(event.rater, event.interest)
+        self._c_rating.inc()
+        self._bump(event.rater)
+
+    def _apply_interaction(self, event: InteractionEvent) -> None:
+        self._interactions.record(event.source, event.target, event.count)
+        self._c_interaction.inc()
+        self._bump(event.source)
+
+    def _apply_churn(self, event: ChurnEvent) -> None:
+        self._interactions.decay_nodes(
+            np.asarray(event.nodes, dtype=np.int64), event.factor
+        )
+        self._c_churn.inc()
+        self._events_applied += 1
+        self._events_this_interval += 1
+
+    def _apply_watermark(self, event: WatermarkEvent) -> np.ndarray:
+        if event.cycle is not None and event.cycle < self._intervals_run:
+            raise ServiceError(
+                f"watermark cycle {event.cycle} is behind the service "
+                f"({self._intervals_run} intervals already run)"
+            )
+        return self.run_watermark()
+
+    def run_watermark(self) -> np.ndarray:
+        """Drain the interval and run the reputation update; returns the
+        updated reputation vector."""
+        interval = self._ledger.drain()
+        start = time.perf_counter()
+        reputations = self._system.update(interval)
+        self._h_update.observe(time.perf_counter() - start)
+        self._intervals_run += 1
+        self._c_watermark.inc()
+        self._history.append(np.array(reputations, dtype=np.float64, copy=True))
+        total = int(self._interval_rater_events.sum())
+        self._g_flood.set(
+            float(self._interval_rater_events.max()) / total if total else 0.0
+        )
+        self._interval_rater_events[:] = 0
+        self._events_this_interval = 0
+        if (
+            self._snapshot_every is not None
+            and self._intervals_run % self._snapshot_every == 0
+        ):
+            self.save_snapshot()
+        return np.array(reputations, dtype=np.float64, copy=True)
+
+    def query(self, request: QueryRequest) -> QueryResult:
+        """Answer one read probe from the live caches."""
+        start = time.perf_counter()
+        result = self._answer(request)
+        self._h_query.observe(time.perf_counter() - start)
+        self._c_queries.inc()
+        return result
+
+    def _pair_weight(self, rater: int, ratee: int) -> float:
+        if not (0 <= rater < self._n and 0 <= ratee < self._n):
+            raise ValueError(f"pair ({rater}, {ratee}) out of range [0, {self._n})")
+        pair_weight = getattr(self._system, "pair_weight", None)
+        if pair_weight is None:
+            # Base systems never damp: every pair carries full weight.
+            return 1.0
+        return pair_weight(rater, ratee)
+
+    def serve_events(self, events: Iterable[Event]) -> int:
+        """Apply a whole iterable of events synchronously; returns the
+        number of events consumed (queries included)."""
+        consumed = 0
+        for event in events:
+            self.apply(event)
+            consumed += 1
+        return consumed
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Full mutable service state (simulation state + progress)."""
+        return {
+            "simulation": self._sim.checkpoint(),
+            "events_applied": self._events_applied,
+            "events_this_interval": self._events_this_interval,
+            "intervals_run": self._intervals_run,
+            "history": [h.copy() for h in self._history],
+            "interval_rater_events": self._interval_rater_events.copy(),
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`checkpoint` payload (same spec required)."""
+        self._sim.resume(dict(state["simulation"]))
+        self._events_applied = int(state["events_applied"])
+        self._events_this_interval = int(state["events_this_interval"])
+        self._intervals_run = int(state["intervals_run"])
+        self._history = [
+            np.asarray(h, dtype=np.float64).copy() for h in state["history"]
+        ]
+        self._interval_rater_events = np.asarray(
+            state["interval_rater_events"], dtype=np.int64
+        ).copy()
+
+    def save_snapshot(self, path: Any | None = None):
+        """Write a ``kind="service"`` checkpoint; returns its path."""
+        # Local import: keep repro.serve importable without scipy-heavy
+        # chaos modules until a snapshot is actually taken.
+        from repro.chaos.checkpoint import save_checkpoint
+
+        target = path if path is not None else self._snapshot_path
+        if target is None:
+            raise ValueError("no snapshot path configured or given")
+        return save_checkpoint(
+            self,
+            target,
+            build=self._spec.build_kwargs(),
+            seed=self._spec.seed,
+            run_index=self._spec.run_index,
+            kind="service",
+        )
+
+    @classmethod
+    def from_checkpoint(cls, path: Any, **kwargs: Any) -> "ReputationService":
+        """Resume a service from a ``kind="service"`` checkpoint file.
+
+        ``kwargs`` are forwarded to the constructor (``interval_events``,
+        ``snapshot_path``, ...); the scenario spec always comes from the
+        checkpoint header.
+        """
+        from repro.chaos.checkpoint import load_checkpoint
+
+        header, state = load_checkpoint(path)
+        kind = header.get("kind", "simulation")
+        if kind != "service":
+            raise ValueError(
+                f"{path}: checkpoint kind {kind!r} is not a service "
+                f"checkpoint; use repro.chaos.checkpoint.resume_scenario"
+            )
+        spec = ScenarioSpec.from_build(
+            header["build"],
+            seed=int(header["seed"]),
+            run_index=int(header["run_index"]),
+        )
+        service = cls(spec, **kwargs)
+        service.restore(state)
+        return service
+
+    # -- operational stats ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Operational snapshot: progress counters plus every
+        ``serve.*`` instrument (queue depth, shed count, flood share,
+        query-latency and update-duration percentiles)."""
+        metrics = {
+            name: value
+            for name, value in self._obs.metrics.as_dict().items()
+            if name.startswith("serve.")
+        }
+        return {
+            "spec": self._spec.to_dict(),
+            "n_nodes": self._n,
+            "events_applied": self._events_applied,
+            "intervals_run": self._intervals_run,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "metrics": metrics,
+        }
+
+    # -- the asyncio ingestion loop ------------------------------------------
+
+    def _ensure_queue(self) -> asyncio.Queue:
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self._queue_maxsize)
+        return self._queue
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    async def submit(self, event: Event) -> None:
+        """Enqueue one event, awaiting (backpressure) while the queue is
+        full."""
+        queue = self._ensure_queue()
+        await queue.put((event, None, 0.0))
+        self._g_depth.set(queue.qsize())
+
+    def submit_nowait(self, event: Event) -> bool:
+        """Enqueue without waiting; returns False (and counts a shed)
+        when the queue is full."""
+        queue = self._ensure_queue()
+        try:
+            queue.put_nowait((event, None, 0.0))
+        except asyncio.QueueFull:
+            self._c_shed.inc()
+            return False
+        self._g_depth.set(queue.qsize())
+        return True
+
+    async def query_async(self, request: QueryRequest) -> QueryResult:
+        """Enqueue a query and await its answer (latency measured from
+        enqueue to answer, which is what a remote caller experiences)."""
+        queue = self._ensure_queue()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        await queue.put((request, future, time.perf_counter()))
+        self._g_depth.set(queue.qsize())
+        return await future
+
+    async def stop(self) -> None:
+        """Ask the ingestion loop to drain the queue and exit."""
+        await self._ensure_queue().put((_STOP, None, 0.0))
+
+    async def run(self) -> int:
+        """Consume the ingestion queue until :meth:`stop`; returns the
+        number of events processed.
+
+        Control is yielded back to the event loop between events, so
+        producers (socket reader, :meth:`submit` callers) interleave with
+        ingestion on one loop.
+        """
+        if self._running:
+            raise ServiceError("service ingestion loop is already running")
+        queue = self._ensure_queue()
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                event, future, enqueued = await queue.get()
+                self._g_depth.set(queue.qsize())
+                if event is _STOP:
+                    break
+                try:
+                    if isinstance(event, QueryRequest):
+                        # Measure enqueue→answer so queue wait shows up in
+                        # the latency histogram under load.
+                        if future is not None:
+                            start = enqueued
+                            result = self._answer(event)
+                            self._h_query.observe(time.perf_counter() - start)
+                            self._c_queries.inc()
+                            future.set_result(result)
+                        else:
+                            self.query(event)
+                    else:
+                        self.apply(event)
+                    processed += 1
+                except Exception as exc:
+                    if future is not None and not future.done():
+                        future.set_exception(exc)
+                    else:
+                        raise
+        finally:
+            self._running = False
+        return processed
+
+    def _answer(self, request: QueryRequest) -> QueryResult:
+        """Query evaluation without self-timing (the async loop times
+        enqueue→answer itself)."""
+        if request.rater is not None:
+            value: float | list[float] = self._pair_weight(
+                request.rater, request.ratee
+            )
+        elif request.node is not None:
+            if not 0 <= request.node < self._n:
+                raise ValueError(f"node {request.node} out of range [0, {self._n})")
+            value = float(self._system.reputations[request.node])
+        else:
+            value = [float(x) for x in self._system.reputations]
+        return QueryResult(
+            request=request,
+            value=value,
+            intervals_run=self._intervals_run,
+            events_applied=self._events_applied,
+        )
+
+    async def run_stream(
+        self, events: Iterable[Event] | AsyncIterable[Event]
+    ) -> int:
+        """Feed ``events`` through the queue while the ingestion loop
+        runs, then stop; returns the number of events processed."""
+        consumer = asyncio.ensure_future(self.run())
+
+        async def produce() -> None:
+            if hasattr(events, "__aiter__"):
+                async for event in events:  # type: ignore[union-attr]
+                    await self.submit(event)
+            else:
+                for event in events:  # type: ignore[union-attr]
+                    await self.submit(event)
+            await self.stop()
+
+        producer = asyncio.ensure_future(produce())
+        try:
+            processed = await consumer
+        finally:
+            if not producer.done():
+                producer.cancel()
+        await asyncio.gather(producer, return_exceptions=True)
+        return processed

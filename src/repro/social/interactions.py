@@ -99,6 +99,15 @@ class InteractionLedger:
         """Total outgoing interactions of ``i`` — the Eq. (2) denominator."""
         return float(self._counts[i].sum())
 
+    def row_totals(self) -> np.ndarray:
+        """Per-node total outgoing interaction counts, shape ``(n,)``.
+
+        Parity with :meth:`SparseInteractionLedger.row_totals`, so
+        consumers (the service's flood instrumentation, reports) can take
+        either ledger flavour.
+        """
+        return self._counts.sum(axis=1)
+
     def share(self, i: int, j: int) -> float:
         """``f(i,j) / sum_k f(i,k)``; 0 when ``i`` has no interactions."""
         total = self._counts[i].sum()

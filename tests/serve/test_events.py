@@ -1,0 +1,172 @@
+"""Event types and the line-JSON stream codec."""
+
+import io
+import json
+
+import pytest
+
+from repro.serve.events import (
+    EVENT_SCHEMA_VERSION,
+    ChurnEvent,
+    EventDecodeError,
+    InteractionEvent,
+    QueryRequest,
+    QueryResult,
+    RatingEvent,
+    WatermarkEvent,
+    decode_event,
+    encode_event,
+    iter_event_lines,
+    read_event_stream,
+    write_event_stream,
+)
+
+
+ROUND_TRIP_EVENTS = [
+    RatingEvent(rater=3, ratee=7, value=1.0),
+    RatingEvent(rater=3, ratee=7, value=-1.0, interest=2),
+    RatingEvent(rater=1, ratee=2, value=1.0, count=8),
+    InteractionEvent(source=4, target=5),
+    InteractionEvent(source=4, target=5, count=2.5),
+    ChurnEvent(nodes=(1, 2, 3), factor=0.5),
+    WatermarkEvent(),
+    WatermarkEvent(cycle=4),
+    QueryRequest(node=9),
+    QueryRequest(rater=1, ratee=2),
+    QueryRequest(),
+]
+
+
+class TestValidation:
+    def test_rating_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            RatingEvent(rater=0, ratee=1, value=1.0, count=0)
+
+    def test_no_self_ratings(self):
+        with pytest.raises(ValueError, match="self-rating"):
+            RatingEvent(rater=3, ratee=3, value=1.0)
+
+    def test_interest_bursts_rejected(self):
+        with pytest.raises(ValueError, match="burst"):
+            RatingEvent(rater=0, ratee=1, value=1.0, count=2, interest=1)
+
+    def test_interaction_self_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            InteractionEvent(source=2, target=2)
+        with pytest.raises(ValueError):
+            InteractionEvent(source=0, target=1, count=0.0)
+
+    def test_churn_factor_range(self):
+        with pytest.raises(ValueError, match="factor"):
+            ChurnEvent(nodes=(0,), factor=1.5)
+
+    def test_churn_nodes_coerced_to_int_tuple(self):
+        event = ChurnEvent(nodes=[0.0, 3.0], factor=0.5)
+        assert event.nodes == (0, 3)
+
+    def test_query_needs_both_pair_endpoints(self):
+        with pytest.raises(ValueError, match="both"):
+            QueryRequest(rater=1)
+
+    def test_query_node_xor_pair(self):
+        with pytest.raises(ValueError, match="either"):
+            QueryRequest(node=0, rater=1, ratee=2)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("event", ROUND_TRIP_EVENTS, ids=repr)
+    def test_round_trip(self, event):
+        assert decode_event(encode_event(event)) == event
+
+    def test_defaults_elided(self):
+        assert "count" not in encode_event(RatingEvent(rater=0, ratee=1, value=1.0))
+        assert "interest" not in encode_event(RatingEvent(rater=0, ratee=1, value=1.0))
+        assert "cycle" not in encode_event(WatermarkEvent())
+
+    def test_unknown_tag(self):
+        with pytest.raises(EventDecodeError, match="unknown event tag"):
+            decode_event({"t": "frobnicate"})
+
+    def test_missing_field(self):
+        with pytest.raises(EventDecodeError, match="malformed"):
+            decode_event({"t": "rating", "rater": 0})
+
+    def test_non_object(self):
+        with pytest.raises(EventDecodeError, match="JSON object"):
+            decode_event([1, 2, 3])
+
+    def test_encode_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            encode_event(object())
+
+    def test_query_result_to_dict(self):
+        result = QueryResult(
+            request=QueryRequest(node=3),
+            value=0.25,
+            intervals_run=2,
+            events_applied=10,
+        )
+        assert result.to_dict() == {
+            "t": "result",
+            "value": 0.25,
+            "intervals_run": 2,
+            "events_applied": 10,
+        }
+
+
+class TestStreamFiles:
+    def test_write_read_round_trip_with_spec(self, tmp_path):
+        from repro.api import ScenarioSpec
+
+        spec = ScenarioSpec(seed=5, world={"n_nodes": 20})
+        path = tmp_path / "stream.jsonl"
+        events = [e for e in ROUND_TRIP_EVENTS if not isinstance(e, QueryRequest)]
+        written = write_event_stream(path, events, spec=spec)
+        assert written == len(events)
+
+        loaded = read_event_stream(path)
+        assert loaded.events == tuple(events)
+        assert loaded.spec == spec.to_dict()
+        assert ScenarioSpec.from_dict(loaded.spec) == spec
+
+    def test_headerless_stream(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        write_event_stream(path, [WatermarkEvent()])
+        loaded = read_event_stream(path)
+        assert loaded.spec is None
+        assert loaded.events == (WatermarkEvent(),)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t":"watermark"}\n\n{"t":"watermark","cycle":1}\n')
+        assert len(read_event_stream(path).events) == 2
+
+    def test_header_must_be_first(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        header = json.dumps({"t": "header", "schema_version": EVENT_SCHEMA_VERSION})
+        path.write_text('{"t":"watermark"}\n' + header + "\n")
+        with pytest.raises(EventDecodeError, match="first line"):
+            read_event_stream(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t":"header","schema_version":999}\n')
+        with pytest.raises(EventDecodeError, match="schema version"):
+            read_event_stream(path)
+
+    def test_errors_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t":"watermark"}\nnot json\n')
+        with pytest.raises(EventDecodeError, match="line 2"):
+            read_event_stream(path)
+
+    def test_iter_event_lines_matches_read(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        events = [RatingEvent(rater=0, ratee=1, value=1.0), WatermarkEvent(cycle=0)]
+        write_event_stream(path, events)
+        with path.open() as handle:
+            assert list(iter_event_lines(handle)) == events
+
+    def test_iter_event_lines_from_string_handle(self):
+        text = '{"t":"query","node":4}\n'
+        assert list(iter_event_lines(io.StringIO(text))) == [QueryRequest(node=4)]

@@ -1,0 +1,104 @@
+"""Batch-vs-streamed equivalence over the three checked-in golden scenarios.
+
+The streaming contract: replaying a recorded batch run event-by-event
+through a fresh :class:`~repro.serve.ReputationService` reproduces the
+batch run's reputation vectors at every interval watermark —
+bit-identically against the same process's batch history, and within
+golden tolerance against the checked-in golden traces (which were
+recorded by the batched engine; the scalar recorder is property-tested
+bit-identical to it).
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ScenarioSpec
+from repro.qa import GOLDEN_SCENARIOS
+from repro.qa.golden import load_trace
+from repro.serve import (
+    compare_histories,
+    record_scenario_events,
+    replay_recorded,
+    replay_report,
+)
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+GOLDEN_NAMES = sorted(GOLDEN_SCENARIOS)
+
+
+def golden_spec(name):
+    golden = GOLDEN_SCENARIOS[name]
+    return ScenarioSpec.from_build(golden.build, seed=golden.seed), golden.cycles
+
+
+@pytest.fixture(scope="module")
+def recorded_streams():
+    """Record each golden scenario once; several tests replay them."""
+    streams = {}
+    for name in GOLDEN_NAMES:
+        spec, cycles = golden_spec(name)
+        streams[name] = record_scenario_events(spec, cycles)
+    return streams
+
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_stream_matches_batch_bitwise(name, recorded_streams):
+    recorded = recorded_streams[name]
+    service, report = replay_recorded(recorded)
+    assert report.bitwise_equal, (
+        f"{name}: streamed replay diverged from batch "
+        f"(max abs diff {report.max_abs_diff})"
+    )
+    assert report.max_abs_diff == 0.0
+    assert report.within()
+    assert service.intervals_run == report.intervals
+
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_stream_matches_checked_in_golden(name, recorded_streams):
+    """The streamed history agrees with the golden trace on disk."""
+    service, _ = replay_recorded(recorded_streams[name])
+    records = load_trace(GOLDEN_DIR / f"{name}.jsonl")
+    cycles = [r for r in records if r.get("type") == "cycle"]
+    assert len(cycles) == service.intervals_run
+    golden_history = np.array(
+        [r["reputations"] for r in cycles], dtype=np.float64
+    )
+    report = compare_histories(golden_history, service.history)
+    assert report.within(), (
+        f"{name}: streamed replay diverged from the checked-in golden "
+        f"trace (max abs diff {report.max_abs_diff})"
+    )
+
+
+def test_replay_report_one_call():
+    spec, _ = golden_spec("eigentrust_pcm")
+    report = replay_report(spec, cycles=2)
+    assert report.intervals == 2
+    assert report.bitwise_equal
+
+
+def test_recorded_stream_shape(recorded_streams):
+    for name in GOLDEN_NAMES:
+        recorded = recorded_streams[name]
+        spec, cycles = golden_spec(name)
+        assert recorded.batch_history.shape == (
+            cycles,
+            recorded.spec.world["n_nodes"],
+        )
+        # The recording spec is the requested spec normalised to the
+        # scalar engine (what the taps observe).
+        assert recorded.spec.world.get("engine") == "scalar"
+        assert recorded.n_events == len(recorded.events)
+        # One watermark per batch cycle.
+        from repro.serve import WatermarkEvent
+
+        watermarks = [e for e in recorded.events if isinstance(e, WatermarkEvent)]
+        assert [w.cycle for w in watermarks] == list(range(cycles))
+
+
+def test_compare_histories_shape_mismatch():
+    with pytest.raises(ValueError, match="shapes differ"):
+        compare_histories(np.zeros((2, 3)), np.zeros((3, 3)))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_CONFIG, build_parser, main
 
 
 class TestParser:
@@ -79,9 +79,9 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "C(reputation, business size)" in out
 
-    def test_run_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "nope"])
+    def test_run_unknown_experiment_is_config_error(self, capsys):
+        assert main(["run", "nope"]) == EXIT_CONFIG
+        assert "error" in capsys.readouterr().err
 
     def test_simulate_trace_and_obs_round_trip(self, tmp_path, capsys):
         trace = tmp_path / "obs.jsonl"

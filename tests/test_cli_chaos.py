@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_CONFIG, build_parser, main
 
 SMALL_WORLD = [
     "--nodes", "16",
@@ -54,24 +54,24 @@ class TestParser:
 
 class TestSimulateChaosErrors:
     def test_malformed_partition(self, capsys):
-        assert main(["simulate", *SMALL_WORLD, "--partition", "3"]) == 1
+        assert main(["simulate", *SMALL_WORLD, "--partition", "3"]) == EXIT_CONFIG
         assert "--partition expects" in capsys.readouterr().err
 
     def test_malformed_byzantine(self, capsys):
-        assert main(["simulate", *SMALL_WORLD, "--byzantine", "a:b"]) == 1
+        assert main(["simulate", *SMALL_WORLD, "--byzantine", "a:b"]) == EXIT_CONFIG
         assert "--byzantine expects" in capsys.readouterr().err
 
     def test_byzantine_requires_managers(self, capsys):
-        assert main(["simulate", *SMALL_WORLD, "--byzantine", "0:1:3"]) == 1
+        assert main(["simulate", *SMALL_WORLD, "--byzantine", "0:1:3"]) == EXIT_CONFIG
         assert "error" in capsys.readouterr().err
 
     def test_checkpoint_every_requires_target(self, capsys):
-        assert main(["simulate", *SMALL_WORLD, "--checkpoint-every", "2"]) == 1
+        assert main(["simulate", *SMALL_WORLD, "--checkpoint-every", "2"]) == EXIT_CONFIG
         assert "--checkpoint-every requires" in capsys.readouterr().err
 
     def test_resume_missing_file(self, tmp_path, capsys):
         missing = tmp_path / "nope.jsonl"
-        assert main(["simulate", "--resume", str(missing)]) == 1
+        assert main(["simulate", "--resume", str(missing)]) == EXIT_CONFIG
         assert "cannot resume" in capsys.readouterr().err
 
 
@@ -133,5 +133,5 @@ class TestQaReconverge:
     def test_bad_spec_is_an_error(self, capsys):
         # Heal cycle beyond the run: the harness rejects it, the CLI
         # reports instead of crashing.
-        assert main(["qa", "reconverge", "--cycles", "2"]) == 1
+        assert main(["qa", "reconverge", "--cycles", "2"]) == EXIT_CONFIG
         assert "error" in capsys.readouterr().err

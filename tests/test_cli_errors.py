@@ -4,7 +4,7 @@ subcommands, and the `qa` command group's failure modes."""
 import pytest
 
 import repro.qa.scenarios as scenarios_mod
-from repro.cli import main
+from repro.cli import EXIT_CONFIG, main
 from repro.qa import GOLDEN_SCENARIOS, GoldenScenario
 
 
@@ -31,17 +31,17 @@ class TestObsErrors:
     def test_malformed_jsonl(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
         path.write_text("not json\n")
-        assert main(["obs", str(path)]) == 1
+        assert main(["obs", str(path)]) == EXIT_CONFIG
         assert "error: invalid trace" in capsys.readouterr().err
 
     def test_truncated_json_line(self, tmp_path, capsys):
         path = tmp_path / "cut.jsonl"
         path.write_text('{"kind": "span", "name": "x"\n')
-        assert main(["obs", str(path)]) == 1
+        assert main(["obs", str(path)]) == EXIT_CONFIG
         assert "error: invalid trace" in capsys.readouterr().err
 
     def test_missing_file(self, tmp_path, capsys):
-        assert main(["obs", str(tmp_path / "absent.jsonl")]) == 1
+        assert main(["obs", str(tmp_path / "absent.jsonl")]) == EXIT_CONFIG
         assert "error: cannot read" in capsys.readouterr().err
 
 
@@ -51,7 +51,7 @@ class TestSimulateTraceErrors:
         # modelled as a missing parent directory.
         target = tmp_path / "no" / "such" / "dir" / "trace.jsonl"
         code = main(["simulate", "--cycles", "1", "--trace", str(target)])
-        assert code == 1
+        assert code == EXIT_CONFIG
         assert "trace directory does not exist" in capsys.readouterr().err
 
 
@@ -81,7 +81,7 @@ class TestQaRecordCheck:
         assert "wrote" in capsys.readouterr().out
         assert (tmp_path / "fast.jsonl").exists()
 
-        assert main(["qa", "record", "--golden-dir", golden_dir]) == 1
+        assert main(["qa", "record", "--golden-dir", golden_dir]) == EXIT_CONFIG
         assert "already exists" in capsys.readouterr().err
 
         assert (
@@ -92,12 +92,12 @@ class TestQaRecordCheck:
         code = main(
             ["qa", "record", "--golden-dir", str(tmp_path), "--scenario", "nope"]
         )
-        assert code == 1
+        assert code == EXIT_CONFIG
         assert "unknown golden scenario" in capsys.readouterr().err
 
     def test_check_missing_golden(self, fast_goldens, tmp_path, capsys):
         code = main(["qa", "check", "--golden-dir", str(tmp_path / "empty")])
-        assert code == 1
+        assert code == EXIT_CONFIG
         assert "error" in capsys.readouterr().err
 
     def test_check_round_trip_and_report(self, fast_goldens, tmp_path, capsys):
@@ -120,7 +120,7 @@ class TestQaRecordCheck:
 
 class TestQaFuzzDiff:
     def test_fuzz_zero_steps_rejected(self, capsys):
-        assert main(["qa", "fuzz", "--steps", "0"]) == 1
+        assert main(["qa", "fuzz", "--steps", "0"]) == EXIT_CONFIG
         assert "error" in capsys.readouterr().err
 
     def test_fuzz_smoke(self, capsys):

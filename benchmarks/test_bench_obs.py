@@ -34,7 +34,13 @@ import time
 import numpy as np
 
 from repro.experiments import CollusionKind, SystemKind, WorldConfig, build_world
-from repro.obs import Observability, validate_jsonl
+from repro.obs import (
+    Observability,
+    parse_prometheus,
+    profile_spans,
+    render_prometheus,
+    validate_jsonl,
+)
 
 PROFILES = {
     "full": {"n_nodes": 1000, "simulation_cycles": 50, "repeats": 3},
@@ -112,6 +118,19 @@ def test_obs_overhead(bench_artifact, tmp_path):
     assert counts.get("span", 0) > 0, "traced run produced no spans"
     assert counts.get("audit", 0) > 0, "collusion run produced no audit events"
 
+    # The profiler must aggregate the traced spans into phase stats whose
+    # cumulative time is self-consistent (self <= cumulative, calls > 0).
+    stats = profile_spans(on_obs.tracer.events())
+    assert stats, "profiler found no phases in a traced run"
+    for stat in stats:
+        assert stat.calls > 0
+        assert 0.0 <= stat.self_s <= stat.cumulative_s + 1e-12
+
+    # The registry must export valid exposition text that round-trips.
+    exposition = render_prometheus(on_obs.metrics)
+    families = parse_prometheus(exposition)
+    assert families, "traced run produced no metric families"
+
     overhead = off_s / bare_s - 1.0
     bench_artifact(
         "obs",
@@ -129,6 +148,8 @@ def test_obs_overhead(bench_artifact, tmp_path):
             "disabled_overhead": round(overhead, 4),
             "span_events": counts.get("span", 0),
             "audit_events": counts.get("audit", 0),
+            "profiled_phases": len(stats),
+            "exposition_families": len(families),
         },
         out=os.environ.get("BENCH_OBS_OUT"),
     )

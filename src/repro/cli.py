@@ -13,9 +13,16 @@
   ``--record`` captures a scenario's batch run as a replayable event
   stream, ``--events`` streams events (file or stdin) through a live
   service, ``--resume`` continues from a mid-stream service checkpoint,
-  and ``--listen`` exposes the line-JSON socket endpoint;
-* ``obs``         — validate an exported trace and print the
-  phases/metrics/audit report;
+  and ``--listen`` exposes the line-JSON socket endpoint (a
+  ``{"query": "metrics"}`` line answers with Prometheus exposition);
+  ``--metrics FILE`` appends a JSONL telemetry snapshot per watermark
+  and ``--health-report FILE`` evaluates the default SLOs live;
+* ``obs``         — observability tooling: ``obs report`` validates an
+  exported trace and prints the phases/metrics/audit report (the bare
+  ``obs FILE`` spelling still works), ``obs health`` replays SLO rules
+  over a recorded telemetry series, ``obs top`` prints the per-phase
+  self/cumulative hot-path table, and ``obs export`` renders the last
+  metrics snapshot as Prometheus text exposition;
 * ``trace``       — generate a synthetic Overstock trace to a JSON file;
 * ``analyze``     — run the Section-3 analyses over a saved trace file;
 * ``qa``          — the correctness tooling of :mod:`repro.qa`:
@@ -257,11 +264,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the service stats (throughput, latency percentiles, "
         "backpressure counters) as JSON to FILE",
     )
+    serve.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append a JSONL registry snapshot to FILE at each watermark "
+        "(the telemetry time series; health transitions share the file)",
+    )
+    serve.add_argument(
+        "--metrics-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="subsample the telemetry series to every N-th watermark",
+    )
+    serve.add_argument(
+        "--health-report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="evaluate the default service SLOs live and write the final "
+        "health report (state, rules, transitions) as JSON to FILE",
+    )
 
     obs = sub.add_parser(
-        "obs", help="validate and report on an exported observability trace"
+        "obs", help="trace reports, SLO health evaluation, hot-path profile"
     )
-    obs.add_argument("input", type=Path, help="JSONL trace path")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="validate a JSONL trace and print the full report"
+    )
+    obs_report.add_argument("input", type=Path, help="JSONL trace path")
+
+    obs_health = obs_sub.add_parser(
+        "health", help="evaluate SLO rules over a recorded telemetry series"
+    )
+    obs_health.add_argument("input", type=Path, help="telemetry JSONL path")
+    obs_health.add_argument(
+        "--query-p99", type=float, default=0.005, metavar="SECONDS",
+        help="query latency p99 ceiling",
+    )
+    obs_health.add_argument(
+        "--min-events-per-sec", type=float, default=0.0, metavar="RATE",
+        help="sustained ingest floor (0 disables the rule)",
+    )
+    obs_health.add_argument(
+        "--queue-depth", type=float, default=6144, metavar="N",
+        help="ingestion queue depth ceiling",
+    )
+    obs_health.add_argument(
+        "--shed-rate", type=float, default=0.01, metavar="FRACTION",
+        help="shed events per mutation event ceiling (critical)",
+    )
+    obs_health.add_argument(
+        "--flood-share", type=float, default=0.5, metavar="FRACTION",
+        help="per-interval top-rater share ceiling",
+    )
+    obs_health.add_argument(
+        "--report", type=Path, default=None, metavar="FILE",
+        help="also write the final health report as JSON to FILE",
+    )
+    obs_health.add_argument(
+        "--fail-on",
+        default="never",
+        choices=["never", "degraded", "critical"],
+        help="exit non-zero when the final state is at least this bad",
+    )
+
+    obs_top = obs_sub.add_parser(
+        "top", help="per-phase self/cumulative hot-path table from a trace"
+    )
+    obs_top.add_argument("input", type=Path, help="JSONL trace path")
+    obs_top.add_argument(
+        "-n", "--top", type=int, default=10, help="rows to show"
+    )
+
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="render the last metrics snapshot of a trace/telemetry file "
+        "as Prometheus text exposition",
+    )
+    obs_export.add_argument("input", type=Path, help="JSONL path")
+    obs_export.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="write the exposition text to FILE instead of stdout",
+    )
 
     trace = sub.add_parser("trace", help="generate a synthetic trace file")
     trace.add_argument("output", type=Path, help="output JSON path")
@@ -585,6 +674,23 @@ def _serve_summary(service, elapsed: float, applied: int) -> dict:
     return stats
 
 
+def _serve_telemetry_finish(args: argparse.Namespace, service, telemetry_sink) -> None:
+    """Flush the telemetry sink and write the final health report."""
+    import json
+
+    if telemetry_sink is not None:
+        telemetry_sink.close()
+        print(
+            f"telemetry: {telemetry_sink.path} "
+            f"({telemetry_sink.n_written} lines)"
+        )
+    if args.health_report is not None and service.health is not None:
+        args.health_report.write_text(
+            json.dumps(service.health_report(), indent=2) + "\n"
+        )
+        print(f"wrote {args.health_report} (health: {service.health.state})")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -626,6 +732,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.verify_snapshot and args.snapshot is None:
         print("error: --verify-snapshot requires --snapshot", file=sys.stderr)
         return EXIT_CONFIG
+    if args.metrics_every < 1:
+        print("error: --metrics-every must be >= 1", file=sys.stderr)
+        return EXIT_CONFIG
+    if args.metrics_every != 1 and args.metrics is None:
+        print("error: --metrics-every requires --metrics", file=sys.stderr)
+        return EXIT_CONFIG
 
     # -- record: batch run → event stream file -------------------------------
     if args.record is not None:
@@ -644,10 +756,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return EXIT_OK
 
     # -- build or resume the service -----------------------------------------
+    telemetry_sink = None
+    if args.metrics is not None:
+        from repro.obs import TelemetrySink
+
+        telemetry_sink = TelemetrySink(args.metrics, every=args.metrics_every)
+    health = None
+    if args.health_report is not None or telemetry_sink is not None:
+        from repro.obs import HealthMonitor, default_service_rules
+
+        health = HealthMonitor(default_service_rules(), sink=telemetry_sink)
     service_kwargs = dict(
         interval_events=args.interval_events,
         snapshot_path=args.snapshot,
         snapshot_every=args.snapshot_every,
+        telemetry_sink=telemetry_sink,
+        health=health,
     )
     stream_events = None
     if args.events is not None and args.events != "-":
@@ -719,6 +843,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             asyncio.run(_serve_forever())
         except KeyboardInterrupt:
             print("interrupted; service stopped")
+        finally:
+            _serve_telemetry_finish(args, service, telemetry_sink)
         return EXIT_OK
 
     # -- stream: apply events (file or stdin) --------------------------------
@@ -763,10 +889,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.report is not None:
         args.report.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {args.report}")
+    _serve_telemetry_finish(args, service, telemetry_sink)
     return EXIT_OK
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
+def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs import SchemaError, render_file_report, validate_jsonl
 
     try:
@@ -783,6 +910,142 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print()
     print(render_file_report(args.input))
     return 0
+
+
+def _cmd_obs_health(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        OK,
+        CRITICAL,
+        HealthMonitor,
+        SchemaError,
+        default_service_rules,
+        read_telemetry,
+    )
+
+    try:
+        snapshots = read_telemetry(args.input)
+    except SchemaError as exc:
+        print(f"error: invalid telemetry {args.input}: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except OSError as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    if not snapshots:
+        print(f"error: {args.input} holds no telemetry snapshots", file=sys.stderr)
+        return EXIT_CONFIG
+    monitor = HealthMonitor(
+        default_service_rules(
+            query_p99_ceiling=args.query_p99,
+            min_events_per_sec=args.min_events_per_sec,
+            queue_depth_ceiling=args.queue_depth,
+            shed_rate_ceiling=args.shed_rate,
+            flood_share_ceiling=args.flood_share,
+        )
+    )
+    monitor.replay(snapshots)
+    report = monitor.report()
+    print(
+        f"health: {report['state'].upper()} over "
+        f"{report['intervals_observed']} intervals, "
+        f"{len(report['transitions'])} transitions"
+    )
+    for event in report["transitions"]:
+        scope = event["rule"] or "overall"
+        print(
+            f"  interval {event['interval']:>4}: {scope:<16} "
+            f"{event['from']} -> {event['to']}  ({event['reason']})"
+        )
+    for rule in report["rules"]:
+        marker = "BREACH" if rule["state"] != OK else "ok"
+        value = rule["last_value"]
+        rendered = "no data" if value is None else f"{value:g}"
+        print(
+            f"  rule {rule['name']:<16} {marker:<6} "
+            f"{rule['stat']}({rule['metric']}) {rule['op']} "
+            f"{rule['threshold']:g}  last={rendered}"
+        )
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.report}")
+    state = report["state"]
+    if args.fail_on == "critical" and state == CRITICAL:
+        return EXIT_FAILURE
+    if args.fail_on == "degraded" and state != OK:
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from repro.obs import SchemaError, profile_file
+
+    try:
+        _, table = profile_file(args.input, top=args.top)
+    except SchemaError as exc:
+        print(f"error: invalid trace {args.input}: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except OSError as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    print(table)
+    return EXIT_OK
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        SchemaError,
+        parse_prometheus,
+        read_jsonl,
+        render_prometheus,
+        validate_event,
+    )
+
+    try:
+        events = read_jsonl(args.input)
+    except SchemaError as exc:
+        print(f"error: invalid JSONL {args.input}: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except OSError as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    snapshot = None
+    for event in events:
+        try:
+            kind = validate_event(event)
+        except SchemaError as exc:
+            print(f"error: invalid event in {args.input}: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+        if kind in ("metrics", "telemetry"):
+            snapshot = event["metrics"]
+    if snapshot is None:
+        print(
+            f"error: {args.input} holds no metrics/telemetry snapshot",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG
+    text = render_prometheus(snapshot)
+    # Self-validate: the renderer's output must round-trip through the
+    # parser, or the exporter has drifted from the format.
+    parse_prometheus(text)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.output}: {len(parse_prometheus(text))} families")
+    else:
+        print(text, end="")
+    return EXIT_OK
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "health":
+        return _cmd_obs_health(args)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    if args.obs_command == "export":
+        return _cmd_obs_export(args)
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -955,8 +1218,22 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
+#: ``obs`` subcommands; anything else after ``obs`` is treated as the
+#: legacy positional trace path and routed to ``obs report``.
+_OBS_SUBCOMMANDS = ("report", "health", "top", "export")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if (
+        len(argv) >= 2
+        and argv[0] == "obs"
+        and argv[1] not in _OBS_SUBCOMMANDS
+        and not argv[1].startswith("-")
+    ):
+        # Back-compat: ``repro obs trace.jsonl`` predates the subcommands.
+        argv.insert(1, "report")
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)

@@ -155,6 +155,8 @@ class DistributedSocialTrust(ReputationSystem):
                 social_view, interactions, self._config
             )
             self._similarity = SparseSimilarityComputer(profiles, self._config)
+            if observability is not None:
+                self._closeness.bind_metrics(observability.metrics)
         else:
             self._closeness = ClosenessComputer(
                 social_view, interactions, self._config
@@ -368,6 +370,9 @@ class DistributedSocialTrust(ReputationSystem):
             )
         )
         self._obs.metrics.counter(f"manager.degraded.{decision}").inc()
+        # Roll-up across decisions — what the degradation-ladder SLO
+        # rule reads without enumerating decision names.
+        self._obs.metrics.counter("manager.degraded.total").inc()
 
     def _corrupt_byzantine_rows(
         self,

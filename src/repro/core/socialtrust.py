@@ -76,6 +76,8 @@ class SocialTrust(ReputationSystem):
                 social_view, interactions, self._config
             )
             self._similarity = SparseSimilarityComputer(profiles, self._config)
+            if observability is not None:
+                self._closeness.bind_metrics(observability.metrics)
         else:
             self._closeness = ClosenessComputer(
                 social_view, interactions, self._config

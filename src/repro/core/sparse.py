@@ -131,6 +131,22 @@ class SparseClosenessComputer:
         # Consecutive low-rank T2 corrections since the last exact rebuild
         # (same drift bound as the dense computer).
         self._t2_updates = 0
+        # Optional instruments (see bind_metrics); None keeps the hot
+        # path free of registry lookups when observability is absent.
+        self._m_drift = None
+        self._m_rebuilds = None
+        self._m_patches = None
+
+    def bind_metrics(self, registry) -> None:
+        """Publish cache health into a :class:`repro.obs.MetricsRegistry`:
+        ``sparse.cache.drift`` (consecutive low-rank corrections since the
+        last exact rebuild — the quantity ``cache_rebuild_interval``
+        bounds), ``sparse.cache.rebuilds`` and ``sparse.cache.patches``.
+        """
+        self._m_drift = registry.gauge("sparse.cache.drift")
+        self._m_rebuilds = registry.counter("sparse.cache.rebuilds")
+        self._m_patches = registry.counter("sparse.cache.patches")
+        self._m_drift.set(float(self._t2_updates))
 
     @property
     def n_nodes(self) -> int:
@@ -319,6 +335,8 @@ class SparseClosenessComputer:
             self._t1 = (self._a @ f).tocsr()
             self._t2 = (f @ self._a).tocsr()
             self._t2_updates = 0
+            if self._m_rebuilds is not None:
+                self._m_rebuilds.inc()
         elif dirty.size:
             sub = factors[dirty].tocsr()
             row_of = dirty[
@@ -340,6 +358,10 @@ class SparseClosenessComputer:
             # T2 takes the low-rank correction F[:, D] @ ΔA[D].
             self._t2 = (self._t2 + f[:, dirty] @ delta).tocsr()
             self._t2_updates += 1
+            if self._m_patches is not None:
+                self._m_patches.inc()
+        if self._m_drift is not None:
+            self._m_drift.set(float(self._t2_updates))
         self._cached_matrix = self._assemble()
         self._cached_version = version
         return self._cached_matrix

@@ -30,7 +30,33 @@ disabled-path overhead stays ≤5% on the engine benchmark profile.
 from __future__ import annotations
 
 from repro.obs.audit import AuditEvent, DetectorAuditLog
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, default_registry
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    PrometheusParseError,
+    TelemetrySink,
+    parse_prometheus,
+    prometheus_name,
+    read_telemetry,
+    render_prometheus,
+)
+from repro.obs.health import (
+    CRITICAL,
+    DEGRADED,
+    OK,
+    HealthMonitor,
+    HealthReport,
+    SloRule,
+    default_service_rules,
+)
+from repro.obs.profiler import PhaseStat, profile_file, profile_spans, render_top
+from repro.obs.registry import (
+    QUERY_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
 from repro.obs.report import render_file_report, render_report
 from repro.obs.schema import (
     SchemaError,
@@ -61,6 +87,25 @@ __all__ = [
     "validate_jsonl",
     "render_report",
     "render_file_report",
+    "QUERY_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PrometheusParseError",
+    "prometheus_name",
+    "render_prometheus",
+    "parse_prometheus",
+    "TelemetrySink",
+    "read_telemetry",
+    "OK",
+    "DEGRADED",
+    "CRITICAL",
+    "SloRule",
+    "HealthMonitor",
+    "HealthReport",
+    "default_service_rules",
+    "PhaseStat",
+    "profile_spans",
+    "profile_file",
+    "render_top",
 ]
 
 

@@ -1,0 +1,327 @@
+"""Metrics exposition and the JSONL telemetry time series.
+
+Two export surfaces over one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* **Prometheus text exposition** — :func:`render_prometheus` renders
+  counters, gauges and histograms (cumulative ``_bucket{le=...}`` rows
+  plus ``_sum``/``_count``) in the text format 0.0.4 any Prometheus
+  scraper understands.  It accepts either a live registry or a snapshot
+  dict produced by :meth:`MetricsRegistry.as_dict` — snapshots carry
+  their bucket layout, so a JSONL time series re-renders identically.
+  :func:`parse_prometheus` is the matching round-trip parser used by the
+  schema tests and the CLI's self-validation;
+* **JSONL time series** — a :class:`TelemetrySink` appends one
+  ``{"type": "telemetry", ...}`` registry snapshot per serve watermark
+  (subsampled with ``every``), giving a replayable operational record
+  that :class:`~repro.obs.health.HealthMonitor` and ``repro obs health``
+  evaluate after (or during) the run.  Health-transition events share
+  the same file, so one artifact tells the whole operational story.
+
+Both are zero-dependency like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.registry import MetricsRegistry, bound_label
+
+__all__ = [
+    "prometheus_name",
+    "render_prometheus",
+    "parse_prometheus",
+    "PrometheusParseError",
+    "TelemetrySink",
+    "read_telemetry",
+]
+
+#: The exposition content type, for anything that serves it over a wire.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+
+class PrometheusParseError(ValueError):
+    """Exposition text that does not parse back into samples."""
+
+
+def prometheus_name(name: str, *, namespace: str = "repro") -> str:
+    """Registry dotted path → legal Prometheus metric name.
+
+    ``serve.query.latency`` → ``repro_serve_query_latency``.  Any
+    character outside ``[a-zA-Z0-9_:]`` becomes an underscore; a leading
+    digit (impossible for our dotted names, cheap to guard) is prefixed.
+    """
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    full = f"{namespace}_{flat}" if namespace else flat
+    if not _NAME_OK.match(full):
+        full = f"_{full}"
+    return full
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _snapshot(source: MetricsRegistry | Mapping[str, Any]) -> Mapping[str, Any]:
+    if isinstance(source, MetricsRegistry):
+        return source.as_dict()
+    return source
+
+
+def render_prometheus(
+    source: MetricsRegistry | Mapping[str, Any], *, namespace: str = "repro"
+) -> str:
+    """Render a registry (or an ``as_dict`` snapshot) as exposition text.
+
+    Counters render with the conventional ``_total`` suffix; histograms
+    render cumulative ``_bucket`` rows (``le`` ending at ``+Inf``) plus
+    ``_sum`` and ``_count``.  Families come out name-sorted so the text
+    is deterministic for a given snapshot.
+    """
+    snapshot = _snapshot(source)
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        row = snapshot[name]
+        kind = row["kind"]
+        base = prometheus_name(name, namespace=namespace)
+        if kind == "counter":
+            # Conventional _total suffix, without doubling it for metrics
+            # already named *.total (e.g. serve.events.total).
+            family = base if base.endswith("_total") else f"{base}_total"
+            lines.append(f"# HELP {family} {name}")
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {_format_value(row['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(row['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} histogram")
+            for le, cumulative in row["buckets"]:
+                label = le if isinstance(le, str) else bound_label(float(le))
+                lines.append(f'{base}_bucket{{le="{label}"}} {int(cumulative)}')
+            lines.append(f"{base}_sum {_format_value(row['sum'])}")
+            lines.append(f"{base}_count {int(row['count'])}")
+        else:
+            raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(text: str | None) -> tuple[tuple[str, str], ...]:
+    if not text:
+        return ()
+    labels = []
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, sep, value = part.partition("=")
+        if not sep or not value.startswith('"') or not value.endswith('"'):
+            raise PrometheusParseError(f"malformed label pair {part!r}")
+        labels.append((key.strip(), value[1:-1]))
+    return tuple(labels)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PrometheusParseError(f"unparseable sample value {text!r}") from None
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse exposition text back into families.
+
+    Returns ``{family_name: {"type": str, "samples": [(name, labels,
+    value), ...]}}`` where ``labels`` is a tuple of ``(key, value)``
+    pairs.  ``# TYPE`` comments declare families; sample lines must
+    belong to a declared family (matching the renderer's output — this
+    is a round-trip validator, not a general scraper).
+    """
+    families: dict[str, dict[str, Any]] = {}
+    current: str | None = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise PrometheusParseError(f"line {line_number}: bad TYPE comment")
+            _, _, family, family_type = parts
+            if family_type not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise PrometheusParseError(
+                    f"line {line_number}: unknown family type {family_type!r}"
+                )
+            if family in families:
+                raise PrometheusParseError(
+                    f"line {line_number}: duplicate TYPE for {family!r}"
+                )
+            families[family] = {"type": family_type, "samples": []}
+            current = family
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise PrometheusParseError(f"line {line_number}: unparseable sample {line!r}")
+        name = match.group("name")
+        family = current
+        if family is None or not name.startswith(family):
+            # A sample outside its declared family — find the owner.
+            owners = [f for f in families if name.startswith(f)]
+            if not owners:
+                raise PrometheusParseError(
+                    f"line {line_number}: sample {name!r} precedes its TYPE"
+                )
+            family = max(owners, key=len)
+        suffix = name[len(family):]
+        if families[family]["type"] == "histogram":
+            if suffix not in ("_bucket", "_sum", "_count"):
+                raise PrometheusParseError(
+                    f"line {line_number}: bad histogram sample suffix {suffix!r}"
+                )
+        elif suffix:
+            raise PrometheusParseError(
+                f"line {line_number}: unexpected sample suffix {suffix!r}"
+            )
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        families[family]["samples"].append((name, labels, value))
+    _check_histogram_families(families)
+    return families
+
+
+def _check_histogram_families(families: dict[str, dict[str, Any]]) -> None:
+    """Structural validation the format itself mandates: cumulative,
+    monotone buckets ending at ``+Inf`` with count equal to ``_count``."""
+    for family, data in families.items():
+        if data["type"] != "histogram":
+            continue
+        buckets = [
+            (dict(labels).get("le"), value)
+            for name, labels, value in data["samples"]
+            if name == f"{family}_bucket"
+        ]
+        counts = [v for name, _, v in data["samples"] if name == f"{family}_count"]
+        if not buckets or len(counts) != 1:
+            raise PrometheusParseError(
+                f"histogram {family!r} is missing bucket or count samples"
+            )
+        if buckets[-1][0] != "+Inf":
+            raise PrometheusParseError(
+                f"histogram {family!r} buckets do not end at le=\"+Inf\""
+            )
+        bounds = [_parse_value(le) for le, _ in buckets]
+        values = [v for _, v in buckets]
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise PrometheusParseError(
+                f"histogram {family!r} bucket bounds are not increasing"
+            )
+        if any(v2 < v1 for v1, v2 in zip(values, values[1:])):
+            raise PrometheusParseError(
+                f"histogram {family!r} bucket counts are not cumulative"
+            )
+        if values[-1] != counts[0]:
+            raise PrometheusParseError(
+                f"histogram {family!r} +Inf bucket disagrees with _count"
+            )
+
+
+class TelemetrySink:
+    """Appends registry snapshots (and health events) to a JSONL file.
+
+    One line per emission: ``{"type": "telemetry", "interval": k,
+    "events_applied": n, "metrics": {...}}``, schema-validated by
+    :func:`repro.obs.schema.validate_event`.  ``every`` subsamples
+    watermarks (emit when ``interval % every == 0``); :meth:`append`
+    writes any extra pre-shaped event (health transitions) to the same
+    stream.  The file handle opens lazily on first write and appends, so
+    a resumed service extends the same series.
+    """
+
+    def __init__(self, path: Any, *, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = Path(path)
+        self.every = int(every)
+        self.n_written = 0
+        self._handle = None
+
+    def _write(self, event: Mapping[str, Any]) -> None:
+        from repro.obs.schema import _sanitize
+
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(_sanitize(dict(event)), separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.n_written += 1
+
+    def emit(
+        self,
+        registry: MetricsRegistry | Mapping[str, Any],
+        *,
+        interval: int,
+        events_applied: int = 0,
+    ) -> dict[str, Any] | None:
+        """Append one snapshot when ``interval`` is due; returns the
+        written event (or ``None`` when subsampled away)."""
+        if interval % self.every != 0:
+            return None
+        event = {
+            "type": "telemetry",
+            "interval": int(interval),
+            "events_applied": int(events_applied),
+            "metrics": dict(_snapshot(registry)),
+        }
+        self._write(event)
+        return event
+
+    def append(self, event: Mapping[str, Any]) -> None:
+        """Append a pre-shaped JSONL event (e.g. a health transition)."""
+        self._write(event)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_telemetry(path: Any) -> list[dict[str, Any]]:
+    """Read the telemetry snapshots of a JSONL file (other event types —
+    health transitions, spans — are passed over), schema-validating
+    every line."""
+    from repro.obs.schema import read_jsonl, validate_event
+
+    out = []
+    for event in read_jsonl(path):
+        if validate_event(event) == "telemetry":
+            out.append(event)
+    return out

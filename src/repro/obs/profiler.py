@@ -1,0 +1,135 @@
+"""Hot-path phase profiler over the tracer's span events.
+
+The tracer records every instrumented phase (``sim.cycle``,
+``engine.candidate_build``, ``detector.analyze``,
+``reputation.inner_update``, ``serve.ingest``, ...) as a flat list of
+span dicts carrying parent links.  :func:`profile_spans` folds that list
+into one row per phase name:
+
+* **calls** — completed spans with the name;
+* **cumulative** — summed wall-clock, children included (a parent phase
+  accumulates everything nested under it);
+* **self** — cumulative minus the time attributed to *direct* child
+  spans, i.e. where the clock actually went — the column the top-N
+  hot-path table sorts by.
+
+Synthetic spans recorded through :meth:`Tracer.record` (pre-measured
+accumulations like the engine's cache patching) participate exactly like
+real ones: they carry a parent id, so their time is subtracted from the
+enclosing phase's self time.  A span whose parent never completed (e.g.
+the run was interrupted mid-cycle) simply attributes to no parent.
+
+:func:`render_top` formats the table for ``repro obs top`` and the
+smoke scripts; :func:`profile_file` reads an exported JSONL trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["PhaseStat", "profile_spans", "render_top", "profile_file"]
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregated timing for one phase (span name)."""
+
+    name: str
+    calls: int
+    cumulative_s: float
+    self_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.cumulative_s / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "cumulative_s": self.cumulative_s,
+            "self_s": self.self_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+def profile_spans(span_events: Iterable[dict[str, Any]]) -> list[PhaseStat]:
+    """Fold span events into per-phase self/cumulative stats, sorted by
+    self time descending (the hot-path ordering)."""
+    events = [e for e in span_events if e.get("type", "span") == "span"]
+    child_time: dict[int, float] = {}
+    for event in events:
+        parent = event.get("parent_id")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + event["duration"]
+    stats: dict[str, dict[str, float]] = {}
+    for event in events:
+        row = stats.setdefault(
+            event["name"], {"calls": 0, "cum": 0.0, "self": 0.0, "max": 0.0}
+        )
+        duration = float(event["duration"])
+        row["calls"] += 1
+        row["cum"] += duration
+        row["self"] += max(duration - child_time.get(event["span_id"], 0.0), 0.0)
+        row["max"] = max(row["max"], duration)
+    table = [
+        PhaseStat(
+            name=name,
+            calls=int(row["calls"]),
+            cumulative_s=row["cum"],
+            self_s=row["self"],
+            max_s=row["max"],
+        )
+        for name, row in stats.items()
+    ]
+    table.sort(key=lambda s: s.self_s, reverse=True)
+    return table
+
+
+def render_top(
+    stats: list[PhaseStat], *, top: int = 10, title: str = "hot phases"
+) -> str:
+    """The top-N table: self-time-ordered phases with call counts."""
+    if not stats:
+        return f"{title}\n  (no spans recorded — was tracing enabled?)"
+    rows = stats[:top]
+    total_self = sum(s.self_s for s in stats) or 1.0
+    width = max(len(s.name) for s in rows)
+    lines = [
+        title,
+        f"  {'phase'.ljust(width)}  {'calls':>7}  {'self':>10}  "
+        f"{'self%':>6}  {'cum':>10}  {'mean':>10}  {'max':>10}",
+    ]
+    for s in rows:
+        lines.append(
+            f"  {s.name.ljust(width)}  {s.calls:>7d}  "
+            f"{s.self_s * 1e3:>8.2f}ms  {s.self_s / total_self:>6.1%}  "
+            f"{s.cumulative_s * 1e3:>8.2f}ms  {s.mean_s * 1e6:>8.1f}us  "
+            f"{s.max_s * 1e3:>8.2f}ms"
+        )
+    hidden = len(stats) - len(rows)
+    if hidden > 0:
+        hidden_self = sum(s.self_s for s in stats[top:])
+        lines.append(
+            f"  ... {hidden} more phases ({hidden_self * 1e3:.2f}ms self)"
+        )
+    return "\n".join(lines)
+
+
+def profile_file(path, *, top: int = 10) -> tuple[list[PhaseStat], str]:
+    """Profile an exported JSONL trace; returns (stats, rendered table).
+
+    Every line is schema-validated on the way in, so a drifting exporter
+    fails here the same way it fails ``repro obs report``.
+    """
+    from repro.obs.schema import read_jsonl, validate_event
+
+    spans = []
+    for event in read_jsonl(path):
+        if validate_event(event) == "span":
+            spans.append(event)
+    stats = profile_spans(spans)
+    return stats, render_top(stats, top=top, title=f"hot phases: {path}")

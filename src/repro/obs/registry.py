@@ -15,15 +15,44 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Any
+from typing import Any, Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "default_registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "DEFAULT_BUCKETS",
+    "QUERY_LATENCY_BUCKETS",
+    "bound_label",
+]
 
 #: Default histogram upper bounds (seconds-oriented, log-spaced).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+#: Bucket layout for in-memory lookup latencies: the default
+#: seconds-oriented buckets would collapse sub-100µs reads into the first
+#: bin; these resolve 1µs–100ms.  Shared by the streaming service's query
+#: histogram and anything else timing cache hits.
+QUERY_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4,
+    2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+)
+
+
+def bound_label(bound: float) -> str:
+    """Canonical string form of a bucket upper bound (`le` label value).
+
+    ``+Inf`` follows the Prometheus exposition convention; finite bounds
+    use ``repr`` so ``float(bound_label(b)) == b`` round-trips exactly.
+    """
+    if math.isinf(bound):
+        return "+Inf" if bound > 0 else "-Inf"
+    return repr(float(bound))
 
 
 class Counter:
@@ -103,6 +132,17 @@ class Histogram:
     def max(self) -> float:
         return self._max if self.count else 0.0
 
+    def bucket_counts(self) -> tuple[tuple[float, int], ...]:
+        """Cumulative Prometheus-style ``(upper_bound, count)`` pairs,
+        ending with the ``+inf`` bucket (whose count equals :attr:`count`)."""
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((math.inf, self.count))
+        return tuple(out)
+
     def percentile(self, q: float) -> float:
         """Estimated ``q``-th percentile (``0 <= q <= 100``)."""
         if not 0.0 <= q <= 100.0:
@@ -154,9 +194,33 @@ class MetricsRegistry:
         return self._get(name, Gauge, lambda: Gauge(name))
 
     def histogram(
-        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+        self, name: str, buckets: Iterable[float] | None = None
     ) -> Histogram:
-        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+        """Get or create a histogram; ``buckets`` configures the upper
+        bounds at first registration (default :data:`DEFAULT_BUCKETS`).
+
+        Re-registering an existing histogram with a *different* explicit
+        bucket layout is an error: the old instrument would silently keep
+        its old buckets and every percentile read from then on would be
+        computed against bounds the caller never asked for.  Passing
+        ``None`` (or the identical layout) returns the existing one.
+        """
+        requested = None if buckets is None else tuple(float(b) for b in buckets)
+        existing = self._metrics.get(name)
+        if (
+            isinstance(existing, Histogram)
+            and requested is not None
+            and requested != existing.buckets
+        ):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{existing.buckets}, conflicting with {requested}"
+            )
+        return self._get(
+            name,
+            Histogram,
+            lambda: Histogram(name, requested if requested is not None else DEFAULT_BUCKETS),
+        )
 
     def names(self) -> tuple[str, ...]:
         return tuple(sorted(self._metrics))
@@ -187,6 +251,13 @@ class MetricsRegistry:
                     "p50": metric.percentile(50.0),
                     "p90": metric.percentile(90.0),
                     "p99": metric.percentile(99.0),
+                    # Bounds are stringified ("+Inf" included) so the
+                    # snapshot survives JSON's lack of Infinity and the
+                    # exposition renderer can work from a snapshot alone.
+                    "buckets": [
+                        [bound_label(bound), int(cumulative)]
+                        for bound, cumulative in metric.bucket_counts()
+                    ],
                 }
         return out
 

@@ -2,9 +2,13 @@
 
 One trace file holds three record types, discriminated by ``"type"``:
 
-* ``span``   — a finished tracer span (name, ids, timing, attributes);
-* ``audit``  — one detector audit event (see :mod:`repro.obs.audit`);
-* ``metrics``— a single snapshot of the metrics registry.
+* ``span``     — a finished tracer span (name, ids, timing, attributes);
+* ``audit``    — one detector audit event (see :mod:`repro.obs.audit`);
+* ``metrics``  — a single snapshot of the metrics registry;
+* ``telemetry``— one watermark-aligned registry snapshot of the streaming
+  service's JSONL time series (see :mod:`repro.obs.export`);
+* ``health``   — an SLO health-state transition (see
+  :mod:`repro.obs.health`).
 
 Validation is hand-rolled (no ``jsonschema`` dependency): each schema is
 a field → type-spec map checked by :func:`validate_event`.  The CI
@@ -27,6 +31,8 @@ __all__ = [
     "SPAN_SCHEMA",
     "AUDIT_SCHEMA",
     "METRICS_SCHEMA",
+    "TELEMETRY_SCHEMA",
+    "HEALTH_SCHEMA",
     "validate_event",
     "to_jsonl",
     "read_jsonl",
@@ -34,6 +40,10 @@ __all__ = [
 ]
 
 _NUMBER = (int, float)
+
+#: Health states a transition event may name (kept in sync with
+#: :mod:`repro.obs.health`, which re-checks at import via its tests).
+_HEALTH_STATES = ("ok", "degraded", "critical")
 
 
 class SchemaError(ValueError):
@@ -74,7 +84,32 @@ METRICS_SCHEMA: dict[str, tuple[tuple[type, ...], bool]] = {
     "metrics": ((dict,), True),
 }
 
-_SCHEMAS = {"span": SPAN_SCHEMA, "audit": AUDIT_SCHEMA, "metrics": METRICS_SCHEMA}
+TELEMETRY_SCHEMA: dict[str, tuple[tuple[type, ...], bool]] = {
+    "type": ((str,), True),
+    "interval": ((int,), True),
+    "events_applied": ((int,), True),
+    "metrics": ((dict,), True),
+}
+
+HEALTH_SCHEMA: dict[str, tuple[tuple[type, ...], bool]] = {
+    "type": ((str,), True),
+    "scope": ((str,), True),
+    "rule": ((str,), True),
+    "from": ((str,), True),
+    "to": ((str,), True),
+    "interval": ((int,), True),
+    "value": ((int, float, type(None)), True),
+    "threshold": ((int, float, type(None)), True),
+    "reason": ((str,), True),
+}
+
+_SCHEMAS = {
+    "span": SPAN_SCHEMA,
+    "audit": AUDIT_SCHEMA,
+    "metrics": METRICS_SCHEMA,
+    "telemetry": TELEMETRY_SCHEMA,
+    "health": HEALTH_SCHEMA,
+}
 
 
 def _check_fields(event: dict[str, Any], schema: dict) -> None:
@@ -123,6 +158,17 @@ def validate_event(event: dict[str, Any]) -> str:
     elif kind == "span":
         if event["duration"] < 0:
             raise SchemaError("span duration must be non-negative")
+    elif kind == "telemetry":
+        if event["interval"] < 0:
+            raise SchemaError("telemetry interval must be non-negative")
+    elif kind == "health":
+        if event["scope"] not in ("rule", "overall"):
+            raise SchemaError(f"unknown health scope {event['scope']!r}")
+        for field_name in ("from", "to"):
+            if event[field_name] not in _HEALTH_STATES:
+                raise SchemaError(
+                    f"unknown health state {event[field_name]!r} in {field_name!r}"
+                )
     return kind
 
 

@@ -64,6 +64,11 @@ async def serve_socket(
     address is ``server.sockets[0].getsockname()`` (port 0 picks a free
     one).  Malformed lines answer with an ``{"t": "error"}`` line and
     close the connection rather than poisoning the queue.
+
+    A ``{"query": "metrics"}`` line is a scrape: it answers with one
+    ``{"t": "metrics", "content_type": ..., "exposition": ...}`` line
+    carrying the registry rendered in Prometheus text format, without
+    touching the ingestion queue.
     """
 
     async def handle_connection(
@@ -78,7 +83,28 @@ async def serve_socket(
                 if not line:
                     continue
                 try:
-                    event = decode_event(json.loads(line))
+                    payload = json.loads(line)
+                    if (
+                        isinstance(payload, dict)
+                        and payload.get("query") == "metrics"
+                    ):
+                        from repro.obs.export import (
+                            PROMETHEUS_CONTENT_TYPE,
+                            render_prometheus,
+                        )
+
+                        reply = {
+                            "t": "metrics",
+                            "content_type": PROMETHEUS_CONTENT_TYPE,
+                            "exposition": render_prometheus(service.metrics),
+                        }
+                        writer.write(
+                            json.dumps(reply, separators=(",", ":")).encode("utf-8")
+                            + b"\n"
+                        )
+                        await writer.drain()
+                        continue
+                    event = decode_event(payload)
                 except (json.JSONDecodeError, EventDecodeError) as exc:
                     payload = {"t": "error", "error": str(exc)}
                     writer.write(json.dumps(payload).encode("utf-8") + b"\n")

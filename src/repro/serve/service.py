@@ -49,7 +49,9 @@ from typing import Any, AsyncIterable, Iterable, Mapping
 import numpy as np
 
 from repro.api import ScenarioSpec, build_scenario
-from repro.obs import MetricsRegistry, Observability
+from repro.obs import QUERY_LATENCY_BUCKETS, MetricsRegistry, Observability
+from repro.obs.export import TelemetrySink
+from repro.obs.health import HealthMonitor
 from repro.serve.events import (
     ChurnEvent,
     Event,
@@ -61,14 +63,6 @@ from repro.serve.events import (
 )
 
 __all__ = ["ReputationService", "ServiceError"]
-
-#: Query-latency buckets: service reads are in-memory lookups, so the
-#: default seconds-oriented buckets would collapse everything into the
-#: first bin; these resolve 1µs–100ms.
-_QUERY_LATENCY_BUCKETS: tuple[float, ...] = (
-    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4,
-    2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
-)
 
 #: Sentinel that tells the ingestion loop to drain out and stop.
 _STOP = object()
@@ -102,6 +96,14 @@ class ReputationService:
     snapshot_path / snapshot_every:
         When both are set, a service checkpoint is written to
         ``snapshot_path`` after every ``snapshot_every``-th watermark.
+    telemetry_sink:
+        A :class:`repro.obs.TelemetrySink`; when set, a registry snapshot
+        is appended to its JSONL time series at each watermark (subject
+        to the sink's ``every`` subsampling).
+    health:
+        A :class:`repro.obs.HealthMonitor`; when set, its SLO rules are
+        evaluated against the registry at each watermark and transition
+        events flow to ``telemetry_sink`` (if the monitor carries it).
     """
 
     def __init__(
@@ -113,6 +115,8 @@ class ReputationService:
         queue_maxsize: int = 8192,
         snapshot_path: Any | None = None,
         snapshot_every: int | None = None,
+        telemetry_sink: TelemetrySink | None = None,
+        health: HealthMonitor | None = None,
     ) -> None:
         if not isinstance(spec, ScenarioSpec):
             raise TypeError(
@@ -148,17 +152,22 @@ class ReputationService:
         self._queue: asyncio.Queue | None = None
         self._queue_maxsize = queue_maxsize
         self._running = False
+        self._sink = telemetry_sink
+        self._health = health
+        self._last_watermark_time = time.perf_counter()
         metrics = self._obs.metrics
         self._c_rating = metrics.counter("serve.events.rating")
         self._c_interaction = metrics.counter("serve.events.interaction")
         self._c_churn = metrics.counter("serve.events.churn")
         self._c_watermark = metrics.counter("serve.events.watermark")
+        self._c_total = metrics.counter("serve.events.total")
         self._c_queries = metrics.counter("serve.queries")
         self._c_shed = metrics.counter("serve.queue.shed")
         self._g_depth = metrics.gauge("serve.queue.depth")
         self._g_flood = metrics.gauge("serve.flood.top_rater_share")
+        self._g_rate = metrics.gauge("serve.interval.events_per_sec")
         self._h_query = metrics.histogram(
-            "serve.query.latency", buckets=_QUERY_LATENCY_BUCKETS
+            "serve.query.latency", buckets=QUERY_LATENCY_BUCKETS
         )
         self._h_update = metrics.histogram("serve.update.seconds")
 
@@ -179,6 +188,19 @@ class ReputationService:
     @property
     def n_nodes(self) -> int:
         return self._n
+
+    @property
+    def telemetry_sink(self) -> TelemetrySink | None:
+        return self._sink
+
+    @property
+    def health(self) -> HealthMonitor | None:
+        return self._health
+
+    def health_report(self) -> dict[str, Any] | None:
+        """The health monitor's end-of-run report (``None`` when the
+        service carries no monitor)."""
+        return self._health.report() if self._health is not None else None
 
     @property
     def events_applied(self) -> int:
@@ -238,6 +260,7 @@ class ReputationService:
         self._events_applied += 1
         self._events_this_interval += 1
         self._interval_rater_events[rater] += 1
+        self._c_total.inc()
 
     def _apply_rating(self, event: RatingEvent) -> None:
         # Order matches the scalar simulation loop: rating ledger, then
@@ -262,6 +285,7 @@ class ReputationService:
             np.asarray(event.nodes, dtype=np.int64), event.factor
         )
         self._c_churn.inc()
+        self._c_total.inc()
         self._events_applied += 1
         self._events_this_interval += 1
 
@@ -278,8 +302,10 @@ class ReputationService:
         updated reputation vector."""
         interval = self._ledger.drain()
         start = time.perf_counter()
-        reputations = self._system.update(interval)
-        self._h_update.observe(time.perf_counter() - start)
+        with self._obs.tracer.span("serve.watermark"):
+            reputations = self._system.update(interval)
+        now = time.perf_counter()
+        self._h_update.observe(now - start)
         self._intervals_run += 1
         self._c_watermark.inc()
         self._history.append(np.array(reputations, dtype=np.float64, copy=True))
@@ -287,8 +313,23 @@ class ReputationService:
         self._g_flood.set(
             float(self._interval_rater_events.max()) / total if total else 0.0
         )
+        # Wall-clock ingest rate over the interval just closed.  A gauge
+        # only — never feeds back into the (bit-exact) numerics.
+        elapsed = now - self._last_watermark_time
+        self._g_rate.set(self._events_this_interval / elapsed if elapsed > 0 else 0.0)
+        self._last_watermark_time = now
         self._interval_rater_events[:] = 0
         self._events_this_interval = 0
+        # Telemetry first so the health monitor judges the same snapshot
+        # the time series records; transitions land after their snapshot.
+        if self._sink is not None:
+            self._sink.emit(
+                self._obs.metrics,
+                interval=self._intervals_run,
+                events_applied=self._events_applied,
+            )
+        if self._health is not None:
+            self._health.observe(self._obs.metrics, interval=self._intervals_run)
         if (
             self._snapshot_every is not None
             and self._intervals_run % self._snapshot_every == 0

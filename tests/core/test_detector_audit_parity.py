@@ -1,0 +1,149 @@
+"""Audit-log parity: dense ``analyze`` vs ``analyze_sparse``.
+
+Both detector passes emit one audit event per frequency-flagged pair.
+The sparse pass evaluates only the flagged set (never an ``n x n``
+array), so this pins that the *story told to the operator* — which pairs
+were examined, which thresholds fired, which behaviour classes matched,
+and what weight was applied — is the same regardless of backend.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.closeness import ClosenessComputer
+from repro.core.config import SocialTrustConfig
+from repro.core.detector import CollusionDetector
+from repro.core.similarity import SimilarityComputer
+from repro.core.sparse import SparseClosenessComputer, SparseSimilarityComputer
+from repro.obs import Observability
+from repro.reputation.base import IntervalRatings
+from repro.social.generators import paper_social_network
+from repro.social.interactions import InteractionLedger
+from repro.social.interests import InterestProfiles
+from repro.utils.rng import spawn_rng
+
+N = 16
+N_INTERESTS = 6
+
+
+def make_world(seed=11):
+    rng = spawn_rng(seed, 0)
+    network = paper_social_network(N, (1, 2, 3), rng)
+    ledger = InteractionLedger(N)
+    profiles = InterestProfiles(N, N_INTERESTS)
+    for node in range(N):
+        k = int(rng.integers(1, 4))
+        profiles.set_declared(
+            node, [int(v) for v in rng.choice(N_INTERESTS, size=k, replace=False)]
+        )
+    for _ in range(3 * N):
+        i, j = int(rng.integers(0, N)), int(rng.integers(0, N))
+        if i != j:
+            ledger.record(i, j, float(rng.integers(1, 4)))
+            profiles.record_request(i, int(rng.integers(0, N_INTERESTS)))
+    return network, ledger, profiles, rng
+
+
+def make_interval(rng):
+    interval = IntervalRatings(N)
+    for _ in range(4 * N):
+        i, j = int(rng.integers(0, N)), int(rng.integers(0, N))
+        if i != j:
+            interval.pos_counts[i, j] += 1
+            interval.value_sum[i, j] += 1.0
+    interval.pos_counts[0, 1] += 12
+    interval.value_sum[0, 1] += 12.0
+    interval.neg_counts[2, 3] += 9
+    interval.value_sum[2, 3] -= 9.0
+    return interval
+
+
+def audit_by_pair(obs):
+    events = {}
+    for event in obs.audit.to_events():
+        assert event["type"] == "audit"
+        events[(event["rater"], event["ratee"])] = event
+    return events
+
+
+class TestAuditParity:
+    def run_both(self):
+        network, ledger, profiles, rng = make_world()
+        interval = make_interval(rng)
+        reputations = np.full(N, 1.0 / N)
+        rated = interval.counts > 0
+        flag_counts = np.zeros((N, N))
+        flag_counts[0, 1] = 2.0
+
+        sparse_cfg = SocialTrustConfig(coefficient_backend="sparse")
+        dense_cfg = SocialTrustConfig(
+            **{**sparse_cfg.to_dict(), "coefficient_backend": "dense"}
+        )
+
+        dense_obs = Observability(tracing=False)
+        dense_det = CollusionDetector(
+            ClosenessComputer(network, ledger, dense_cfg),
+            SimilarityComputer(profiles, dense_cfg),
+            dense_cfg,
+            observability=dense_obs,
+        )
+        dense_det.analyze(interval, reputations, rated, flag_counts)
+
+        sparse_obs = Observability(tracing=False)
+        sparse_det = CollusionDetector(
+            SparseClosenessComputer(network, ledger, sparse_cfg),
+            SparseSimilarityComputer(profiles, sparse_cfg),
+            sparse_cfg,
+            observability=sparse_obs,
+        )
+        sparse_det.analyze_sparse(
+            sparse.csr_matrix(interval.pos_counts),
+            sparse.csr_matrix(interval.neg_counts),
+            reputations,
+            sparse.csr_matrix(rated),
+            sparse.csr_matrix(flag_counts),
+        )
+        return dense_obs, sparse_obs
+
+    def test_same_examined_pair_set(self):
+        dense_obs, sparse_obs = self.run_both()
+        dense_events, sparse_events = audit_by_pair(dense_obs), audit_by_pair(sparse_obs)
+        assert dense_events, "scenario must flag pairs"
+        assert set(dense_events) == set(sparse_events)
+
+    def test_events_agree_field_by_field(self):
+        dense_obs, sparse_obs = self.run_both()
+        dense_events, sparse_events = audit_by_pair(dense_obs), audit_by_pair(sparse_obs)
+        damped = 0
+        for pair, want in dense_events.items():
+            got = sparse_events[pair]
+            assert got["decision"] == want["decision"], pair
+            assert got["behaviors"] == want["behaviors"], pair
+            assert got["fired"] == want["fired"], pair
+            assert got["pos_count"] == want["pos_count"], pair
+            assert got["neg_count"] == want["neg_count"], pair
+            assert got["closeness"] == pytest.approx(
+                want["closeness"], rel=1e-9, abs=1e-12
+            )
+            assert got["similarity"] == pytest.approx(
+                want["similarity"], rel=1e-9, abs=1e-12
+            )
+            assert got["weight"] == pytest.approx(want["weight"], rel=1e-9, abs=1e-12)
+            for name, value in want["thresholds"].items():
+                assert got["thresholds"][name] == pytest.approx(
+                    value, rel=1e-9, abs=1e-12
+                ), (pair, name)
+            if want["decision"] == "damped":
+                damped += 1
+        assert damped > 0, "parity must cover actually-damped events"
+
+    def test_metrics_counters_agree(self):
+        # The registry roll-ups both passes publish must match too.
+        dense_obs, sparse_obs = self.run_both()
+        for name in ("detector.pairs_examined", "detector.pairs_damped"):
+            if name in dense_obs.metrics or name in sparse_obs.metrics:
+                assert name in dense_obs.metrics and name in sparse_obs.metrics
+                assert (
+                    dense_obs.metrics[name].value == sparse_obs.metrics[name].value
+                ), name

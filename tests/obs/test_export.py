@@ -1,0 +1,207 @@
+"""Prometheus exposition rendering/parsing and the JSONL telemetry sink."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    PrometheusParseError,
+    QUERY_LATENCY_BUCKETS,
+    TelemetrySink,
+    parse_prometheus,
+    prometheus_name,
+    read_telemetry,
+    render_prometheus,
+)
+from repro.obs.schema import SchemaError, validate_event
+
+
+def loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.events.rating").inc(40)
+    reg.counter("serve.events.total").inc(42)
+    reg.gauge("serve.queue.depth").set(7)
+    h = reg.histogram("serve.query.latency", buckets=QUERY_LATENCY_BUCKETS)
+    for value in (2e-6, 8e-6, 3e-4, 0.02):
+        h.observe(value)
+    return reg
+
+
+class TestNames:
+    def test_dotted_path_flattens(self):
+        assert prometheus_name("serve.query.latency") == "repro_serve_query_latency"
+
+    def test_namespace_optional(self):
+        assert prometheus_name("a.b", namespace="") == "a_b"
+
+    def test_hostile_characters_sanitized(self):
+        name = prometheus_name("weird metric-name!")
+        assert name == "repro_weird_metric_name_"
+
+
+class TestRender:
+    def test_counter_total_suffix(self):
+        text = render_prometheus(loaded_registry())
+        assert "repro_serve_events_rating_total 40" in text
+
+    def test_counter_total_suffix_not_doubled(self):
+        text = render_prometheus(loaded_registry())
+        assert "repro_serve_events_total 42" in text
+        assert "total_total" not in text
+
+    def test_gauge_plain(self):
+        text = render_prometheus(loaded_registry())
+        assert "repro_serve_queue_depth 7" in text
+
+    def test_histogram_buckets_cumulative_end_inf(self):
+        text = render_prometheus(loaded_registry())
+        assert 'repro_serve_query_latency_bucket{le="+Inf"} 4' in text
+        assert "repro_serve_query_latency_count 4" in text
+        assert "repro_serve_query_latency_sum" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            render_prometheus({"x": {"kind": "mystery", "value": 1.0}})
+
+
+class TestRoundTrip:
+    def test_parse_recovers_families_and_values(self):
+        reg = loaded_registry()
+        families = parse_prometheus(render_prometheus(reg))
+        assert families["repro_serve_events_rating_total"]["type"] == "counter"
+        assert families["repro_serve_queue_depth"]["samples"][0][2] == 7.0
+        hist = families["repro_serve_query_latency"]
+        buckets = [s for s in hist["samples"] if s[0].endswith("_bucket")]
+        assert len(buckets) == len(QUERY_LATENCY_BUCKETS) + 1
+        assert dict(buckets[-1][1])["le"] == "+Inf"
+
+    def test_snapshot_renders_identically_to_live_registry(self):
+        # The JSONL time series stores as_dict() snapshots: rendering one
+        # (after a JSON round trip) must match rendering the live registry.
+        reg = loaded_registry()
+        snapshot = json.loads(json.dumps(reg.as_dict()))
+        assert render_prometheus(snapshot) == render_prometheus(reg)
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{le="1.0"} 5\n'
+            'm_bucket{le="+Inf"} 3\n'
+            "m_sum 1.0\n"
+            "m_count 3\n"
+        )
+        with pytest.raises(PrometheusParseError, match="cumulative"):
+            parse_prometheus(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{le="1.0"} 5\n'
+            "m_sum 1.0\n"
+            "m_count 5\n"
+        )
+        with pytest.raises(PrometheusParseError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{le="+Inf"} 5\n'
+            "m_sum 1.0\n"
+            "m_count 6\n"
+        )
+        with pytest.raises(PrometheusParseError, match="_count"):
+            parse_prometheus(text)
+
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(PrometheusParseError, match="precedes"):
+            parse_prometheus("orphan 1.0\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(PrometheusParseError, match="unparseable"):
+            parse_prometheus("# TYPE m gauge\nm one_point_five\n")
+
+
+class TestTelemetrySink:
+    def test_emit_appends_validated_lines(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        reg = loaded_registry()
+        with TelemetrySink(path) as sink:
+            sink.emit(reg, interval=1, events_applied=10)
+            sink.emit(reg, interval=2, events_applied=20)
+        events = read_telemetry(path)
+        assert [e["interval"] for e in events] == [1, 2]
+        assert all(validate_event(e) == "telemetry" for e in events)
+
+    def test_every_subsamples_watermarks(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        reg = loaded_registry()
+        with TelemetrySink(path, every=3) as sink:
+            written = [
+                sink.emit(reg, interval=k) is not None for k in range(1, 8)
+            ]
+        assert written == [False, False, True, False, False, True, False]
+        assert len(read_telemetry(path)) == 2
+
+    def test_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            TelemetrySink(tmp_path / "x.jsonl", every=0)
+
+    def test_append_mode_extends_series(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        reg = loaded_registry()
+        with TelemetrySink(path) as sink:
+            sink.emit(reg, interval=1)
+        with TelemetrySink(path) as sink:
+            sink.emit(reg, interval=2)
+        assert [e["interval"] for e in read_telemetry(path)] == [1, 2]
+
+    def test_health_events_share_the_file(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        reg = loaded_registry()
+        with TelemetrySink(path) as sink:
+            sink.emit(reg, interval=1)
+            sink.append(
+                {
+                    "type": "health",
+                    "scope": "overall",
+                    "rule": "",
+                    "from": "ok",
+                    "to": "degraded",
+                    "interval": 1,
+                    "value": None,
+                    "threshold": None,
+                    "reason": "rules in breach: flood-share",
+                }
+            )
+        # read_telemetry filters; the raw file holds both, both valid.
+        from repro.obs.schema import validate_jsonl
+
+        counts = validate_jsonl(path)
+        assert counts == {"telemetry": 1, "health": 1}
+        assert len(read_telemetry(path)) == 1
+
+    def test_rejects_malformed_lines_on_read(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text('{"type":"telemetry","interval":-1,"events_applied":0,"metrics":{}}\n')
+        with pytest.raises(SchemaError, match="non-negative"):
+            read_telemetry(path)
+
+    def test_histogram_snapshot_survives_json_infinity(self, tmp_path):
+        # +Inf bucket bounds are stringified in as_dict, so the JSONL file
+        # (which nulls non-finite floats) still re-renders full buckets.
+        path = tmp_path / "telemetry.jsonl"
+        reg = loaded_registry()
+        with TelemetrySink(path) as sink:
+            sink.emit(reg, interval=1)
+        snapshot = read_telemetry(path)[0]["metrics"]
+        text = render_prometheus(snapshot)
+        assert 'le="+Inf"' in text
+        assert not math.isinf(
+            json.loads(json.dumps(snapshot["serve.query.latency"]["count"]))
+        )

@@ -1,0 +1,107 @@
+"""Phase profiler: self vs cumulative attribution and the top-N table."""
+
+import pytest
+
+from repro.obs import PhaseStat, Tracer, profile_file, profile_spans, render_top
+from repro.obs.schema import to_jsonl
+
+
+def span(name, span_id, parent_id, duration, depth=0):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "depth": depth,
+        "start": 0.0,
+        "duration": duration,
+        "attributes": {},
+    }
+
+
+class TestProfileSpans:
+    def test_self_time_subtracts_direct_children(self):
+        spans = [
+            span("cycle", 1, None, 1.0),
+            span("build", 2, 1, 0.6, depth=1),
+            span("analyze", 3, 1, 0.3, depth=1),
+            span("inner", 4, 2, 0.5, depth=2),
+        ]
+        by_name = {s.name: s for s in profile_spans(spans)}
+        assert by_name["cycle"].cumulative_s == 1.0
+        assert by_name["cycle"].self_s == pytest.approx(0.1)  # 1.0 - 0.6 - 0.3
+        assert by_name["build"].self_s == pytest.approx(0.1)  # 0.6 - 0.5
+        assert by_name["analyze"].self_s == pytest.approx(0.3)
+        assert by_name["inner"].self_s == pytest.approx(0.5)
+
+    def test_sorted_by_self_time_descending(self):
+        spans = [
+            span("a", 1, None, 0.1),
+            span("b", 2, None, 0.9),
+            span("c", 3, None, 0.5),
+        ]
+        assert [s.name for s in profile_spans(spans)] == ["b", "c", "a"]
+
+    def test_repeated_phases_aggregate(self):
+        spans = [span("tick", i, None, 0.25) for i in range(1, 5)]
+        (stat,) = profile_spans(spans)
+        assert stat.calls == 4
+        assert stat.cumulative_s == 1.0
+        assert stat.mean_s == 0.25
+        assert stat.max_s == 0.25
+
+    def test_negative_self_time_clamped(self):
+        # Pre-measured child spans can overlap their parent's window;
+        # attribution never goes below zero.
+        spans = [
+            span("parent", 1, None, 0.1),
+            span("child", 2, 1, 0.5, depth=1),
+        ]
+        by_name = {s.name: s for s in profile_spans(spans)}
+        assert by_name["parent"].self_s == 0.0
+
+    def test_non_span_events_ignored(self):
+        events = [span("a", 1, None, 0.5), {"type": "metrics", "metrics": {}}]
+        assert len(profile_spans(events)) == 1
+
+    def test_empty_input(self):
+        assert profile_spans([]) == []
+        assert "no spans" in render_top([])
+
+
+class TestRenderTop:
+    def test_table_rows_and_truncation(self):
+        stats = profile_spans(
+            [span(f"phase{i}", i + 1, None, 0.1 * (i + 1)) for i in range(12)]
+        )
+        table = render_top(stats, top=5)
+        assert "phase11" in table  # hottest phase shown
+        assert "phase0" not in table  # cold tail truncated...
+        assert "7 more phases" in table  # ...but accounted for
+
+    def test_mean_property_empty(self):
+        stat = PhaseStat(name="x", calls=0, cumulative_s=0.0, self_s=0.0, max_s=0.0)
+        assert stat.mean_s == 0.0
+        assert stat.to_dict()["mean_s"] == 0.0
+
+
+class TestProfileFile:
+    def test_profile_exported_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("cycle"):
+            with tracer.span("build"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        to_jsonl(tracer.events(), path)
+        stats, table = profile_file(path)
+        assert {s.name for s in stats} == {"cycle", "build"}
+        assert str(path) in table
+
+    def test_live_tracer_events_profile_directly(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in profile_spans(tracer.events())}
+        assert by_name["outer"].cumulative_s >= by_name["inner"].cumulative_s
+        assert by_name["outer"].self_s <= by_name["outer"].cumulative_s

@@ -75,6 +75,34 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("x", buckets=(2.0, 1.0))
 
+    def test_percentile_extremes_hit_min_and_max(self):
+        h = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.percentile(0) == 0.5
+        assert h.percentile(100) == 3.0
+
+    def test_percentile_all_observations_beyond_last_edge(self):
+        h = Histogram("latency", buckets=(1.0,))
+        for v in (10.0, 20.0, 30.0):
+            h.observe(v)
+        for q in (0, 50, 100):
+            assert 10.0 <= h.percentile(q) <= 30.0
+        assert h.percentile(100) == 30.0
+
+    def test_percentile_single_overflow_observation(self):
+        h = Histogram("latency", buckets=(1.0,))
+        h.observe(5.0)
+        assert h.percentile(50) == 5.0
+
+    def test_bucket_counts_cumulative_ending_inf(self):
+        import math
+
+        h = Histogram("latency", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        assert h.bucket_counts() == ((1.0, 1), (2.0, 2), (math.inf, 3))
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
@@ -88,6 +116,26 @@ class TestRegistry:
         reg.counter("a")
         with pytest.raises(TypeError):
             reg.gauge("a")
+
+    def test_histogram_buckets_configure_first_registration(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        assert h.buckets == (1.0, 2.0)
+        # None and the identical layout return the same instrument.
+        assert reg.histogram("h") is h
+        assert reg.histogram("h", buckets=(1.0, 2.0)) is h
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="conflicting"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_histogram_default_then_explicit_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # DEFAULT_BUCKETS
+        with pytest.raises(ValueError, match="conflicting"):
+            reg.histogram("h", buckets=(1.0, 2.0))
 
     def test_names_sorted_and_contains(self):
         reg = MetricsRegistry()

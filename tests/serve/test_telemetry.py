@@ -1,0 +1,242 @@
+"""Service telemetry: exposition round-trip, watermark-aligned JSONL time
+series, and the live health monitor flipping OK -> DEGRADED -> OK across
+an injected flood/backpressure window."""
+
+import asyncio
+import json
+
+from repro.api import ScenarioSpec
+from repro.obs import (
+    DEGRADED,
+    OK,
+    HealthMonitor,
+    TelemetrySink,
+    default_service_rules,
+    parse_prometheus,
+    read_telemetry,
+    render_prometheus,
+)
+from repro.obs.schema import validate_jsonl
+from repro.serve import (
+    QueryRequest,
+    RatingEvent,
+    ReputationService,
+    WatermarkEvent,
+)
+from repro.serve.driver import serve_socket
+
+
+def small_spec(**world):
+    base = dict(
+        n_nodes=20,
+        n_pretrusted=2,
+        n_colluders=4,
+        n_interests=6,
+        interests_per_node=[1, 3],
+        capacity=10,
+        query_cycles=3,
+        simulation_cycles=3,
+    )
+    base.update(world)
+    return ScenarioSpec(
+        system="EigenTrust+SocialTrust", collusion="pcm", seed=7, world=base
+    )
+
+
+def spread_ratings(service, interval_index, n_raters=10):
+    """One interval of well-spread rating traffic (no flood signal)."""
+    for rater in range(n_raters):
+        service.apply(
+            RatingEvent(rater=rater, ratee=(rater + 1) % service.n_nodes, value=1.0)
+        )
+    service.apply(WatermarkEvent(cycle=interval_index))
+
+
+def flood_ratings(service, interval_index, n_events=30):
+    """One interval dominated by a single rater (the flood signal)."""
+    for k in range(n_events):
+        service.apply(
+            RatingEvent(rater=0, ratee=1 + (k % (service.n_nodes - 1)), value=1.0)
+        )
+    service.apply(WatermarkEvent(cycle=interval_index))
+
+
+class TestExpositionFromService:
+    def test_live_registry_round_trips(self):
+        service = ReputationService(small_spec())
+        spread_ratings(service, 0)
+        service.apply(QueryRequest(node=1))
+        text = render_prometheus(service.metrics)
+        families = parse_prometheus(text)
+        assert families["repro_serve_events_rating_total"]["samples"][0][2] == 10.0
+        assert families["repro_serve_events_total"]["type"] == "counter"
+        latency = families["repro_serve_query_latency"]
+        assert latency["type"] == "histogram"
+        count = [v for n, _, v in latency["samples"] if n.endswith("_count")]
+        assert count == [1.0]
+
+    def test_socket_metrics_query(self):
+        async def scenario():
+            service = ReputationService(small_spec())
+            server = await serve_socket(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            ingest = asyncio.ensure_future(service.run())
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b'{"t":"rating","rater":0,"ratee":1,"value":1.0}\n'
+                b'{"t":"watermark"}\n'
+                b'{"query":"metrics"}\n'
+            )
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+            await ingest
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["t"] == "metrics"
+        assert "version=0.0.4" in reply["content_type"]
+        families = parse_prometheus(reply["exposition"])
+        assert "repro_serve_events_rating_total" in families
+
+
+class TestTelemetryTimeSeries:
+    def test_snapshots_align_to_watermarks(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetrySink(path) as sink:
+            service = ReputationService(small_spec(), telemetry_sink=sink)
+            for interval in range(3):
+                spread_ratings(service, interval)
+        events = read_telemetry(path)
+        assert [e["interval"] for e in events] == [1, 2, 3]
+        assert [e["events_applied"] for e in events] == [10, 20, 30]
+        # Each snapshot carries the watermark counter at that interval.
+        marks = [
+            e["metrics"]["serve.events.watermark"]["value"] for e in events
+        ]
+        assert marks == [1.0, 2.0, 3.0]
+        # Every line validates against the telemetry schema.
+        assert validate_jsonl(path) == {"telemetry": 3}
+
+    def test_metrics_every_subsamples(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetrySink(path, every=2) as sink:
+            service = ReputationService(small_spec(), telemetry_sink=sink)
+            for interval in range(5):
+                spread_ratings(service, interval)
+        assert [e["interval"] for e in read_telemetry(path)] == [2, 4]
+
+    def test_series_renders_as_exposition(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetrySink(path) as sink:
+            service = ReputationService(small_spec(), telemetry_sink=sink)
+            spread_ratings(service, 0)
+        snapshot = read_telemetry(path)[0]["metrics"]
+        families = parse_prometheus(render_prometheus(snapshot))
+        assert "repro_serve_update_seconds" in families
+
+
+class TestHealthFlip:
+    def test_flood_window_flips_ok_degraded_ok(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = TelemetrySink(path)
+        monitor = HealthMonitor(default_service_rules(), sink=sink)
+        service = ReputationService(
+            small_spec(), telemetry_sink=sink, health=monitor
+        )
+        interval = 0
+        for _ in range(3):  # healthy baseline
+            spread_ratings(service, interval)
+            interval += 1
+        assert monitor.state == OK
+        for _ in range(3):  # injected rating flood
+            flood_ratings(service, interval)
+            interval += 1
+        assert monitor.state == DEGRADED
+        for _ in range(4):  # flood subsides
+            spread_ratings(service, interval)
+            interval += 1
+        assert monitor.state == OK
+        sink.close()
+
+        overall = [
+            (t["from"], t["to"])
+            for t in monitor.transitions
+            if t["scope"] == "overall"
+        ]
+        assert overall == [(OK, DEGRADED), (DEGRADED, OK)]
+        flood_rules = [
+            t["rule"] for t in monitor.transitions if t["scope"] == "rule"
+        ]
+        assert "flood-share" in flood_rules
+
+        # The transitions share the JSONL file with the snapshots, and the
+        # whole file validates.
+        counts = validate_jsonl(path)
+        assert counts["telemetry"] == 10
+        assert counts["health"] == 4  # rule+overall, enter+clear
+
+    def test_health_replay_matches_live(self, tmp_path):
+        # Replaying the recorded series through a fresh monitor yields the
+        # same verdict sequence the live monitor saw.
+        path = tmp_path / "telemetry.jsonl"
+        sink = TelemetrySink(path)
+        live = HealthMonitor(default_service_rules(), sink=sink)
+        service = ReputationService(
+            small_spec(), telemetry_sink=sink, health=live
+        )
+        interval = 0
+        for phase in (spread_ratings, flood_ratings, flood_ratings, spread_ratings,
+                      spread_ratings, spread_ratings):
+            phase(service, interval)
+            interval += 1
+        sink.close()
+
+        replayed = HealthMonitor(default_service_rules())
+        replayed.replay(read_telemetry(path))
+        assert replayed.state == live.state
+        assert [
+            (t["rule"], t["from"], t["to"], t["interval"])
+            for t in replayed.transitions
+        ] == [
+            (t["rule"], t["from"], t["to"], t["interval"])
+            for t in live.transitions
+        ]
+
+    def test_service_health_report_accessor(self):
+        monitor = HealthMonitor(default_service_rules())
+        service = ReputationService(small_spec(), health=monitor)
+        assert service.health is monitor
+        spread_ratings(service, 0)
+        report = service.health_report()
+        assert report["state"] == OK
+        assert report["intervals_observed"] == 1
+
+    def test_no_monitor_reports_none(self):
+        service = ReputationService(small_spec())
+        assert service.health is None
+        assert service.health_report() is None
+
+
+class TestReplayEquivalenceWithTelemetry:
+    def test_telemetry_does_not_perturb_reputations(self, tmp_path):
+        # Bit-identical histories with and without the telemetry pipeline.
+        import numpy as np
+
+        plain = ReputationService(small_spec())
+        sink = TelemetrySink(tmp_path / "telemetry.jsonl")
+        monitor = HealthMonitor(default_service_rules(), sink=sink)
+        instrumented = ReputationService(
+            small_spec(), telemetry_sink=sink, health=monitor
+        )
+        for service in (plain, instrumented):
+            interval = 0
+            for phase in (spread_ratings, flood_ratings, spread_ratings):
+                phase(service, interval)
+                interval += 1
+        sink.close()
+        np.testing.assert_array_equal(plain.history, instrumented.history)
